@@ -1,0 +1,205 @@
+// Ablation studies on Gist's design choices (DESIGN.md §3):
+//
+//   A. AsT growth strategy — multiplicative doubling (the paper's choice) vs
+//      linear growth: latency (failure recurrences) to reach the root cause.
+//   B. Hardware watchpoint budget — 1 / 2 / 4 (x86) / 8 slots: does the
+//      cooperative rotation compensate for scarcer debug registers?
+//   C. F-measure β — 0.25 / 0.5 (the paper's precision-favouring choice) /
+//      1.0 / 2.0: does the top-ranked predictor still point at a root-cause
+//      statement?
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/analysis/slicer.h"
+#include "src/support/logging.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+const char* kApps[] = {"apache-1",   "apache-2",  "apache-3", "apache-4",
+                       "cppcheck-1", "cppcheck-2", "curl",     "transmission",
+                       "sqlite",     "memcached",  "pbzip2"};
+
+struct SweepResult {
+  double avg_recurrences = 0.0;
+  double avg_accuracy = 0.0;
+  int diagnosed = 0;
+  int total = 0;
+};
+
+SweepResult RunSweep(const FleetOptions& options) {
+  SweepResult sweep;
+  for (const char* name : kApps) {
+    AppFleetOutcome outcome = RunAppFleet(name, options);
+    ++sweep.total;
+    if (!outcome.fleet.root_cause_found) {
+      continue;
+    }
+    ++sweep.diagnosed;
+    sweep.avg_recurrences += outcome.fleet.failure_recurrences;
+    sweep.avg_accuracy += outcome.accuracy.overall;
+  }
+  if (sweep.diagnosed > 0) {
+    sweep.avg_recurrences /= sweep.diagnosed;
+    sweep.avg_accuracy /= sweep.diagnosed;
+  }
+  return sweep;
+}
+
+void AblationGrowth() {
+  std::printf("A. AsT growth strategy (avg over diagnosed bugs)\n");
+  std::printf("%-18s %12s %14s %12s\n", "growth", "diagnosed", "recurrences", "accuracy");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (AstGrowth growth : {AstGrowth::kMultiplicative, AstGrowth::kLinear}) {
+    FleetOptions options = DefaultBenchFleetOptions();
+    options.gist.ast_growth = growth;
+    options.max_iterations = growth == AstGrowth::kLinear ? 24 : 8;
+    SweepResult sweep = RunSweep(options);
+    std::printf("%-18s %8d/%-3d %14.1f %11.1f%%\n",
+                growth == AstGrowth::kMultiplicative ? "multiplicative" : "linear",
+                sweep.diagnosed, sweep.total, sweep.avg_recurrences, sweep.avg_accuracy);
+  }
+  std::printf("\nDoubling reaches distant root causes in O(log) iterations; linear growth\n"
+              "pays one failure recurrence per +sigma step (paper SS3.2.1's rationale).\n\n");
+}
+
+void AblationWatchpoints() {
+  std::printf("B. Hardware watchpoint budget (cooperative rotation active)\n");
+  std::printf("%-12s %12s %14s %12s\n", "slots", "diagnosed", "recurrences", "accuracy");
+  std::printf("%s\n", std::string(54, '-').c_str());
+  for (uint32_t slots : {1u, 2u, 4u, 8u}) {
+    FleetOptions options = DefaultBenchFleetOptions();
+    options.gist.watchpoint_slots = slots;
+    SweepResult sweep = RunSweep(options);
+    std::printf("%-12u %8d/%-3d %14.1f %11.1f%%\n", slots, sweep.diagnosed, sweep.total,
+                sweep.avg_recurrences, sweep.avg_accuracy);
+  }
+  std::printf("\nEven one debug register diagnoses most bugs — rotation across production\n"
+              "runs covers the address set cooperatively (SS3.2.3) at higher latency.\n\n");
+}
+
+void AblationBeta() {
+  std::printf("C. F-measure beta: does the top-ranked predictor hit the root cause?\n");
+  std::printf("%-8s %24s\n", "beta", "top-1 hits root cause");
+  std::printf("%s\n", std::string(36, '-').c_str());
+  for (double beta : {0.25, 0.5, 1.0, 2.0}) {
+    int hits = 0;
+    int total = 0;
+    for (const char* name : kApps) {
+      FleetOptions options = DefaultBenchFleetOptions();
+      options.gist.beta = beta;
+      AppFleetOutcome outcome = RunAppFleet(name, options);
+      if (!outcome.fleet.root_cause_found) {
+        continue;
+      }
+      ++total;
+      std::set<InstrId> root(outcome.app->root_cause_instrs().begin(),
+                             outcome.app->root_cause_instrs().end());
+      // The sketch's best predictor of any family.
+      const FailureSketch& sketch = outcome.fleet.sketch;
+      double best_f = -1.0;
+      Predictor best;
+      for (const auto& scored :
+           {sketch.best_concurrency, sketch.best_value, sketch.best_value_range,
+            sketch.best_branch}) {
+        if (scored.has_value() && scored->f_measure > best_f) {
+          best_f = scored->f_measure;
+          best = scored->predictor;
+        }
+      }
+      const bool hit = root.count(best.a) != 0 || root.count(best.b) != 0 ||
+                       root.count(best.c) != 0;
+      hits += hit;
+    }
+    std::printf("%-8.2f %17d/%d\n", beta, hits, total);
+  }
+  std::printf("\nbeta = 0.5 favours precision, keeping wrong 'root causes' out of the\n"
+              "sketch's dotted boxes (SS3.3's information-retrieval argument).\n");
+}
+
+void AblationAliasAnalysis() {
+  std::printf("D. Slice size with vs without conservative alias analysis\n");
+  std::printf("   (the paper's SS3.1 argument for omitting alias analysis)\n");
+  std::printf("%-14s %16s %18s %10s\n", "Bug", "no-alias slice", "may-alias slice", "blow-up");
+  std::printf("%s\n", std::string(62, '-').c_str());
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (const char* name : kApps) {
+    auto app = MakeAppByName(name);
+    // Seed the slicer from a real failure.
+    Rng rng(77);
+    FailureReport report;
+    bool found = false;
+    for (uint64_t run = 0; run < 1000 && !found; ++run) {
+      Workload workload = app->MakeWorkload(run, rng);
+      Vm vm(app->module(), workload, VmOptions{});
+      const RunResult result = vm.Run();
+      if (!result.ok() && result.failure.failing_instr != kNoInstr) {
+        report = result.failure;
+        found = true;
+      }
+    }
+    if (!found) {
+      continue;
+    }
+    Ticfg ticfg(app->module());
+    const StaticSlice lean = ComputeBackwardSlice(ticfg, report.failing_instr);
+    const StaticSlice fat = ComputeBackwardSliceWithAliases(ticfg, report.failing_instr);
+    const double ratio = static_cast<double>(fat.instrs.size()) / lean.instrs.size();
+    std::printf("%-14s %16zu %18zu %9.1fx\n", name, lean.instrs.size(), fat.instrs.size(),
+                ratio);
+    ratio_sum += ratio;
+    ++count;
+  }
+  std::printf("%s\n", std::string(62, '-').c_str());
+  std::printf("%-14s %35s %9.1fx\n", "average", "", ratio_sum / count);
+  std::printf("\nEvery sliced statement is monitored at runtime: the may-alias blow-up is\n"
+              "overhead Gist avoids by recovering memory flow with watchpoints instead.\n");
+}
+
+void AblationPrivacy() {
+  std::printf("\nE. Anonymized traces (paper SS6's privacy discussion)\n");
+  std::printf("   Values and messages scrubbed before shipping; order survives.\n");
+  std::printf("%-14s %12s %22s %22s\n", "Bug", "diagnosed", "top value F (clear)",
+              "top value F (anon)");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (const char* name : kApps) {
+    FleetOptions clear_options = DefaultBenchFleetOptions();
+    AppFleetOutcome clear = RunAppFleet(name, clear_options);
+    FleetOptions anon_options = DefaultBenchFleetOptions();
+    anon_options.anonymize_traces = true;
+    AppFleetOutcome anonymized = RunAppFleet(name, anon_options);
+    auto value_f = [](const AppFleetOutcome& outcome) {
+      return outcome.fleet.sketch.best_value.has_value()
+                 ? outcome.fleet.sketch.best_value->f_measure
+                 : 0.0;
+    };
+    std::printf("%-14s %11s %21.2f %21.2f\n", name,
+                anonymized.fleet.root_cause_found ? "yes" : "NO", value_f(clear),
+                value_f(anonymized));
+  }
+  std::printf("%s\n", std::string(74, '-').c_str());
+  std::printf("\nDiagnosis is statement/order-driven and survives anonymization; the cost\n"
+              "is value-predictor precision (the sharpest signal for input-dependent\n"
+              "sequential bugs like curl's), exactly the trade-off SS6 anticipates.\n");
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Ablations over Gist's design choices\n");
+  std::printf("%s\n\n", std::string(60, '=').c_str());
+  AblationGrowth();
+  AblationWatchpoints();
+  AblationBeta();
+  AblationAliasAnalysis();
+  AblationPrivacy();
+  return 0;
+}
+
+}  // namespace
+}  // namespace gist
+
+int main() { return gist::Main(); }

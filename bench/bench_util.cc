@@ -1,0 +1,122 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/analysis/slicer.h"
+#include "src/core/instrumentation.h"
+#include "src/support/str.h"
+
+namespace gist {
+
+FleetOptions DefaultBenchFleetOptions() {
+  FleetOptions options;
+  options.runs_per_iteration = 400;
+  options.max_iterations = 8;
+  options.fleet_seed = 2015;  // SOSP'15
+  return options;
+}
+
+std::string FormatMinSec(double seconds) {
+  const int total = static_cast<int>(seconds + 0.5);
+  return StrFormat("%dm:%02ds", total / 60, total % 60);
+}
+
+AppFleetOutcome RunAppFleet(const std::string& name, const FleetOptions& options) {
+  AppFleetOutcome outcome;
+  outcome.app = MakeAppByName(name);
+  GIST_CHECK(outcome.app != nullptr) << "unknown app " << name;
+  BugApp& app = *outcome.app;
+
+  FleetOptions fleet_options = options;
+  fleet_options.gist.title =
+      app.info().name + " (" + app.info().software + " bug #" + app.info().bug_id + ")";
+
+  Fleet fleet(
+      app.module(),
+      [&app](uint64_t run_index, Rng& rng) { return app.MakeWorkload(run_index, rng); },
+      fleet_options);
+
+  const std::vector<InstrId>& root_cause = app.root_cause_instrs();
+  outcome.fleet = fleet.Run([&](const FailureSketch& sketch) {
+    return std::all_of(root_cause.begin(), root_cause.end(),
+                       [&](InstrId id) { return sketch.Contains(id); });
+  });
+
+  if (fleet.server().HasTarget()) {
+    outcome.slice = fleet.server().slice();
+    outcome.final_plan = fleet.server().plan();
+    outcome.traces = fleet.server().traces();
+  }
+
+  // Offline analysis cost: slicing + instrumentation planning from scratch,
+  // wall-clock (the paper's parenthesized per-bug time).
+  if (outcome.fleet.first_failure_found) {
+    const auto start = std::chrono::steady_clock::now();
+    Ticfg ticfg(app.module());
+    const StaticSlice slice =
+        ComputeBackwardSlice(ticfg, outcome.fleet.first_failure.failing_instr);
+    const InstrumentationPlan plan = PlanInstrumentation(ticfg, slice.instrs);
+    (void)plan;
+    const auto end = std::chrono::steady_clock::now();
+    outcome.offline_seconds = std::chrono::duration<double>(end - start).count();
+  }
+
+  const Module& module = app.module();
+  outcome.accuracy = MeasureAccuracy(module, outcome.fleet.sketch, app.ideal_sketch());
+  outcome.slice_source_loc = module.CountSourceLines(outcome.slice.instrs);
+  outcome.ideal_instrs = app.ideal_sketch().instrs.size();
+  outcome.ideal_source_loc = module.CountSourceLines(app.ideal_sketch().instrs);
+  const std::vector<InstrId> sketch_instrs = outcome.fleet.sketch.InstrSet();
+  outcome.sketch_instrs = sketch_instrs.size();
+  outcome.sketch_source_loc = module.CountSourceLines(sketch_instrs);
+  return outcome;
+}
+
+BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options) {
+  BreakdownResult breakdown;
+  AppFleetOutcome outcome = RunAppFleet(name, options);
+  const BugApp& app = *outcome.app;
+  const Module& module = app.module();
+  const IdealSketch& ideal = app.ideal_sketch();
+
+  // Full pipeline.
+  breakdown.with_data_flow = outcome.accuracy.overall;
+
+  // Static slicing only: the sketch is the tracked window of the static
+  // slice, in program-toward-failure order (no runtime information at all).
+  {
+    const size_t count =
+        std::min<size_t>(outcome.fleet.sigma_final, outcome.slice.instrs.size());
+    std::vector<InstrId> window(outcome.slice.instrs.begin(),
+                                outcome.slice.instrs.begin() + static_cast<long>(count));
+    std::vector<InstrId> ordered(window.rbegin(), window.rend());
+    std::vector<InstrId> accesses;
+    for (InstrId id : ordered) {
+      if (module.instr(id).IsSharedAccess()) {
+        accesses.push_back(id);
+      }
+    }
+    breakdown.static_only = MeasureAccuracyRaw(ordered, accesses, ideal).overall;
+  }
+
+  // + control-flow tracking: rebuild the sketch with the watchpoint log
+  // stripped from every collected trace — execution-filtered, but no
+  // data-flow discovery, no values, no inter-thread order anchors.
+  {
+    std::vector<RunTrace> stripped = outcome.traces;
+    for (RunTrace& trace : stripped) {
+      trace.watch_events.clear();
+    }
+    Result<FailureSketch> sketch =
+        BuildFailureSketch(module, outcome.final_plan.window, stripped);
+    if (sketch.ok()) {
+      breakdown.with_control_flow = MeasureAccuracy(module, *sketch, ideal).overall;
+    } else {
+      breakdown.with_control_flow = breakdown.static_only;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace gist

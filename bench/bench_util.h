@@ -1,0 +1,58 @@
+// Shared harness for the evaluation benches: runs an app through the full
+// cooperative-fleet loop, gathers the Table 1 / Fig. 9-12 metrics, and
+// provides the stage-limited pipeline variants used by the Fig. 10
+// contribution breakdown.
+
+#ifndef GIST_BENCH_BENCH_UTIL_H_
+#define GIST_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/coop/fleet.h"
+
+namespace gist {
+
+struct AppFleetOutcome {
+  std::unique_ptr<BugApp> app;
+  FleetResult fleet;
+  StaticSlice slice;
+  InstrumentationPlan final_plan;
+  std::vector<RunTrace> traces;  // everything the server collected
+  AccuracyResult accuracy;
+  double offline_seconds = 0.0;  // static slice + instrumentation planning
+  size_t slice_source_loc = 0;
+  size_t ideal_instrs = 0;
+  size_t ideal_source_loc = 0;
+  size_t sketch_instrs = 0;
+  size_t sketch_source_loc = 0;
+};
+
+// Default fleet options used across the benches (kept identical so numbers
+// are comparable between tables).
+FleetOptions DefaultBenchFleetOptions();
+
+// Runs `name`'s bug through the full loop and measures everything. The
+// root-cause check is the app's own ground truth.
+AppFleetOutcome RunAppFleet(const std::string& name, const FleetOptions& options);
+
+// Stage-limited accuracy (Fig. 10):
+//   static-only: the sketch is the raw AsT window of the static slice;
+//   +control flow: window filtered by PT-decoded execution, no data flow;
+//   +data flow: the full pipeline (same as RunAppFleet's accuracy).
+struct BreakdownResult {
+  double static_only = 0.0;
+  double with_control_flow = 0.0;
+  double with_data_flow = 0.0;
+};
+
+BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options);
+
+// Formats seconds as the paper's "<Mm:SSs>".
+std::string FormatMinSec(double seconds);
+
+}  // namespace gist
+
+#endif  // GIST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,130 @@
+// Micro benchmarks for the substrate layers: PT packet encode/decode
+// throughput, backward-slicer and dominator-analysis speed, and raw VM
+// interpretation speed. These bound the cost of the offline (server-side)
+// stages of Gist.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/slicer.h"
+#include "src/apps/app.h"
+#include "src/cfg/ticfg.h"
+#include "src/core/gist.h"
+#include "src/pt/decoder.h"
+#include "src/pt/tracer.h"
+#include "src/support/rng.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+void BM_PtEncodeBranches(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 4096; ++i) {
+    outcomes.push_back(rng.NextChance(1, 2));
+  }
+  for (auto _ : state) {
+    PtBuffer buffer(1 << 20);
+    uint8_t bits = 0;
+    uint8_t count = 0;
+    for (bool taken : outcomes) {
+      bits = static_cast<uint8_t>(bits | ((taken ? 1u : 0u) << count));
+      if (++count == 6) {
+        buffer.AppendTnt(bits, count);
+        bits = 0;
+        count = 0;
+      }
+    }
+    benchmark::DoNotOptimize(buffer.bytes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(outcomes.size()));
+}
+BENCHMARK(BM_PtEncodeBranches);
+
+void BM_PtFullTraceAndDecode(benchmark::State& state) {
+  auto app = MakeAppByName("memcached");
+  Rng rng(3);
+  const Workload workload = app->MakeWorkload(0, rng);
+  for (auto _ : state) {
+    PtTracer tracer(4, kDefaultPtBufferBytes, /*always_on=*/true);
+    VmOptions options;
+    options.observers = {&tracer};
+    Vm(app->module(), workload, options).Run();
+    size_t visits = 0;
+    for (CoreId core = 0; core < 4; ++core) {
+      auto decoded = DecodePtStream(app->module(), core, tracer.buffer(core).bytes());
+      visits += decoded.ok() ? decoded->visits.size() : 0;
+    }
+    benchmark::DoNotOptimize(visits);
+  }
+}
+BENCHMARK(BM_PtFullTraceAndDecode);
+
+void BM_BackwardSlice(benchmark::State& state) {
+  // cppcheck-1 has the deepest interprocedural chain (24 passes).
+  auto app = MakeAppByName("cppcheck-1");
+  Ticfg ticfg(app->module());
+  // Slice from the app's failure point (the deref in the bounds check).
+  const InstrId failure = app->ideal_sketch().instrs.back();
+  for (auto _ : state) {
+    StaticSlice slice = ComputeBackwardSlice(ticfg, failure);
+    benchmark::DoNotOptimize(slice.instrs.data());
+  }
+}
+BENCHMARK(BM_BackwardSlice);
+
+void BM_TicfgConstruction(benchmark::State& state) {
+  auto app = MakeAppByName("cppcheck-1");
+  for (auto _ : state) {
+    Ticfg ticfg(app->module());
+    benchmark::DoNotOptimize(ticfg.num_nodes());
+  }
+}
+BENCHMARK(BM_TicfgConstruction);
+
+void BM_VmInterpretation(benchmark::State& state) {
+  auto app = MakeAppByName("pbzip2");
+  Rng rng(5);
+  Workload workload = app->MakeWorkload(0, rng);
+  workload.inputs[kWorkScaleInput] = 2000;  // ~16k busy-loop instructions
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    Vm vm(app->module(), workload, VmOptions{});
+    RunResult result = vm.Run();
+    steps += result.stats.steps;
+    benchmark::DoNotOptimize(result.stats.steps);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_VmInterpretation);
+
+void BM_VmWithClientRuntimeAttached(benchmark::State& state) {
+  auto app = MakeAppByName("pbzip2");
+  Rng rng(5);
+  // Find a failure to seed the server, then measure monitored-run speed.
+  FailureReport report;
+  for (uint64_t run = 0; run < 500; ++run) {
+    Workload probe = app->MakeWorkload(run, rng);
+    Vm vm(app->module(), probe, VmOptions{});
+    RunResult result = vm.Run();
+    if (!result.ok()) {
+      report = result.failure;
+      break;
+    }
+  }
+  GistServer server(app->module());
+  server.ReportFailure(report);
+  Workload workload = app->MakeWorkload(0, rng);
+  workload.inputs[kWorkScaleInput] = 2000;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    MonitoredRun run = RunMonitored(app->module(), server.plan(), workload);
+    steps += run.result.stats.steps;
+    benchmark::DoNotOptimize(run.trace.baseline_instructions);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_VmWithClientRuntimeAttached);
+
+}  // namespace
+}  // namespace gist

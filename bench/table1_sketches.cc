@@ -1,0 +1,79 @@
+// Regenerates paper Table 1: per bug, the static slice size, ideal and
+// Gist-computed failure sketch sizes (source LOC and MiniIR instructions),
+// the number of failure recurrences consumed, the simulated sketch-
+// computation time, and the offline analysis time. Also prints the three
+// example failure sketches the paper shows in full (Figs. 1, 7, 8).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/renderer.h"
+#include "src/support/logging.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+const char* kApps[] = {"apache-1",   "apache-2",  "apache-3", "apache-4",
+                       "cppcheck-1", "cppcheck-2", "curl",     "transmission",
+                       "sqlite",     "memcached",  "pbzip2"};
+
+// The bugs whose sketches the paper renders as figures.
+bool RendersFigure(const std::string& name) {
+  return name == "pbzip2" || name == "curl" || name == "apache-3";
+}
+
+int Main() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf("Table 1: bugs used to evaluate Gist (reproduction)\n");
+  std::printf(
+      "%-13s %-13s %-9s %-8s | %-18s %-18s %-18s %-6s %-10s %-10s\n", "Bug", "Software",
+      "Version", "Bug ID", "Static slice", "Ideal sketch", "Gist sketch", "#Rec",
+      "<time>", "(offline)");
+  std::printf("%-13s %-13s %-9s %-8s | %-18s %-18s %-18s %-6s %-10s %-10s\n", "", "", "", "",
+              "LOC (instrs)", "LOC (instrs)", "LOC (instrs)", "", "", "");
+  std::printf("%s\n", std::string(140, '-').c_str());
+
+  std::string figures;
+  uint64_t total_runs = 0;
+  int diagnosed = 0;
+  for (const char* name : kApps) {
+    AppFleetOutcome outcome = RunAppFleet(name, DefaultBenchFleetOptions());
+    const BugInfo& info = outcome.app->info();
+    for (const FleetIterationStats& it : outcome.fleet.iterations) {
+      total_runs += it.failing_runs + it.successful_runs;
+    }
+    if (outcome.fleet.root_cause_found) {
+      ++diagnosed;
+    }
+    std::printf(
+        "%-13s %-13s %-9s %-8s | %5zu (%6zu)     %4zu (%6zu)      %4zu (%6zu)      %-6u %-10s "
+        "(%.2fs)%s\n",
+        info.name.c_str(), info.software.c_str(), info.version.c_str(), info.bug_id.c_str(),
+        outcome.slice_source_loc, outcome.slice.instrs.size(), outcome.ideal_source_loc,
+        outcome.ideal_instrs, outcome.sketch_source_loc, outcome.sketch_instrs,
+        outcome.fleet.failure_recurrences, FormatMinSec(outcome.fleet.sim_seconds).c_str(),
+        outcome.offline_seconds, outcome.fleet.root_cause_found ? "" : "  [NOT DIAGNOSED]");
+
+    if (RendersFigure(info.name)) {
+      RenderOptions render;
+      render.ideal = &outcome.app->ideal_sketch();
+      figures += "\n" + std::string(78, '=') + "\n";
+      figures += RenderFailureSketch(outcome.app->module(), outcome.fleet.sketch, render);
+    }
+  }
+
+  std::printf("%s\n", std::string(140, '-').c_str());
+  std::printf("Diagnosed %d/11 bugs; %llu monitored production runs in total.\n", diagnosed,
+              static_cast<unsigned long long>(total_runs));
+  std::printf("Legend: [*] top-ranked failure predictor (paper's dotted boxes), '·' extraneous\n"
+              "vs the ideal sketch (paper's gray prefix), '+' discovered by data-flow\n"
+              "refinement (absent from the alias-free static slice), {=v} observed value.\n");
+  std::printf("%s\n", figures.c_str());
+  return diagnosed == 11 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gist
+
+int main() { return gist::Main(); }

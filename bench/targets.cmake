@@ -1,0 +1,25 @@
+# Evaluation benches: one binary per paper table/figure (see DESIGN.md §3).
+# Declared from the top-level CMakeLists so ${CMAKE_BINARY_DIR}/bench holds
+# only runnable binaries.
+
+set(GIST_BENCH_OUTPUT_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(gist_add_bench name)
+  add_executable(${name} bench/${name}.cc bench/bench_util.cc)
+  target_link_libraries(${name} PRIVATE gist_apps gist_replay)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${GIST_BENCH_OUTPUT_DIR})
+endfunction()
+
+gist_add_bench(table1_sketches)
+gist_add_bench(fig9_accuracy)
+gist_add_bench(fig10_breakdown)
+gist_add_bench(fig11_overhead)
+gist_add_bench(fig12_sigma_tradeoff)
+gist_add_bench(fig13_rr_vs_pt)
+
+add_executable(micro_benchmarks bench/micro_benchmarks.cc)
+target_link_libraries(micro_benchmarks PRIVATE gist_apps gist_replay
+                      benchmark::benchmark benchmark::benchmark_main)
+set_target_properties(micro_benchmarks PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${GIST_BENCH_OUTPUT_DIR})
+gist_add_bench(ablations)

@@ -1,0 +1,74 @@
+// Cooperative fleet walkthrough: the Apache #21287 double free (paper
+// Fig. 8) diagnosed with the full Fleet abstraction — the same harness the
+// evaluation benches use. Shows failure matching by stack hash, the
+// per-iteration early exit that keeps recurrence counts low, and the
+// simulated wall-clock latency accounting of Table 1.
+//
+// Build & run:   ./build/examples/fleet_debugging
+
+#include <cstdio>
+
+#include "src/apps/app.h"
+#include "src/coop/fleet.h"
+#include "src/support/str.h"
+
+int main() {
+  using namespace gist;
+
+  auto app = MakeAppByName("apache-3");
+  std::printf("== Apache httpd bug #21287: double free in mod_mem_cache ==\n");
+  std::printf("Simulated cooperative fleet, one bug, many production runs.\n\n");
+
+  FleetOptions options;
+  options.fleet_seed = 42;
+  options.gist.title = "apache-3 (paper Fig. 8)";
+
+  Fleet fleet(
+      app->module(),
+      [&app](uint64_t run_index, Rng& rng) { return app->MakeWorkload(run_index, rng); },
+      options);
+
+  const std::vector<InstrId>& root_cause = app->root_cause_instrs();
+  FleetResult result = fleet.Run([&](const FailureSketch& sketch) {
+    for (InstrId id : root_cause) {
+      if (!sketch.Contains(id)) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  if (!result.first_failure_found) {
+    std::fprintf(stderr, "the double free never manifested\n");
+    return 1;
+  }
+
+  std::printf("Target failure: %s (stack hash %016llx)\n",
+              FailureTypeName(result.first_failure.type),
+              static_cast<unsigned long long>(result.first_failure.MatchHash()));
+  for (const FleetIterationStats& it : result.iterations) {
+    std::printf("  AsT iteration %u: sigma=%-3u %2u failing / %3u successful runs%s\n",
+                it.iteration, it.sigma, it.failing_runs, it.successful_runs,
+                it.root_cause_found ? "  -> root cause found" : "");
+  }
+  std::printf("\nFailure recurrences consumed: %u\n", result.failure_recurrences);
+  std::printf("Simulated time to sketch:     %s\n",
+              StrFormat("%dm:%02ds", static_cast<int>(result.sim_seconds) / 60,
+                        static_cast<int>(result.sim_seconds) % 60)
+                  .c_str());
+  std::printf("Mean client overhead:         %.2f%%\n\n", result.avg_overhead_percent);
+
+  if (!result.root_cause_found) {
+    std::fprintf(stderr, "sketch incomplete\n");
+    return 1;
+  }
+
+  RenderOptions render;
+  render.ideal = &app->ideal_sketch();
+  std::printf("%s\n", RenderFailureSketch(app->module(), result.sketch, render).c_str());
+  std::printf(
+      "Both handler threads appear as columns executing decrement_refcount();\n"
+      "the WWR/RWR pattern on obj->refcnt ([*] boxes) is the atomicity violation\n"
+      "the developers fixed by making dec-check-free atomic.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Static backward slice representation.
+
+#ifndef GIST_SRC_ANALYSIS_SLICE_H_
+#define GIST_SRC_ANALYSIS_SLICE_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/ids.h"
+
+namespace gist {
+
+// The result of backward slicing from a failing statement. Instructions are
+// ordered by backward proximity to the failure (failure first): Adaptive
+// Slice Tracking's window of σ statements is the first σ entries, matching
+// the paper's "σ statements backward from the failure point" (Fig. 3).
+struct StaticSlice {
+  InstrId failure = kNoInstr;
+  std::vector<InstrId> instrs;  // proximity order; instrs[0] == failure
+
+  bool Contains(InstrId id) const { return members.count(id) != 0; }
+  size_t size() const { return instrs.size(); }
+
+  // Derived set for O(1) membership; kept consistent by the slicer.
+  std::unordered_set<InstrId> members;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_ANALYSIS_SLICE_H_

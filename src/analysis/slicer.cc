@@ -1,0 +1,239 @@
+#include "src/analysis/slicer.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace gist {
+namespace {
+
+// Control-dependence sets for one function: block -> branch terminators it is
+// control-dependent on (Ferrante/Ottenstein/Warren via postdominators).
+class ControlDeps {
+ public:
+  ControlDeps(const Cfg& cfg, const DominatorTree& pdom) {
+    deps_.resize(cfg.num_blocks());
+    for (BlockId a = 0; a < cfg.num_blocks(); ++a) {
+      const auto& succs = cfg.succs(a);
+      if (succs.size() < 2) {
+        continue;
+      }
+      const InstrId branch = cfg.function().block(a).terminator().id;
+      for (BlockId s : succs) {
+        // Walk the postdominator tree from s up to (excluding) ipdom(a):
+        // every block on that path is control-dependent on a's branch.
+        BlockId stop = pdom.idom(a);
+        BlockId node = s;
+        while (node != stop && node != kNoBlock) {
+          if (node < deps_.size()) {
+            deps_[node].insert(branch);
+          }
+          const BlockId up = pdom.idom(node);
+          if (up == node) {
+            break;
+          }
+          node = up;
+        }
+      }
+    }
+  }
+
+  const std::set<InstrId>& deps(BlockId block) const {
+    GIST_CHECK_LT(block, deps_.size());
+    return deps_[block];
+  }
+
+ private:
+  std::vector<std::set<InstrId>> deps_;
+};
+
+class SliceBuilder {
+ public:
+  SliceBuilder(const Ticfg& ticfg, InstrId failure, bool conservative_aliases)
+      : ticfg_(ticfg), module_(ticfg.module()), conservative_aliases_(conservative_aliases) {
+    slice_.failure = failure;
+    AddToSlice(failure);
+    Run();
+  }
+
+  StaticSlice Take() && { return std::move(slice_); }
+
+ private:
+  void Run() {
+    while (!worklist_.empty()) {
+      const InstrId id = worklist_.front();
+      worklist_.pop_front();
+      Process(id);
+    }
+  }
+
+  // Adds an instruction to the slice (once) and queues it for processing.
+  void AddToSlice(InstrId id) {
+    if (!slice_.members.insert(id).second) {
+      return;
+    }
+    slice_.instrs.push_back(id);
+    worklist_.push_back(id);
+  }
+
+  void Process(InstrId id) {
+    const Instruction& instr = module_.instr(id);
+    const InstrLocation& loc = module_.location(id);
+
+    // Demand every register operand flow-sensitively at this point.
+    for (Reg operand : instr.operands) {
+      DemandReg(loc, operand);
+    }
+
+    // Call results: chase into callee returns (getRetValues).
+    if (instr.op == Opcode::kCall && instr.dst != kNoReg) {
+      for (InstrId ret : ticfg_.return_instrs(instr.callee)) {
+        AddToSlice(ret);
+      }
+    }
+
+    // Conservative may-alias mode (ablation only): the value a load reads may
+    // come from any store in the module.
+    if (conservative_aliases_ && instr.op == Opcode::kLoad) {
+      AddAllStores();
+    }
+
+    // Intraprocedural control dependence.
+    for (InstrId branch : ControlDepsFor(loc.function).deps(loc.block)) {
+      AddToSlice(branch);
+    }
+
+    // Interprocedural control flow: the call/spawn sites of the enclosing
+    // function decide whether this statement executes at all.
+    if (loc.function != module_.FindFunction("main")) {
+      for (InstrId site : ticfg_.call_sites(loc.function)) {
+        AddToSlice(site);
+      }
+      for (InstrId site : ticfg_.spawn_sites(loc.function)) {
+        AddToSlice(site);
+      }
+    }
+  }
+
+  // Resolves reg's reaching definitions backward from just before `use`.
+  void DemandReg(const InstrLocation& use, Reg reg) {
+    const Function& function = module_.function(use.function);
+    const Cfg& cfg = ticfg_.cfg(use.function);
+
+    // Scan this block upward from the use, then flood predecessors.
+    if (ScanBlockBackward(function, use.block, static_cast<int64_t>(use.index) - 1, reg)) {
+      return;  // def found in the same block shadows everything upstream
+    }
+    if (!demanded_[use.function].insert({use.block, reg}).second) {
+      return;
+    }
+    std::deque<BlockId> pending(cfg.preds(use.block).begin(), cfg.preds(use.block).end());
+    std::set<BlockId> enqueued(pending.begin(), pending.end());
+    bool reaches_entry = cfg.preds(use.block).empty() || use.block == 0;
+    while (!pending.empty()) {
+      const BlockId block = pending.front();
+      pending.pop_front();
+      if (ScanBlockBackward(function, block, static_cast<int64_t>(function.block(block).size()) - 1,
+                            reg)) {
+        continue;  // def kills the demand along this path
+      }
+      if (block == 0 || cfg.preds(block).empty()) {
+        reaches_entry = true;
+      }
+      for (BlockId pred : cfg.preds(block)) {
+        if (enqueued.insert(pred).second) {
+          pending.push_back(pred);
+        }
+      }
+    }
+
+    // Undefined along some path to the entry: a parameter demand crosses into
+    // the callers / spawners (getArgValues).
+    if (reaches_entry && reg < function.num_params()) {
+      DemandArgument(use.function, reg);
+    }
+  }
+
+  // Scans block instructions [0, last_index] backward for a def of reg.
+  // Returns true iff a definition was found (and sliced).
+  bool ScanBlockBackward(const Function& function, BlockId block, int64_t last_index, Reg reg) {
+    const auto& instrs = function.block(block).instructions();
+    for (int64_t i = last_index; i >= 0; --i) {
+      const Instruction& instr = instrs[static_cast<size_t>(i)];
+      if (instr.dst == reg) {
+        AddToSlice(instr.id);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Parameter `reg` of `callee` takes its value from the matching argument at
+  // every call and spawn site.
+  void DemandArgument(FunctionId callee, Reg param) {
+    auto demand_site = [&](InstrId site) {
+      const Instruction& call = module_.instr(site);
+      AddToSlice(site);
+      if (param < call.operands.size()) {
+        DemandReg(module_.location(site), call.operands[param]);
+      }
+    };
+    for (InstrId site : ticfg_.call_sites(callee)) {
+      demand_site(site);
+    }
+    for (InstrId site : ticfg_.spawn_sites(callee)) {
+      demand_site(site);
+    }
+  }
+
+  void AddAllStores() {
+    if (stores_added_) {
+      return;
+    }
+    stores_added_ = true;
+    for (FunctionId f = 0; f < module_.num_functions(); ++f) {
+      const Function& function = module_.function(f);
+      for (BlockId b = 0; b < function.num_blocks(); ++b) {
+        for (const Instruction& instr : function.block(b).instructions()) {
+          if (instr.op == Opcode::kStore) {
+            AddToSlice(instr.id);
+          }
+        }
+      }
+    }
+  }
+
+  const ControlDeps& ControlDepsFor(FunctionId function) {
+    auto it = control_deps_.find(function);
+    if (it == control_deps_.end()) {
+      it = control_deps_
+               .emplace(function,
+                        ControlDeps(ticfg_.cfg(function), ticfg_.post_dominators(function)))
+               .first;
+    }
+    return it->second;
+  }
+
+  const Ticfg& ticfg_;
+  const Module& module_;
+  bool conservative_aliases_;
+  bool stores_added_ = false;
+  StaticSlice slice_;
+  std::deque<InstrId> worklist_;
+  // Per function: (block, reg) demands already flooded, to break cycles.
+  std::map<FunctionId, std::set<std::pair<BlockId, Reg>>> demanded_;
+  std::map<FunctionId, ControlDeps> control_deps_;
+};
+
+}  // namespace
+
+StaticSlice ComputeBackwardSlice(const Ticfg& ticfg, InstrId failure) {
+  return SliceBuilder(ticfg, failure, /*conservative_aliases=*/false).Take();
+}
+
+StaticSlice ComputeBackwardSliceWithAliases(const Ticfg& ticfg, InstrId failure) {
+  return SliceBuilder(ticfg, failure, /*conservative_aliases=*/true).Take();
+}
+
+}  // namespace gist

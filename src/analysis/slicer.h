@@ -1,0 +1,45 @@
+// Interprocedural, path-insensitive, flow-sensitive backward slicer
+// (paper §3.1, Algorithm 1).
+//
+// Starting from the failing statement, the slicer demands the statement's
+// operands and walks the program backward:
+//
+//   * register demands are resolved flow-sensitively to reaching definitions
+//     (walking all predecessor paths — path-insensitive);
+//   * definitions join the slice; their own operands are demanded in turn;
+//   * call results chase into callee `ret` statements (getRetValues);
+//   * parameter demands chase into call/spawn-site arguments (getArgValues),
+//     following the TICFG across thread-creation edges;
+//   * each sliced statement's control dependences (computed from
+//     postdominator frontiers) join the slice, as do the call/spawn sites of
+//     its enclosing function (interprocedural control flow).
+//
+// Deliberately absent — exactly as in the paper: **no alias analysis**. A
+// load is a source whose address operand is demanded, but the stores that
+// may have produced the loaded value are not connected statically; Gist
+// discovers them at runtime with hardware watchpoints and adds them to the
+// slice during refinement (§3.2.3).
+
+#ifndef GIST_SRC_ANALYSIS_SLICER_H_
+#define GIST_SRC_ANALYSIS_SLICER_H_
+
+#include "src/analysis/slice.h"
+#include "src/cfg/ticfg.h"
+
+namespace gist {
+
+// Computes the static backward slice of `failure`. `ticfg` must be built over
+// the module containing `failure`.
+StaticSlice ComputeBackwardSlice(const Ticfg& ticfg, InstrId failure);
+
+// Ablation variant (paper §3.1's road not taken): slices WITH a conservative
+// may-alias assumption — every load may read any store in the module, so
+// sliced loads pull in all stores and their backward closures. The paper
+// rejects alias analysis because its imprecision ("over 50% inaccurate")
+// balloons the slice Gist must monitor; `bench/ablations` quantifies exactly
+// that blow-up against the alias-free slicer.
+StaticSlice ComputeBackwardSliceWithAliases(const Ticfg& ticfg, InstrId failure);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_ANALYSIS_SLICER_H_

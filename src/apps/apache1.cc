@@ -1,0 +1,105 @@
+// Apache httpd bug #45605: a race on the worker queue's bookkeeping.
+//
+// Modeled as the classic unprotected publish/verify pattern: each worker
+// thread writes its connection id into the shared queue slot and immediately
+// validates the slot (the original code asserted queue consistency). When two
+// workers interleave between the write and the check, the validation reads
+// the other worker's id and the consistency assert fires (WRW atomicity
+// violation).
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class Apache1App : public BugAppBase {
+ public:
+  Apache1App() {
+    info_ = BugInfo{"apache-1", "Apache httpd", "2.2.9", "45605",
+                    "Concurrency bug, assertion violation", 224533};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("queue_slot", 1, 0);
+    const FunctionId worker = BuildWorker(b);
+    BuildMain(b, worker);
+  }
+
+  FunctionId BuildWorker(IrBuilder& b) {
+    Function& f = b.StartFunction("ap_queue_push", 1);  // r0 = connection id
+
+    EmitInputScaledLoop(b, 3, 0, "accept");
+
+    b.Src(40, "queue->data[idx] = conn;");
+    const Reg slot = b.AddrOfGlobal(0);
+    slot_addr_ = b.last_instr_id();
+    b.Store(slot, 0);
+    publish_store_ = b.last_instr_id();
+
+    b.Src(41, "rv = queue->data[idx];");
+    const Reg check = b.Load(slot);
+    verify_load_ = b.last_instr_id();
+
+    b.Src(42, "AP_DEBUG_ASSERT(rv == conn);");
+    const Reg same = b.Eq(check, 0);
+    compare_ = b.last_instr_id();
+    b.Assert(same, "queue slot overwritten by concurrent push");
+    assert_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId worker) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "serve");
+
+    b.Src(20, "spawn worker threads;");
+    const Reg conn1 = b.Const(101);
+    conn1_const_ = b.last_instr_id();
+    const Reg t1 = b.ThreadCreate(worker, conn1);
+    spawn1_ = b.last_instr_id();
+    const Reg conn2 = b.Const(202);
+    conn2_const_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(worker, conn2);
+    spawn2_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Ret();
+
+    ideal_.instrs = {conn1_const_, spawn1_, conn2_const_, spawn2_, slot_addr_,
+                     publish_store_, verify_load_, compare_, assert_};
+    // Failing interleaving: T1 store, T2 store, T1 load.
+    ideal_.access_order = {publish_store_, verify_load_};
+    root_cause_ = {spawn1_, publish_store_, verify_load_};
+  }
+
+  InstrId conn1_const_ = kNoInstr;
+  InstrId conn2_const_ = kNoInstr;
+  InstrId compare_ = kNoInstr;
+  InstrId spawn1_ = kNoInstr;
+  InstrId spawn2_ = kNoInstr;
+  InstrId slot_addr_ = kNoInstr;
+  InstrId publish_store_ = kNoInstr;
+  InstrId verify_load_ = kNoInstr;
+  InstrId assert_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeApache1App() { return std::make_unique<Apache1App>(); }
+
+}  // namespace gist

@@ -1,0 +1,105 @@
+// Apache httpd bug #25520: per-child log buffer used before initialization.
+//
+// Modeled as an order violation: main spawns the logger child before the
+// shared buffer pointer is published. If the logger runs its first flush
+// before main's store, it dereferences NULL and crashes. The fix ordered the
+// initialization before the spawn.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class Apache2App : public BugAppBase {
+ public:
+  Apache2App() {
+    info_ = BugInfo{"apache-2", "Apache httpd", "2.0.48", "25520",
+                    "Concurrency bug, segmentation fault", 169747};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("buf_ptr", 1, 0);
+    const FunctionId logger = BuildLogger(b);
+    BuildMain(b, logger);
+  }
+
+  FunctionId BuildLogger(IrBuilder& b) {
+    Function& f = b.StartFunction("logger_flush", 1);
+
+    EmitInputScaledLoop(b, 2, 0, "collect");
+
+    b.Src(50, "buf = child->log_buf;");
+    const Reg ptr_addr = b.AddrOfGlobal(0);
+    ptr_addr_ = b.last_instr_id();
+    const Reg buf = b.Load(ptr_addr);
+    ptr_load_ = b.last_instr_id();
+
+    b.Src(51, "len = buf->len;");
+    const Reg len = b.Load(buf);
+    deref_ = b.last_instr_id();
+    b.Print(len);
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId logger) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "startup");
+
+    b.Src(60, "spawn(logger_flush, child);");
+    const Reg zero = b.Const(0);
+    const Reg tid = b.ThreadCreate(logger, zero);
+    spawn_ = b.last_instr_id();
+
+    // Child setup that should have happened before the spawn.
+    EmitInputScaledLoop(b, 2, 1, "child_init");
+    b.Src(62, "child->log_buf = alloc_buffer();");
+    const Reg one = b.Const(1);
+    const Reg buffer = b.Alloc(one);
+    alloc_ = b.last_instr_id();
+    const Reg sixteen = b.Const(16);
+    b.Store(buffer, sixteen);  // buf->len
+    const Reg ptr_addr = b.AddrOfGlobal(0);
+    b.Store(ptr_addr, buffer);
+    publish_store_ = b.last_instr_id();
+
+    b.ThreadJoin(tid);
+    b.Ret();
+
+    // In failing runs main's publishing store never executes (the logger
+    // crashes first), so it cannot appear in any sketch; the ideal sketch
+    // shows the premature spawn, the NULL-valued load, and the crash — which
+    // is exactly what tells the developer to move the initialization before
+    // the spawn.
+    ideal_.instrs = {spawn_, ptr_addr_, ptr_load_, deref_};
+    ideal_.access_order = {ptr_load_};
+    root_cause_ = {spawn_, ptr_load_, deref_};
+  }
+
+  InstrId spawn_ = kNoInstr;
+  InstrId alloc_ = kNoInstr;
+  InstrId publish_store_ = kNoInstr;
+  InstrId ptr_addr_ = kNoInstr;
+  InstrId ptr_load_ = kNoInstr;
+  InstrId deref_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeApache2App() { return std::make_unique<Apache2App>(); }
+
+}  // namespace gist

@@ -1,0 +1,157 @@
+// Apache httpd bug #21287 (paper Fig. 8): double free in mod_mem_cache.
+//
+// Two request-handler threads call decrement_refcount(obj) on the same cached
+// object. The decrement, the zero check, and the free are not atomic: when
+// the threads interleave inside that window, both observe refcnt == 0 and
+// both free the object. Developers fixed it by making the
+// decrement-check-free triplet atomic.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class Apache3App : public BugAppBase {
+ public:
+  Apache3App() {
+    info_ = BugInfo{"apache-3", "Apache httpd", "2.0.48", "21287",
+                    "Concurrency bug, double free", 169747};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    // inputs 0/1: per-handler request-parsing jitter; input 2: work scale.
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    const FunctionId handler = BuildHandler(b);
+    BuildMain(b, handler);
+  }
+
+  // decrement_refcount(object_t* obj), executed by each handler thread after
+  // request-parsing jitter controlled by its input.
+  FunctionId BuildHandler(IrBuilder& b) {
+    Function& f = b.StartFunction("decrement_refcount", 1);  // r0 = obj
+
+    // Request parsing before the cache interaction.
+    EmitInputScaledLoop(b, 4, 0, "parse");
+
+    // Object layout: slot 0 = refcnt, slot 1 = complete flag.
+    b.Src(30, "if (!obj->complete) {");
+    const Reg complete_addr = b.GepConst(0, 1);
+    const Reg complete = b.Load(complete_addr);
+    complete_load_ = b.last_instr_id();
+    const Reg not_complete = b.Not(complete);
+    BasicBlock& cleanup = b.NewBlock("cleanup");
+    BasicBlock& done = b.NewBlock("done");
+    b.Br(not_complete, cleanup.id(), done.id());
+    guard_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(cleanup);
+    b.Src(31, "object_t* mobj = ...;");
+    const Reg mobj = b.Move(0);
+    mobj_ = b.last_instr_id();
+    b.Src(32, "dec(&obj->refcnt);");
+    const Reg zero_off = b.Const(0);
+    refcnt_off_ = b.last_instr_id();
+    const Reg refcnt_addr = b.Gep(mobj, zero_off);
+    refcnt_gep_ = b.last_instr_id();
+    const Reg refcnt = b.Load(refcnt_addr);
+    dec_load_ = b.last_instr_id();
+    const Reg one = b.Const(1);
+    const Reg decremented = b.Sub(refcnt, one);
+    b.Store(refcnt_addr, decremented);
+    dec_store_ = b.last_instr_id();
+
+    b.Src(33, "if (!obj->refcnt) {");
+    const Reg check = b.Load(refcnt_addr);
+    check_load_ = b.last_instr_id();
+    const Reg is_zero = b.Not(check);
+    BasicBlock& do_free = b.NewBlock("do_free");
+    b.Br(is_zero, do_free.id(), done.id());
+    zero_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(do_free);
+    b.Src(34, "free(obj);");
+    b.Free(0);
+    free_ = b.last_instr_id();
+    b.Src(35, "}");
+    b.Jmp(done.id());
+
+    b.SetInsertBlock(done);
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId handler) {
+    b.StartFunction("main", 0);
+
+    // Server startup and unrelated request traffic.
+    EmitInputScaledLoop(b, 30, 2, "serve");
+
+    b.Src(10, "obj = cache_insert(...); obj->refcnt = 2;");
+    const Reg two = b.Const(2);
+    size_const_ = b.last_instr_id();
+    const Reg obj = b.Alloc(two);
+    alloc_ = b.last_instr_id();
+    b.Store(obj, two);  // refcnt = 2 (slot 0); complete stays 0 (slot 1)
+    init_store_ = b.last_instr_id();
+
+    b.Src(12, "spawn request handlers;");
+    const Reg t1 = b.ThreadCreate(handler, obj);
+    spawn1_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(handler, obj);
+    spawn2_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Src(15, "}");
+    b.Ret();
+
+    // Ideal sketch for the use-after-free manifestation: the object's
+    // origin, both handler spawns, and the racing dec/check statements. The
+    // refcnt initialization has a true data dependence but is unobservable
+    // (it precedes any watchpoint arming), so it keeps the sketch's
+    // relevance below 100% — like the paper's imperfect-relevance cases.
+    ideal_.instrs = {size_const_, alloc_,      init_store_, spawn1_,    spawn2_,
+                     mobj_,        refcnt_off_, refcnt_gep_, dec_load_,  dec_store_,
+                     check_load_};
+    // Failing interleaving: T1 dec (load+store), T2 dec, T1 check, T2 check.
+    ideal_.access_order = {dec_load_, dec_store_, check_load_};
+    // The developer's fix makes dec/check/free atomic; seeing the racing
+    // decrement store against the zero-check load is what reveals it. (The
+    // `free` cannot appear in sketches of the use-after-free manifestation,
+    // where the victim faults before anyone reaches free.)
+    root_cause_ = {alloc_, spawn1_, spawn2_, dec_store_, check_load_};
+  }
+
+  InstrId size_const_ = kNoInstr;
+  InstrId alloc_ = kNoInstr;
+  InstrId init_store_ = kNoInstr;
+  InstrId spawn1_ = kNoInstr;
+  InstrId spawn2_ = kNoInstr;
+  InstrId mobj_ = kNoInstr;
+  InstrId refcnt_off_ = kNoInstr;
+  InstrId refcnt_gep_ = kNoInstr;
+  InstrId complete_load_ = kNoInstr;
+  InstrId guard_branch_ = kNoInstr;
+  InstrId dec_load_ = kNoInstr;
+  InstrId dec_store_ = kNoInstr;
+  InstrId check_load_ = kNoInstr;
+  InstrId zero_branch_ = kNoInstr;
+  InstrId free_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeApache3App() { return std::make_unique<Apache3App>(); }
+
+}  // namespace gist

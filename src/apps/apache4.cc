@@ -1,0 +1,121 @@
+// Apache httpd bug #21285: mod_mem_cache state corrupted by a concurrent
+// writer (WRW atomicity violation).
+//
+// A handler marks the cache entry busy, prepares the response, and re-checks
+// the mark before serving. A concurrent garbage-collection thread overwrites
+// the state in that window, so the re-check sees the collector's value and
+// the handler trips its consistency assert.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class Apache4App : public BugAppBase {
+ public:
+  Apache4App() {
+    info_ = BugInfo{"apache-4", "Apache httpd", "2.0.46", "21285",
+                    "Concurrency bug, assertion violation", 168574};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("entry_state", 1, 0);
+    const FunctionId handler = BuildHandler(b);
+    const FunctionId collector = BuildCollector(b);
+    BuildMain(b, handler, collector);
+  }
+
+  FunctionId BuildHandler(IrBuilder& b) {
+    Function& f = b.StartFunction("cache_serve", 1);
+
+    EmitInputScaledLoop(b, 3, 0, "lookup");
+
+    b.Src(70, "entry->state = BUSY;");
+    const Reg state = b.AddrOfGlobal(0);
+    const Reg busy = b.Const(1);
+    b.Store(state, busy);
+    mark_store_ = b.last_instr_id();
+
+    b.Src(71, "prepare_response(entry);");
+    EmitBusyLoop(b, 3, "prepare");
+
+    b.Src(72, "rv = entry->state;");
+    const Reg state2 = b.AddrOfGlobal(0);
+    const Reg check = b.Load(state2);
+    check_load_ = b.last_instr_id();
+
+    b.Src(73, "AP_DEBUG_ASSERT(rv == BUSY);");
+    const Reg one = b.Const(1);
+    const Reg still_busy = b.Eq(check, one);
+    compare_ = b.last_instr_id();
+    b.Assert(still_busy, "cache entry state changed while busy");
+    assert_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  FunctionId BuildCollector(IrBuilder& b) {
+    Function& f = b.StartFunction("cache_gc", 1);
+
+    EmitInputScaledLoop(b, 3, 1, "scan");
+
+    b.Src(80, "entry->state = STALE;");
+    const Reg state = b.AddrOfGlobal(0);
+    const Reg stale = b.Const(2);
+    b.Store(state, stale);
+    gc_store_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId handler, FunctionId collector) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "serve");
+
+    b.Src(85, "spawn handler and gc;");
+    const Reg zero = b.Const(0);
+    const Reg t1 = b.ThreadCreate(handler, zero);
+    spawn_handler_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(collector, zero);
+    spawn_gc_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Ret();
+
+    // spawn_gc_ has no dependence path to the handler's assert, so Gist can
+    // never include it: a deliberate sub-100%% relevance case.
+    ideal_.instrs = {spawn_handler_, spawn_gc_, mark_store_, gc_store_,
+                     check_load_, compare_, assert_};
+    // Failing interleaving: handler marks, gc overwrites, handler re-checks.
+    ideal_.access_order = {mark_store_, gc_store_, check_load_};
+    root_cause_ = {spawn_handler_, gc_store_, check_load_};
+  }
+
+  InstrId compare_ = kNoInstr;
+  InstrId spawn_handler_ = kNoInstr;
+  InstrId spawn_gc_ = kNoInstr;
+  InstrId mark_store_ = kNoInstr;
+  InstrId gc_store_ = kNoInstr;
+  InstrId check_load_ = kNoInstr;
+  InstrId assert_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeApache4App() { return std::make_unique<Apache4App>(); }
+
+}  // namespace gist

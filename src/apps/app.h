@@ -1,0 +1,99 @@
+// Bug-reproduction apps: MiniIR models of the 11 real-world failures the
+// paper evaluates (Table 1). Each app reproduces the *structure* of its bug —
+// the same failure class, the same root-cause-to-failure pattern, the same
+// thread/data-flow shape — so that Gist's behaviour on it (slice shape,
+// refinement, predictors, recurrence counts) mirrors the paper's.
+//
+// Every app supplies:
+//   * the MiniIR module, annotated with pseudo C source lines so failure
+//     sketches render like the paper's figures;
+//   * a workload generator producing the mix of failing and successful
+//     production runs;
+//   * the hand-written ideal failure sketch (the §5.2 accuracy baseline);
+//   * the root-cause statements a developer needs to see to write the fix
+//     (the fleet's stopping criterion, playing the developer).
+
+#ifndef GIST_SRC_APPS_APP_H_
+#define GIST_SRC_APPS_APP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/accuracy.h"
+#include "src/ir/builder.h"
+#include "src/support/rng.h"
+#include "src/vm/workload.h"
+
+namespace gist {
+
+struct BugInfo {
+  std::string name;      // short id, e.g. "apache-3"
+  std::string software;  // e.g. "Apache httpd"
+  std::string version;   // version the original bug was reported against
+  std::string bug_id;    // id in the original bug database
+  std::string kind;      // e.g. "Concurrency bug, double free"
+  uint64_t original_loc = 0;  // size of the original software (paper Table 1)
+};
+
+class BugApp {
+ public:
+  virtual ~BugApp() = default;
+
+  virtual const BugInfo& info() const = 0;
+  virtual const Module& module() const = 0;
+
+  // The workload of production run `run_index`; must consume randomness only
+  // from `rng` so fleets are reproducible.
+  virtual Workload MakeWorkload(uint64_t run_index, Rng& rng) const = 0;
+
+  // Ground truth for §5.2 accuracy measurements.
+  virtual const IdealSketch& ideal_sketch() const = 0;
+
+  // Statements whose presence in the sketch lets a developer fix the bug.
+  virtual const std::vector<InstrId>& root_cause_instrs() const = 0;
+};
+
+// Common storage; concrete apps populate the fields in their constructor.
+class BugAppBase : public BugApp {
+ public:
+  const BugInfo& info() const override { return info_; }
+  const Module& module() const override { return *module_; }
+  const IdealSketch& ideal_sketch() const override { return ideal_; }
+  const std::vector<InstrId>& root_cause_instrs() const override { return root_cause_; }
+
+ protected:
+  BugInfo info_;
+  std::unique_ptr<Module> module_ = std::make_unique<Module>();
+  IdealSketch ideal_;
+  std::vector<InstrId> root_cause_;
+};
+
+// Convention: every app reads workload input #2 as a "work scale" that
+// multiplies the bulk, bug-unrelated work its main thread performs.
+// MakeWorkload() picks small scales for fast fleet simulation; the overhead
+// benches (Figs. 11/13) override inputs[kWorkScaleInput] with large values so
+// fixed tracing costs amortize as they do on real workloads.
+inline constexpr size_t kWorkScaleInput = 2;
+
+// Factory functions, one per reproduced bug.
+std::unique_ptr<BugApp> MakePbzip2App();
+std::unique_ptr<BugApp> MakeApache1App();
+std::unique_ptr<BugApp> MakeApache2App();
+std::unique_ptr<BugApp> MakeApache3App();
+std::unique_ptr<BugApp> MakeApache4App();
+std::unique_ptr<BugApp> MakeCppcheck1App();
+std::unique_ptr<BugApp> MakeCppcheck2App();
+std::unique_ptr<BugApp> MakeCurlApp();
+std::unique_ptr<BugApp> MakeTransmissionApp();
+std::unique_ptr<BugApp> MakeSqliteApp();
+std::unique_ptr<BugApp> MakeMemcachedApp();
+
+// All 11 apps in Table 1 order.
+std::vector<std::unique_ptr<BugApp>> MakeAllApps();
+// nullptr when `name` is unknown.
+std::unique_ptr<BugApp> MakeAppByName(const std::string& name);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_APPS_APP_H_

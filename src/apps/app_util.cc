@@ -1,0 +1,63 @@
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+void EmitLoopWithBound(IrBuilder& b, Reg bound, const std::string& label_prefix,
+                       GlobalId scratch = 0, bool memory_traffic = false) {
+  b.Src(0, "");  // loop scaffolding carries no pseudo-source line
+  BasicBlock& head = b.NewBlock(label_prefix + "_head");
+  BasicBlock& body = b.NewBlock(label_prefix + "_body");
+  BasicBlock& done = b.NewBlock(label_prefix + "_done");
+
+  const Reg i = b.Const(0);
+  const Reg one = b.Const(1);
+  const Reg seed = b.Const(0x9e37);
+  const Reg acc = b.Move(seed);
+  b.Jmp(head.id());
+
+  b.SetInsertBlock(head);
+  const Reg more = b.Lt(i, bound);
+  b.Br(more, body.id(), done.id());
+
+  b.SetInsertBlock(body);
+  // A little arithmetic so the loop is not empty.
+  b.AssignBinary(acc, BinOp::kXor, acc, i);
+  b.AssignBinary(acc, BinOp::kAdd, acc, seed);
+  b.AssignBinary(acc, BinOp::kShl, acc, one);
+  if (memory_traffic) {
+    const Reg scratch_addr = b.AddrOfGlobal(scratch);
+    const Reg loaded = b.Load(scratch_addr);
+    const Reg mixed = b.Add(loaded, i);
+    b.Store(scratch_addr, mixed);
+  }
+  b.AssignBinary(i, BinOp::kAdd, i, one);
+  b.Jmp(head.id());
+
+  b.SetInsertBlock(done);
+}
+
+}  // namespace
+
+void EmitBusyLoop(IrBuilder& b, int64_t iterations, const std::string& label_prefix) {
+  const Reg bound = b.Const(iterations);
+  EmitLoopWithBound(b, bound, label_prefix);
+}
+
+void EmitInputScaledLoop(IrBuilder& b, int64_t base, int64_t input_index,
+                         const std::string& label_prefix) {
+  const Reg base_reg = b.Const(base);
+  const Reg extra = b.Input(input_index);
+  const Reg bound = b.Add(base_reg, extra);
+  EmitLoopWithBound(b, bound, label_prefix);
+}
+
+void EmitInputScaledMemoryLoop(IrBuilder& b, GlobalId scratch, int64_t base,
+                               int64_t input_index, const std::string& label_prefix) {
+  const Reg base_reg = b.Const(base);
+  const Reg extra = b.Input(input_index);
+  const Reg bound = b.Add(base_reg, extra);
+  EmitLoopWithBound(b, bound, label_prefix, scratch, /*memory_traffic=*/true);
+}
+
+}  // namespace gist

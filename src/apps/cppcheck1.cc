@@ -1,0 +1,155 @@
+// Cppcheck bug #3238: a crash while simplifying a pathological token
+// sequence. Sequential and input-dependent; the interesting property from
+// the paper's Table 1 is its *huge static slice* (thousands of statements):
+// the faulting value flows through a long chain of token-simplification
+// passes, all of which the backward slicer must pull in.
+//
+// The model: main tokenizes the input and pushes the token through 24
+// simplify_NN passes; the final bounds check computes a negative token-list
+// index for one token residue class and dereferences below the token array —
+// a segfault.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+constexpr int kPassCount = 48;
+
+class Cppcheck1App : public BugAppBase {
+ public:
+  Cppcheck1App() {
+    info_ = BugInfo{"cppcheck-1", "Cppcheck", "1.52", "3238",
+                    "Sequential bug, segmentation fault", 86215};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    // Token values 0..129: residue 5 (mod 13) is the killer class (~8%).
+    workload.inputs = {static_cast<Word>(rng.NextBelow(130)), 0,
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("token_list", 8, 7);
+
+    // Deepest first: the bounds check that crashes.
+    const FunctionId bounds = BuildBoundsCheck(b);
+
+    // simplify_23 .. simplify_00, each feeding the next.
+    FunctionId next = bounds;
+    for (int pass = kPassCount - 1; pass >= 0; --pass) {
+      next = BuildSimplifyPass(b, pass, next);
+    }
+    BuildMain(b, next);
+  }
+
+  FunctionId BuildBoundsCheck(IrBuilder& b) {
+    Function& f = b.StartFunction("check_token_bounds", 1);
+
+    b.Src(200, "residue = tok->value % 13;");
+    const Reg thirteen = b.Const(13);
+    const Reg residue = b.Binary(BinOp::kRem, 0, thirteen);
+    const Reg five = b.Const(5);
+    const Reg is_killer = b.Eq(residue, five);
+    compare_ = b.last_instr_id();
+
+    b.Src(201, "if (residue == SIMPLIFY_TERNARY) idx = head - 20; else idx = 2;");
+    BasicBlock& bad = b.NewBlock("bad_index");
+    BasicBlock& good = b.NewBlock("good_index");
+    BasicBlock& merge = b.NewBlock("deref");
+    const Reg idx = b.DeclareReg();
+    b.Br(is_killer, bad.id(), good.id());
+    killer_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(bad);
+    b.AssignConst(idx, -20);
+    bad_index_ = b.last_instr_id();
+    b.Jmp(merge.id());
+
+    b.SetInsertBlock(good);
+    b.AssignConst(idx, 2);
+    b.Jmp(merge.id());
+
+    b.SetInsertBlock(merge);
+    b.Src(203, "tok = list->front[idx]; return tok->next;");
+    const Reg base = b.AddrOfGlobal(0);
+    base_addr_ = b.last_instr_id();
+    const Reg addr = b.Gep(base, idx);
+    index_gep_ = b.last_instr_id();
+    const Reg value = b.Load(addr);
+    deref_ = b.last_instr_id();
+    b.Ret(value);
+    return f.id();
+  }
+
+  FunctionId BuildSimplifyPass(IrBuilder& b, int pass, FunctionId next) {
+    Function& f = b.StartFunction(StrFormat("simplify_%02d", pass), 1);
+    b.Src(210 + static_cast<uint32_t>(pass), StrFormat("tok = simplify_%02d(tok);", pass));
+    // Token transformations that preserve the residue class mod 13 so the
+    // killer class survives the whole pipeline (add/mix multiples of 13).
+    const Reg k13 = b.Const(13);
+    const Reg factor = b.Const((pass % 3) + 1);
+    const Reg k = b.Mul(k13, factor);
+    if (pass == kPassCount - 1) {
+      last_pass_instrs_.push_back(b.last_instr_id());
+    }
+    const Reg shifted = b.Add(0, k);
+    if (pass == kPassCount - 1) {
+      last_pass_instrs_.push_back(b.last_instr_id());
+    }
+    const Reg result = b.Call(next, {shifted});
+    if (pass == kPassCount - 1) {
+      last_pass_instrs_.push_back(b.last_instr_id());
+    }
+    b.Ret(result);
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId first_pass) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "parse_files");
+
+    b.Src(230, "token = tokenize(argv[1]);");
+    const Reg token = b.Input(0);
+    token_input_ = b.last_instr_id();
+
+    b.Src(231, "simplifyTokenList(token);");
+    const Reg simplified = b.Call(first_pass, {token});
+    b.Print(simplified);
+    b.Ret();
+
+    // The ideal covers the bounds-check core (comparison, branch, killer
+    // index, address computation, dereference) plus the final simplify pass
+    // that fed it; the earlier passes the doubling window drags in are the
+    // paper's "excess prefix" and cost relevance.
+    ideal_.instrs = {compare_, killer_branch_, bad_index_, base_addr_, index_gep_, deref_};
+    ideal_.instrs.insert(ideal_.instrs.end(), last_pass_instrs_.begin(),
+                         last_pass_instrs_.end());
+    ideal_.access_order = {};
+    root_cause_ = {compare_, killer_branch_, bad_index_, index_gep_, deref_};
+  }
+
+  InstrId token_input_ = kNoInstr;
+  InstrId compare_ = kNoInstr;
+  InstrId base_addr_ = kNoInstr;
+  std::vector<InstrId> last_pass_instrs_;
+  InstrId killer_branch_ = kNoInstr;
+  InstrId bad_index_ = kNoInstr;
+  InstrId index_gep_ = kNoInstr;
+  InstrId deref_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeCppcheck1App() { return std::make_unique<Cppcheck1App>(); }
+
+}  // namespace gist

@@ -1,0 +1,137 @@
+// Cppcheck bug #2782: crash when a check runs without its configuration
+// loaded. Sequential: the XML rule file is only parsed when present, but the
+// rule check dereferences the configuration unconditionally — NULL pointer
+// crash for the (rules requested, config absent) input combination.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+constexpr int kCheckerCount = 8;
+
+class Cppcheck2App : public BugAppBase {
+ public:
+  Cppcheck2App() {
+    info_ = BugInfo{"cppcheck-2", "Cppcheck", "1.48", "2782",
+                    "Sequential bug, segmentation fault", 76009};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    // input 0: --rule-file given (40%); input 1: rule file parses (85%).
+    workload.inputs = {rng.NextChance(2, 5) ? 1 : 0, rng.NextChance(17, 20) ? 1 : 0,
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("rule_cfg", 1, 0);
+    const FunctionId rule_check = BuildRuleCheck(b);
+    FunctionId next = rule_check;
+    for (int i = kCheckerCount - 1; i >= 0; --i) {
+      next = BuildChecker(b, i, next);
+    }
+    BuildMain(b, next);
+  }
+
+  FunctionId BuildRuleCheck(IrBuilder& b) {
+    Function& f = b.StartFunction("check_rules", 1);  // r0 = want_rules
+
+    b.Src(300, "if (settings.rules) {");
+    BasicBlock& run = b.NewBlock("run_rules");
+    BasicBlock& done = b.NewBlock("no_rules");
+    b.Br(0, run.id(), done.id());
+    want_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(run);
+    b.Src(301, "pattern = cfg->pattern;  /* cfg may be NULL */");
+    const Reg cfg_addr = b.AddrOfGlobal(0);
+    cfg_addr_ = b.last_instr_id();
+    const Reg cfg = b.Load(cfg_addr);
+    cfg_load_ = b.last_instr_id();
+    const Reg pattern = b.Load(cfg);
+    deref_ = b.last_instr_id();
+    b.Ret(pattern);
+
+    b.SetInsertBlock(done);
+    const Reg zero = b.Const(0);
+    b.Ret(zero);
+    return f.id();
+  }
+
+  FunctionId BuildChecker(IrBuilder& b, int index, FunctionId next) {
+    Function& f = b.StartFunction(StrFormat("checker_%d", index), 1);
+    b.Src(310 + static_cast<uint32_t>(index), StrFormat("runChecks<check%d>(tokens);", index));
+    EmitBusyLoop(b, 2, "check_work");
+    const Reg result = b.Call(next, {0});
+    chain_calls_.push_back(b.last_instr_id());
+    b.Ret(result);
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId first_checker) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "tokenize");
+
+    b.Src(330, "want_rules = settings.rules;");
+    const Reg want_rules = b.Input(0);
+    want_input_ = b.last_instr_id();
+    b.Src(331, "have_cfg = parse_rule_file();");
+    const Reg have_cfg = b.Input(1);
+
+    b.Src(332, "if (have_cfg) cfg = load_config();");
+    BasicBlock& load_cfg = b.NewBlock("load_cfg");
+    BasicBlock& after = b.NewBlock("after_cfg");
+    b.Br(have_cfg, load_cfg.id(), after.id());
+    have_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(load_cfg);
+    const Reg one = b.Const(1);
+    const Reg cfg = b.Alloc(one);
+    const Reg pattern = b.Const(42);
+    b.Store(cfg, pattern);
+    const Reg cfg_addr = b.AddrOfGlobal(0);
+    b.Store(cfg_addr, cfg);
+    publish_store_ = b.last_instr_id();
+    b.Jmp(after.id());
+
+    b.SetInsertBlock(after);
+    b.Src(335, "runAllChecks();");
+    const Reg result = b.Call(first_checker, {want_rules});
+    run_call_ = b.last_instr_id();
+    b.Print(result);
+    b.Ret();
+
+    // Ideal: the rules branch, the NULL cfg load (top value predictor), the
+    // dereference; the want_rules input reaches the sketch through the
+    // argument chain the slicer follows.
+    ideal_.instrs = {want_input_, run_call_, want_branch_, cfg_addr_, cfg_load_, deref_};
+    ideal_.instrs.insert(ideal_.instrs.end(), chain_calls_.begin(), chain_calls_.end());
+    ideal_.access_order = {cfg_load_};
+    root_cause_ = ideal_.instrs;
+  }
+
+  InstrId want_input_ = kNoInstr;
+  InstrId run_call_ = kNoInstr;
+  std::vector<InstrId> chain_calls_;
+  InstrId want_branch_ = kNoInstr;
+  InstrId have_branch_ = kNoInstr;
+  InstrId publish_store_ = kNoInstr;
+  InstrId cfg_addr_ = kNoInstr;
+  InstrId cfg_load_ = kNoInstr;
+  InstrId deref_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeCppcheck2App() { return std::make_unique<Cppcheck2App>(); }
+
+}  // namespace gist

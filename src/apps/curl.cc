@@ -1,0 +1,136 @@
+// Curl bug #965 (paper Fig. 7): a URL "glob" with unbalanced braces makes the
+// glob parser produce an empty pattern list, so next_url() returns a NULL
+// current pointer whose strlen() crashes. Sequential, input-dependent.
+//
+// Workload inputs model the URL: input 0 is the brace balance of the URL
+// string (0 = balanced). The glob parser stores NULL into urls->current for
+// unbalanced input; operate()'s loop then calls next_url(), which measures
+// strlen(urls->current) — a NULL dereference. Developers fixed the bug by
+// rejecting unbalanced globs in the parser.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class CurlApp : public BugAppBase {
+ public:
+  CurlApp() {
+    info_ = BugInfo{"curl", "Curl", "7.21", "965", "Sequential bug, data-related", 81658};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    // ~12% of production invocations use a malformed glob ("{}{" and
+    // friends): brace balance != 0.
+    const bool malformed = rng.NextChance(1, 8);
+    workload.inputs = {malformed ? static_cast<Word>(1 + rng.NextBelow(3)) : 0,
+                       static_cast<Word>(rng.NextBelow(4)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("urls", 2, 0);  // slot 0: current, slot 1: count
+    const FunctionId glob_parse = BuildGlobParse(b);
+    const FunctionId next_url = BuildNextUrl(b);
+    BuildMain(b, glob_parse, next_url);
+  }
+
+  // glob_url(): parses the brace pattern; for balanced input it publishes a
+  // heap "string", for unbalanced input it leaves urls->current NULL.
+  FunctionId BuildGlobParse(IrBuilder& b) {
+    Function& f = b.StartFunction("glob_url", 1);  // r0 = brace balance
+
+    EmitBusyLoop(b, 4, "scan_pattern");
+
+    b.Src(90, "if (unbalanced(pattern)) return GLOB_ERROR;");
+    const Reg balanced = b.Not(0);
+    BasicBlock& ok = b.NewBlock("glob_ok");
+    BasicBlock& bad = b.NewBlock("glob_bad");
+    b.Br(balanced, ok.id(), bad.id());
+    balance_branch_ = b.last_instr_id();
+
+    b.SetInsertBlock(ok);
+    b.Src(92, "urls->current = strdup(pattern);");
+    const Reg one = b.Const(1);
+    const Reg pattern = b.Alloc(one);
+    const Reg len = b.Const(24);
+    b.Store(pattern, len);
+    const Reg urls = b.AddrOfGlobal(0);
+    b.Store(urls, pattern);
+    publish_store_ = b.last_instr_id();
+    b.Ret(one);
+
+    b.SetInsertBlock(bad);
+    b.Src(94, "return GLOB_ERROR;  /* urls->current stays NULL */");
+    const Reg zero = b.Const(0);
+    b.Ret(zero);
+    return f.id();
+  }
+
+  FunctionId BuildNextUrl(IrBuilder& b) {
+    Function& f = b.StartFunction("next_url", 0);
+
+    b.Src(100, "len = strlen(urls->current);");
+    const Reg urls = b.AddrOfGlobal(0);
+    urls_addr_ = b.last_instr_id();
+    const Reg current = b.Load(urls);
+    current_load_ = b.last_instr_id();
+    const Reg len = b.Load(current);  // strlen(NULL) when current == 0
+    strlen_deref_ = b.last_instr_id();
+    b.Ret(len);
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId glob_parse, FunctionId next_url) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledLoop(b, 30, 2, "setup");
+
+    b.Src(110, "url = argv[1];  /* \"{}{\" when malformed */");
+    const Reg balance = b.Input(0);
+    url_input_ = b.last_instr_id();
+
+    b.Src(111, "glob_url(url, &urls);");
+    const Reg rc = b.Call(glob_parse, {balance});
+    glob_call_ = b.last_instr_id();
+    b.Print(rc);
+
+    b.Src(112, "for(i = 0; (url = next_url(urls)); i++) {");
+    const Reg len = b.Call(next_url, {});
+    next_call_ = b.last_instr_id();
+    b.Print(len);
+    b.Ret();
+
+    // The ideal sketch is the data-flow chain a developer needs: the call
+    // into next_url, the load of urls->current (value 0 — the top value
+    // predictor, Fig. 7's dotted box), and the strlen dereference that
+    // crashes. The glob-parser branch that failed to publish the pattern has
+    // no data/control dependence to the failure (the static slice rightly
+    // excludes it); the NULL value predictor is what points back to it.
+    ideal_.instrs = {next_call_, urls_addr_, current_load_, strlen_deref_};
+    ideal_.access_order = {current_load_};
+    root_cause_ = {next_call_, urls_addr_, current_load_, strlen_deref_};
+  }
+
+  InstrId url_input_ = kNoInstr;
+  InstrId balance_branch_ = kNoInstr;
+  InstrId publish_store_ = kNoInstr;
+  InstrId glob_call_ = kNoInstr;
+  InstrId next_call_ = kNoInstr;
+  InstrId urls_addr_ = kNoInstr;
+  InstrId current_load_ = kNoInstr;
+  InstrId strlen_deref_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeCurlApp() { return std::make_unique<CurlApp>(); }
+
+}  // namespace gist

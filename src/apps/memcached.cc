@@ -1,0 +1,115 @@
+// Memcached bug #127: incr/decr are not atomic. Two clients increment the
+// same item; a stale read-modify-write loses one update, and the victim's
+// post-store readback sees the other client's value — the Fig. 6-style
+// RWR/WWR pattern on item->value, surfaced here by the consistency assert
+// that models the original test's failure.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class MemcachedApp : public BugAppBase {
+ public:
+  MemcachedApp() {
+    info_ = BugInfo{"memcached", "Memcached", "1.4.4", "127",
+                    "Concurrency bug, assertion violation", 8182};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("item_value", 1, 0);
+    scratch_ = module_->CreateGlobal("slab_memory", 1, 0);
+    const FunctionId incr = BuildIncr(b);
+    BuildMain(b, incr);
+  }
+
+  FunctionId BuildIncr(IrBuilder& b) {
+    Function& f = b.StartFunction("process_incr", 1);  // r0 = delta
+
+    EmitInputScaledLoop(b, 2, 0, "parse_cmd");
+
+    b.Src(600, "old = item->value;");
+    const Reg item = b.AddrOfGlobal(0);
+    item_addr_ = b.last_instr_id();
+    const Reg old_value = b.Load(item);
+    read_ = b.last_instr_id();
+
+    // The unsynchronized window between read and write.
+    EmitBusyLoop(b, 2, "format_value");
+
+    b.Src(602, "item->value = old + delta;");
+    const Reg updated = b.Add(old_value, 0);
+    add_ = b.last_instr_id();
+    b.Store(item, updated);
+    write_ = b.last_instr_id();
+
+    b.Src(603, "rv = item->value;");
+    const Reg readback = b.Load(item);
+    readback_ = b.last_instr_id();
+
+    b.Src(604, "assert(rv == old + delta);");
+    const Reg intact = b.Eq(readback, updated);
+    compare_ = b.last_instr_id();
+    b.Assert(intact, "item value modified concurrently");
+    assert_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId incr) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledMemoryLoop(b, scratch_, 30, 2, "serve_conns");
+
+    b.Src(610, "dispatch two incr commands;");
+    const Reg one = b.Const(1);
+    one_const_ = b.last_instr_id();
+    const Reg t1 = b.ThreadCreate(incr, one);
+    spawn1_ = b.last_instr_id();
+    const Reg ten = b.Const(10);
+    ten_const_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(incr, ten);
+    spawn2_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Ret();
+
+    ideal_.instrs = {one_const_, spawn1_, ten_const_, spawn2_, item_addr_,
+                     read_, add_, write_, readback_, compare_, assert_};
+    // Failing interleaving: victim writes, intruder writes, victim reads back.
+    ideal_.access_order = {write_, readback_};
+    root_cause_ = {spawn1_, read_, write_, readback_};
+  }
+
+  GlobalId scratch_ = 0;
+  InstrId item_addr_ = kNoInstr;
+  InstrId add_ = kNoInstr;
+  InstrId compare_ = kNoInstr;
+  InstrId one_const_ = kNoInstr;
+  InstrId ten_const_ = kNoInstr;
+  InstrId spawn1_ = kNoInstr;
+  InstrId spawn2_ = kNoInstr;
+  InstrId read_ = kNoInstr;
+  InstrId write_ = kNoInstr;
+  InstrId readback_ = kNoInstr;
+  InstrId assert_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeMemcachedApp() { return std::make_unique<MemcachedApp>(); }
+
+}  // namespace gist

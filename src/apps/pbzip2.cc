@@ -1,0 +1,122 @@
+// Pbzip2 bug #1 (paper Fig. 1): use-after-free / NULL-mutex unlock.
+//
+// main() tears the queue down while the consumer thread is still running:
+// it frees f->mut and nulls the pointer; the consumer then loads f->mut and
+// unlocks it. In failing schedules the consumer reads NULL (segfault) or a
+// dangling pointer (use-after-free). The developers' fix added
+// synchronization so cons() finishes before teardown — the failure sketch
+// must therefore show the store/load race across the two threads.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class Pbzip2App : public BugAppBase {
+ public:
+  Pbzip2App() {
+    info_ = BugInfo{"pbzip2",       "Pbzip2", "0.9.4", "N/A",
+                    "Concurrency bug, segmentation fault", 1492};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    // input 0: how long the consumer works before touching the mutex;
+    // input 1: how much compression work main does before teardown;
+    // input 2: workload scale (file size), inflated by the overhead benches.
+    // The consumer usually finishes before teardown; failures need the
+    // scheduler to starve it (rare, like the real four-month-old bug).
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(4 + rng.NextBelow(6)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    const FunctionId cons = BuildCons(b);
+    BuildMain(b, cons);
+  }
+
+  FunctionId BuildCons(IrBuilder& b) {
+    Function& f = b.StartFunction("cons", 1);  // r0 = queue* f
+
+    b.Src(20, "cons(queue* f) {");
+    EmitInputScaledLoop(b, 6, 0, "consume");  // consume queued blocks
+
+    b.Src(22, "mut = f->mut;");
+    const Reg mut = b.Load(0);
+    cons_load_ = b.last_instr_id();
+
+    b.Src(23, "mutex_unlock(f->mut);");
+    b.Unlock(mut);
+    unlock_ = b.last_instr_id();
+
+    b.Src(24, "}");
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId cons) {
+    b.StartFunction("main", 0);
+
+    // Read and block-split the input file (bulk of the program's work).
+    EmitInputScaledLoop(b, 30, 2, "readfile");
+
+    b.Src(1, "queue* f = init(size);");
+    const Reg two = b.Const(2);
+    const Reg f = b.Alloc(two);
+    alloc_f_ = b.last_instr_id();
+    const Reg one = b.Const(1);
+    const Reg mut = b.Alloc(one);
+    b.Src(2, "f->mut = mutex_init();");
+    b.Store(f, mut);
+
+    b.Src(3, "create_thread(cons, f);");
+    const Reg tid = b.ThreadCreate(cons, f);
+    spawn_ = b.last_instr_id();
+
+    // Main compresses a few more blocks before deciding to shut down.
+    EmitInputScaledLoop(b, 8, 1, "compress");
+
+    b.Src(6, "free(f->mut);");
+    const Reg stale = b.Load(f);
+    teardown_load_ = b.last_instr_id();
+    b.Free(stale);
+    free_ = b.last_instr_id();
+
+    b.Src(7, "f->mut = NULL;");
+    const Reg null_value = b.Const(0);
+    b.Store(f, null_value);
+    null_store_ = b.last_instr_id();
+
+    b.Src(8, "join(cons);");
+    b.ThreadJoin(tid);
+    b.Src(9, "}");
+    b.Ret();
+
+    // Ground truth (Fig. 1): init, create_thread, free, the NULL store, the
+    // consumer's load and unlock.
+    ideal_.instrs = {alloc_f_, spawn_, teardown_load_, free_, null_store_, cons_load_, unlock_};
+    ideal_.access_order = {teardown_load_, null_store_, cons_load_};
+    root_cause_ = {spawn_, null_store_, cons_load_, unlock_};
+  }
+
+  InstrId alloc_f_ = kNoInstr;
+  InstrId spawn_ = kNoInstr;
+  InstrId teardown_load_ = kNoInstr;
+  InstrId free_ = kNoInstr;
+  InstrId null_store_ = kNoInstr;
+  InstrId cons_load_ = kNoInstr;
+  InstrId unlock_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakePbzip2App() { return std::make_unique<Pbzip2App>(); }
+
+}  // namespace gist

@@ -1,0 +1,30 @@
+#include "src/apps/app.h"
+
+namespace gist {
+
+std::vector<std::unique_ptr<BugApp>> MakeAllApps() {
+  std::vector<std::unique_ptr<BugApp>> apps;
+  apps.push_back(MakeApache1App());
+  apps.push_back(MakeApache2App());
+  apps.push_back(MakeApache3App());
+  apps.push_back(MakeApache4App());
+  apps.push_back(MakeCppcheck1App());
+  apps.push_back(MakeCppcheck2App());
+  apps.push_back(MakeCurlApp());
+  apps.push_back(MakeTransmissionApp());
+  apps.push_back(MakeSqliteApp());
+  apps.push_back(MakeMemcachedApp());
+  apps.push_back(MakePbzip2App());
+  return apps;
+}
+
+std::unique_ptr<BugApp> MakeAppByName(const std::string& name) {
+  for (auto& app : MakeAllApps()) {
+    if (app->info().name == name) {
+      return std::move(app);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gist

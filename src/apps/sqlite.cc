@@ -1,0 +1,123 @@
+// SQLite bug #1672: two threads sharing a connection race on the page-cache
+// pointer — the owner publishes it and dereferences it shortly after, while
+// the other thread's error path clears it in between (a WWR atomicity
+// violation ending in a NULL dereference).
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class SqliteApp : public BugAppBase {
+ public:
+  SqliteApp() {
+    info_ = BugInfo{"sqlite", "SQLite", "3.3.3", "1672",
+                    "Concurrency bug, segmentation fault", 47150};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("pcache", 1, 0);
+    scratch_ = module_->CreateGlobal("page_buffer", 1, 0);
+    const FunctionId owner = BuildOwner(b);
+    const FunctionId breaker = BuildBreaker(b);
+    BuildMain(b, owner, breaker);
+  }
+
+  FunctionId BuildOwner(IrBuilder& b) {
+    Function& f = b.StartFunction("sqlite3_step", 1);
+
+    EmitInputScaledLoop(b, 2, 0, "prepare");
+
+    b.Src(500, "db->pcache = pager_open();");
+    const Reg one = b.Const(1);
+    const Reg cache = b.Alloc(one);
+    alloc_ = b.last_instr_id();
+    const Reg pages = b.Const(64);
+    b.Store(cache, pages);
+    const Reg slot = b.AddrOfGlobal(0);
+    b.Store(slot, cache);
+    publish_store_ = b.last_instr_id();
+
+    b.Src(502, "... run vdbe program ...");
+    EmitBusyLoop(b, 2, "vdbe");
+
+    b.Src(503, "n = db->pcache->nPage;");
+    const Reg slot2 = b.AddrOfGlobal(0);
+    reload_addr_ = b.last_instr_id();
+    const Reg current = b.Load(slot2);
+    reload_ = b.last_instr_id();
+    const Reg n = b.Load(current);
+    deref_ = b.last_instr_id();
+    b.Print(n);
+    b.Ret();
+    return f.id();
+  }
+
+  FunctionId BuildBreaker(IrBuilder& b) {
+    Function& f = b.StartFunction("sqlite3_close", 1);
+
+    EmitInputScaledLoop(b, 3, 1, "teardown");
+
+    b.Src(510, "db->pcache = 0;  /* error path clears shared cache */");
+    const Reg slot = b.AddrOfGlobal(0);
+    const Reg zero = b.Const(0);
+    b.Store(slot, zero);
+    clear_store_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId owner, FunctionId breaker) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledMemoryLoop(b, scratch_, 30, 2, "open_db");
+
+    b.Src(520, "spawn both users of the shared connection;");
+    const Reg zero = b.Const(0);
+    const Reg t1 = b.ThreadCreate(owner, zero);
+    spawn_owner_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(breaker, zero);
+    spawn_breaker_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Ret();
+
+    // spawn_breaker_ has no dependence path to the owner's dereference; it
+    // can never enter a Gist sketch and models the paper's sub-100%%
+    // relevance cases.
+    ideal_.instrs = {spawn_owner_, spawn_breaker_, publish_store_, clear_store_,
+                     reload_addr_, reload_, deref_};
+    // Failing interleaving: owner publishes, closer clears, owner reloads.
+    ideal_.access_order = {publish_store_, clear_store_, reload_};
+    root_cause_ = {spawn_owner_, publish_store_, clear_store_, reload_};
+  }
+
+  GlobalId scratch_ = 0;
+  InstrId reload_addr_ = kNoInstr;
+  InstrId spawn_owner_ = kNoInstr;
+  InstrId spawn_breaker_ = kNoInstr;
+  InstrId alloc_ = kNoInstr;
+  InstrId publish_store_ = kNoInstr;
+  InstrId clear_store_ = kNoInstr;
+  InstrId reload_ = kNoInstr;
+  InstrId deref_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeSqliteApp() { return std::make_unique<SqliteApp>(); }
+
+}  // namespace gist

@@ -1,0 +1,120 @@
+// Transmission bug #1818: the bandwidth accounting goes negative when two
+// peers allocate/release concurrently — a lost update on the shared counter.
+// The consistency assert in the release path fires on the corrupted value.
+
+#include "src/apps/app.h"
+#include "src/apps/app_util.h"
+
+namespace gist {
+namespace {
+
+class TransmissionApp : public BugAppBase {
+ public:
+  TransmissionApp() {
+    info_ = BugInfo{"transmission", "Transmission", "1.42", "1818",
+                    "Concurrency bug, assertion violation", 59977};
+    Build();
+  }
+
+  Workload MakeWorkload(uint64_t /*run_index*/, Rng& rng) const override {
+    Workload workload;
+    workload.schedule_seed = rng.NextU64();
+    workload.inputs = {static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(rng.NextBelow(3)),
+                       static_cast<Word>(20 + rng.NextBelow(30))};
+    return workload;
+  }
+
+ private:
+  void Build() {
+    IrBuilder b(*module_);
+    module_->CreateGlobal("bandwidth", 1, 0);
+    scratch_ = module_->CreateGlobal("piece_buffer", 1, 0);
+    const FunctionId peer = BuildPeer(b);
+    BuildMain(b, peer);
+  }
+
+  FunctionId BuildPeer(IrBuilder& b) {
+    Function& f = b.StartFunction("tr_peerIoBandwidth", 1);  // r0 = bytes
+
+    EmitInputScaledLoop(b, 2, 0, "transfer");
+
+    b.Src(400, "band->bytesLeft += bytes;");
+    const Reg band = b.AddrOfGlobal(0);
+    const Reg before = b.Load(band);
+    alloc_load_ = b.last_instr_id();
+    const Reg raised = b.Add(before, 0);
+    b.Store(band, raised);
+    alloc_store_ = b.last_instr_id();
+
+    // The transfer happens here; the release should be atomic with the
+    // allocation but is not.
+    EmitBusyLoop(b, 2, "piece_io");
+
+    b.Src(403, "band->bytesLeft -= bytes;");
+    const Reg current = b.Load(band);
+    release_load_ = b.last_instr_id();
+    const Reg lowered = b.Sub(current, 0);
+    b.Store(band, lowered);
+    release_store_ = b.last_instr_id();
+
+    b.Src(405, "assert(band->bytesLeft >= 0);");
+    const Reg check = b.Load(band);
+    check_load_ = b.last_instr_id();
+    const Reg zero = b.Const(0);
+    zero_const_ = b.last_instr_id();
+    const Reg non_negative = b.Ge(check, zero);
+    compare_ = b.last_instr_id();
+    b.Assert(non_negative, "bandwidth accounting went negative");
+    assert_ = b.last_instr_id();
+    b.Ret();
+    return f.id();
+  }
+
+  void BuildMain(IrBuilder& b, FunctionId peer) {
+    b.StartFunction("main", 0);
+
+    EmitInputScaledMemoryLoop(b, scratch_, 30, 2, "session");
+
+    b.Src(410, "spawn peer IO threads;");
+    const Reg bytes1 = b.Const(5);
+    bytes1_const_ = b.last_instr_id();
+    const Reg t1 = b.ThreadCreate(peer, bytes1);
+    spawn1_ = b.last_instr_id();
+    const Reg bytes2 = b.Const(7);
+    bytes2_const_ = b.last_instr_id();
+    const Reg t2 = b.ThreadCreate(peer, bytes2);
+    spawn2_ = b.last_instr_id();
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.Ret();
+
+    ideal_.instrs = {bytes1_const_, spawn1_,        bytes2_const_, spawn2_,
+                     alloc_load_,   alloc_store_,   release_load_, release_store_,
+                     check_load_,   zero_const_,    compare_,      assert_};
+    // In every failing schedule the victim's consistency check reads after
+    // some release store drove the counter negative.
+    ideal_.access_order = {release_store_, check_load_};
+    root_cause_ = {spawn1_, alloc_store_, release_store_, check_load_};
+  }
+
+  GlobalId scratch_ = 0;
+  InstrId bytes1_const_ = kNoInstr;
+  InstrId bytes2_const_ = kNoInstr;
+  InstrId zero_const_ = kNoInstr;
+  InstrId compare_ = kNoInstr;
+  InstrId spawn1_ = kNoInstr;
+  InstrId spawn2_ = kNoInstr;
+  InstrId alloc_load_ = kNoInstr;
+  InstrId alloc_store_ = kNoInstr;
+  InstrId release_load_ = kNoInstr;
+  InstrId release_store_ = kNoInstr;
+  InstrId check_load_ = kNoInstr;
+  InstrId assert_ = kNoInstr;
+};
+
+}  // namespace
+
+std::unique_ptr<BugApp> MakeTransmissionApp() { return std::make_unique<TransmissionApp>(); }
+
+}  // namespace gist

@@ -1,0 +1,59 @@
+#include "src/cfg/cfg.h"
+
+#include <algorithm>
+
+namespace gist {
+
+Cfg::Cfg(const Function& function) : function_(&function) {
+  const size_t n = function.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+  reachable_.assign(n, false);
+
+  for (BlockId b = 0; b < n; ++b) {
+    const Instruction& term = function.block(b).terminator();
+    switch (term.op) {
+      case Opcode::kBr:
+        succs_[b].push_back(term.target0);
+        if (term.target1 != term.target0) {
+          succs_[b].push_back(term.target1);
+        }
+        break;
+      case Opcode::kJmp:
+        succs_[b].push_back(term.target0);
+        break;
+      case Opcode::kRet:
+        exits_.push_back(b);
+        break;
+      default:
+        GIST_UNREACHABLE("non-terminator at block end");
+    }
+    for (BlockId succ : succs_[b]) {
+      preds_[succ].push_back(b);
+    }
+  }
+
+  // Iterative DFS from the entry producing postorder, then reverse it.
+  std::vector<BlockId> postorder;
+  postorder.reserve(n);
+  std::vector<uint32_t> next_child(n, 0);
+  std::vector<BlockId> stack;
+  stack.push_back(0);
+  reachable_[0] = true;
+  while (!stack.empty()) {
+    const BlockId block = stack.back();
+    if (next_child[block] < succs_[block].size()) {
+      const BlockId succ = succs_[block][next_child[block]++];
+      if (!reachable_[succ]) {
+        reachable_[succ] = true;
+        stack.push_back(succ);
+      }
+    } else {
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+}
+
+}  // namespace gist

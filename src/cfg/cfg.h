@@ -1,0 +1,51 @@
+// Intraprocedural control-flow graph over a function's basic blocks.
+
+#ifndef GIST_SRC_CFG_CFG_H_
+#define GIST_SRC_CFG_CFG_H_
+
+#include <vector>
+
+#include "src/ir/function.h"
+
+namespace gist {
+
+class Cfg {
+ public:
+  explicit Cfg(const Function& function);
+
+  const Function& function() const { return *function_; }
+  size_t num_blocks() const { return succs_.size(); }
+
+  const std::vector<BlockId>& succs(BlockId block) const {
+    GIST_CHECK_LT(block, succs_.size());
+    return succs_[block];
+  }
+  const std::vector<BlockId>& preds(BlockId block) const {
+    GIST_CHECK_LT(block, preds_.size());
+    return preds_[block];
+  }
+
+  // Blocks whose terminator is `ret` (the function's exit blocks).
+  const std::vector<BlockId>& exit_blocks() const { return exits_; }
+
+  // Blocks reachable from the entry, in reverse postorder. Unreachable blocks
+  // are excluded (and are ignored by the dominance analyses).
+  const std::vector<BlockId>& reverse_postorder() const { return rpo_; }
+
+  bool IsReachable(BlockId block) const {
+    GIST_CHECK_LT(block, reachable_.size());
+    return reachable_[block];
+  }
+
+ private:
+  const Function* function_;
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<BlockId> exits_;
+  std::vector<BlockId> rpo_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CFG_CFG_H_

@@ -1,0 +1,149 @@
+#include "src/cfg/dominators.h"
+
+#include <algorithm>
+
+namespace gist {
+namespace {
+
+// Generic graph view so the same fixpoint runs forward (dominators) and
+// reverse (postdominators with a virtual exit).
+struct GraphView {
+  BlockId root;
+  size_t num_nodes;
+  std::vector<std::vector<BlockId>> preds;   // predecessors in the walked direction
+  std::vector<BlockId> rpo;                  // reverse postorder from root
+};
+
+GraphView ForwardView(const Cfg& cfg) {
+  GraphView view;
+  view.root = 0;
+  view.num_nodes = cfg.num_blocks();
+  view.preds.resize(view.num_nodes);
+  for (BlockId b = 0; b < view.num_nodes; ++b) {
+    view.preds[b] = cfg.preds(b);
+  }
+  view.rpo = cfg.reverse_postorder();
+  return view;
+}
+
+GraphView ReverseView(const Cfg& cfg) {
+  GraphView view;
+  const size_t n = cfg.num_blocks();
+  view.num_nodes = n + 1;  // + virtual exit
+  const BlockId virtual_exit = static_cast<BlockId>(n);
+  view.root = virtual_exit;
+  view.preds.resize(view.num_nodes);
+
+  // In the reversed graph, predecessors are the CFG successors; the virtual
+  // exit's predecessors are the `ret` blocks.
+  std::vector<std::vector<BlockId>> rsuccs(view.num_nodes);
+  for (BlockId b = 0; b < n; ++b) {
+    for (BlockId s : cfg.succs(b)) {
+      view.preds[b].push_back(s);
+      rsuccs[s].push_back(b);
+    }
+  }
+  for (BlockId exit : cfg.exit_blocks()) {
+    view.preds[exit].push_back(virtual_exit);
+    rsuccs[virtual_exit].push_back(exit);
+  }
+
+  // DFS from the virtual exit over reversed edges to get reverse postorder.
+  std::vector<bool> seen(view.num_nodes, false);
+  std::vector<uint32_t> next_child(view.num_nodes, 0);
+  std::vector<BlockId> stack;
+  std::vector<BlockId> postorder;
+  stack.push_back(virtual_exit);
+  seen[virtual_exit] = true;
+  while (!stack.empty()) {
+    const BlockId node = stack.back();
+    if (next_child[node] < rsuccs[node].size()) {
+      const BlockId succ = rsuccs[node][next_child[node]++];
+      if (!seen[succ]) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    } else {
+      postorder.push_back(node);
+      stack.pop_back();
+    }
+  }
+  view.rpo.assign(postorder.rbegin(), postorder.rend());
+  return view;
+}
+
+std::vector<BlockId> ComputeIdoms(const GraphView& view) {
+  // Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm".
+  std::vector<uint32_t> rpo_index(view.num_nodes, UINT32_MAX);
+  for (uint32_t i = 0; i < view.rpo.size(); ++i) {
+    rpo_index[view.rpo[i]] = i;
+  }
+
+  std::vector<BlockId> idom(view.num_nodes, kNoBlock);
+  idom[view.root] = view.root;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) {
+        a = idom[a];
+      }
+      while (rpo_index[b] > rpo_index[a]) {
+        b = idom[b];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId node : view.rpo) {
+      if (node == view.root) {
+        continue;
+      }
+      BlockId new_idom = kNoBlock;
+      for (BlockId pred : view.preds[node]) {
+        if (idom[pred] == kNoBlock) {
+          continue;  // pred not yet processed or unreachable
+        }
+        new_idom = (new_idom == kNoBlock) ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != kNoBlock && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+}  // namespace
+
+DominatorTree DominatorTree::ComputeDominators(const Cfg& cfg) {
+  return DominatorTree(ComputeIdoms(ForwardView(cfg)), /*is_postdom=*/false);
+}
+
+DominatorTree DominatorTree::ComputePostDominators(const Cfg& cfg) {
+  return DominatorTree(ComputeIdoms(ReverseView(cfg)), /*is_postdom=*/true);
+}
+
+bool DominatorTree::Dominates(BlockId a, BlockId b) const {
+  GIST_CHECK_LT(a, idom_.size());
+  GIST_CHECK_LT(b, idom_.size());
+  if (idom_[b] == kNoBlock || idom_[a] == kNoBlock) {
+    return false;  // involving unreachable nodes
+  }
+  BlockId node = b;
+  for (;;) {
+    if (node == a) {
+      return true;
+    }
+    const BlockId up = idom_[node];
+    if (up == node) {
+      return false;  // reached the root
+    }
+    node = up;
+  }
+}
+
+}  // namespace gist

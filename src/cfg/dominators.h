@@ -1,0 +1,56 @@
+// Dominator and postdominator trees (Cooper–Harvey–Kennedy iterative scheme).
+//
+// The postdominator tree is computed on the reverse CFG with a virtual exit
+// node that all `ret` blocks feed into; its id is `virtual_exit()`. Gist uses
+// dominance for the control-flow-tracking start/stop optimization (paper
+// Fig. 4a: strict dominators elide redundant trace starts; immediate
+// postdominators mark where tracing stops) and for watchpoint placement
+// (Fig. 4b: after the access's immediate dominator).
+
+#ifndef GIST_SRC_CFG_DOMINATORS_H_
+#define GIST_SRC_CFG_DOMINATORS_H_
+
+#include <vector>
+
+#include "src/cfg/cfg.h"
+
+namespace gist {
+
+class DominatorTree {
+ public:
+  static DominatorTree ComputeDominators(const Cfg& cfg);
+  static DominatorTree ComputePostDominators(const Cfg& cfg);
+
+  // Immediate (post)dominator; the root maps to itself. Returns kNoBlock for
+  // blocks that cannot reach / be reached from the root (unreachable code).
+  BlockId idom(BlockId block) const {
+    GIST_CHECK_LT(block, idom_.size());
+    return idom_[block];
+  }
+
+  // Reflexive dominance: a (post)dominates b.
+  bool Dominates(BlockId a, BlockId b) const;
+  bool StrictlyDominates(BlockId a, BlockId b) const { return a != b && Dominates(a, b); }
+
+  bool is_postdom() const { return is_postdom_; }
+
+  // Valid only for postdominator trees: the virtual exit's node id, equal to
+  // the function's block count.
+  BlockId virtual_exit() const {
+    GIST_CHECK(is_postdom_);
+    return static_cast<BlockId>(idom_.size() - 1);
+  }
+
+  size_t num_nodes() const { return idom_.size(); }
+
+ private:
+  DominatorTree(std::vector<BlockId> idom, bool is_postdom)
+      : idom_(std::move(idom)), is_postdom_(is_postdom) {}
+
+  std::vector<BlockId> idom_;
+  bool is_postdom_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CFG_DOMINATORS_H_

@@ -1,0 +1,90 @@
+#include "src/cfg/ticfg.h"
+
+namespace gist {
+
+Ticfg::Ticfg(const Module& module) : module_(&module) {
+  const size_t num_functions = module.num_functions();
+  function_base_.resize(num_functions);
+  call_sites_.resize(num_functions);
+  spawn_sites_.resize(num_functions);
+  return_instrs_.resize(num_functions);
+
+  uint32_t base = 0;
+  for (FunctionId f = 0; f < num_functions; ++f) {
+    function_base_[f] = base;
+    const uint32_t blocks = static_cast<uint32_t>(module.function(f).num_blocks());
+    for (uint32_t b = 0; b < blocks; ++b) {
+      node_owner_.push_back(f);
+    }
+    base += blocks;
+  }
+  succs_.resize(node_owner_.size());
+  preds_.resize(node_owner_.size());
+
+  auto add_edge = [&](uint32_t from, uint32_t to, TicfgEdgeKind kind) {
+    succs_[from].push_back(TicfgEdge{to, kind});
+    preds_[to].push_back(TicfgEdge{from, kind});
+  };
+
+  // Per-function CFGs, dominators, and intraprocedural edges.
+  for (FunctionId f = 0; f < num_functions; ++f) {
+    cfgs_.push_back(std::make_unique<Cfg>(module.function(f)));
+    doms_.push_back(std::make_unique<DominatorTree>(DominatorTree::ComputeDominators(*cfgs_[f])));
+    pdoms_.push_back(
+        std::make_unique<DominatorTree>(DominatorTree::ComputePostDominators(*cfgs_[f])));
+    for (BlockId b = 0; b < cfgs_[f]->num_blocks(); ++b) {
+      for (BlockId s : cfgs_[f]->succs(b)) {
+        add_edge(NodeId(f, b), NodeId(f, s), TicfgEdgeKind::kIntra);
+      }
+    }
+  }
+
+  // Interprocedural and thread edges.
+  for (FunctionId f = 0; f < num_functions; ++f) {
+    const Function& function = module.function(f);
+    for (BlockId b = 0; b < function.num_blocks(); ++b) {
+      for (const Instruction& instr : function.block(b).instructions()) {
+        switch (instr.op) {
+          case Opcode::kCall: {
+            call_sites_[instr.callee].push_back(instr.id);
+            add_edge(NodeId(f, b), NodeId(instr.callee, 0), TicfgEdgeKind::kCall);
+            for (BlockId exit : cfgs_[instr.callee]->exit_blocks()) {
+              add_edge(NodeId(instr.callee, exit), NodeId(f, b), TicfgEdgeKind::kReturn);
+            }
+            break;
+          }
+          case Opcode::kThreadCreate: {
+            spawn_sites_[instr.callee].push_back(instr.id);
+            add_edge(NodeId(f, b), NodeId(instr.callee, 0), TicfgEdgeKind::kSpawn);
+            break;
+          }
+          case Opcode::kRet:
+            return_instrs_[f].push_back(instr.id);
+            break;
+          case Opcode::kThreadJoin:
+            join_sites_.push_back(instr.id);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // Join edges: statically any spawned routine's exit may release any join
+  // site (overapproximation, paper §3.1). Connect exits of every function
+  // that is used as a thread start routine to every join block.
+  for (FunctionId f = 0; f < num_functions; ++f) {
+    if (spawn_sites_[f].empty()) {
+      continue;
+    }
+    for (InstrId join : join_sites_) {
+      const InstrLocation& loc = module.location(join);
+      for (BlockId exit : cfgs_[f]->exit_blocks()) {
+        add_edge(NodeId(f, exit), NodeId(loc.function, loc.block), TicfgEdgeKind::kJoin);
+      }
+    }
+  }
+}
+
+}  // namespace gist

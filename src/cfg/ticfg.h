@@ -1,0 +1,104 @@
+// Thread Interprocedural Control Flow Graph (TICFG), paper §3.1/§4.
+//
+// Connects every function's CFG with call/return edges (ICFG) and augments it
+// with thread-creation and join edges: a spawn site is akin to a call site of
+// the thread start routine, and every exit of a spawned routine may flow to
+// any join site. The result overapproximates all dynamic control flow, which
+// is what the backward slicer and the instrumentation planner need.
+//
+// Ticfg also owns the per-function Cfg and (post)dominator trees, serving as
+// the shared static-analysis context for a module.
+
+#ifndef GIST_SRC_CFG_TICFG_H_
+#define GIST_SRC_CFG_TICFG_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cfg/cfg.h"
+#include "src/cfg/dominators.h"
+#include "src/ir/module.h"
+
+namespace gist {
+
+enum class TicfgEdgeKind : uint8_t {
+  kIntra,   // ordinary CFG successor
+  kCall,    // call site block -> callee entry block
+  kReturn,  // callee exit block -> call site block
+  kSpawn,   // spawn site block -> thread routine entry block
+  kJoin,    // thread routine exit block -> join site block
+};
+
+struct TicfgEdge {
+  uint32_t to;
+  TicfgEdgeKind kind;
+};
+
+class Ticfg {
+ public:
+  explicit Ticfg(const Module& module);
+
+  const Module& module() const { return *module_; }
+
+  // --- node numbering ------------------------------------------------------
+  size_t num_nodes() const { return node_owner_.size(); }
+  uint32_t NodeId(FunctionId function, BlockId block) const {
+    GIST_CHECK_LT(function, function_base_.size());
+    return function_base_[function] + block;
+  }
+  FunctionId node_function(uint32_t node) const {
+    GIST_CHECK_LT(node, node_owner_.size());
+    return node_owner_[node];
+  }
+  BlockId node_block(uint32_t node) const {
+    return node - function_base_[node_owner_[node]];
+  }
+
+  const std::vector<TicfgEdge>& succs(uint32_t node) const {
+    GIST_CHECK_LT(node, succs_.size());
+    return succs_[node];
+  }
+  const std::vector<TicfgEdge>& preds(uint32_t node) const {
+    GIST_CHECK_LT(node, preds_.size());
+    return preds_[node];
+  }
+
+  // --- call-graph indexes (used by the slicer, Algorithm 1) ----------------
+  // Call instructions (kCall) whose callee is `function`.
+  const std::vector<InstrId>& call_sites(FunctionId function) const {
+    return call_sites_[function];
+  }
+  // Spawn instructions (kThreadCreate) whose start routine is `function`.
+  const std::vector<InstrId>& spawn_sites(FunctionId function) const {
+    return spawn_sites_[function];
+  }
+  // `ret` instructions inside `function`.
+  const std::vector<InstrId>& return_instrs(FunctionId function) const {
+    return return_instrs_[function];
+  }
+  // All `join` instructions in the module.
+  const std::vector<InstrId>& join_sites() const { return join_sites_; }
+
+  // --- per-function analyses ------------------------------------------------
+  const Cfg& cfg(FunctionId function) const { return *cfgs_[function]; }
+  const DominatorTree& dominators(FunctionId function) const { return *doms_[function]; }
+  const DominatorTree& post_dominators(FunctionId function) const { return *pdoms_[function]; }
+
+ private:
+  const Module* module_;
+  std::vector<uint32_t> function_base_;
+  std::vector<FunctionId> node_owner_;
+  std::vector<std::vector<TicfgEdge>> succs_;
+  std::vector<std::vector<TicfgEdge>> preds_;
+  std::vector<std::vector<InstrId>> call_sites_;
+  std::vector<std::vector<InstrId>> spawn_sites_;
+  std::vector<std::vector<InstrId>> return_instrs_;
+  std::vector<InstrId> join_sites_;
+  std::vector<std::unique_ptr<Cfg>> cfgs_;
+  std::vector<std::unique_ptr<DominatorTree>> doms_;
+  std::vector<std::unique_ptr<DominatorTree>> pdoms_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CFG_TICFG_H_

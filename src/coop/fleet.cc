@@ -1,0 +1,177 @@
+#include "src/coop/fleet.h"
+
+#include <algorithm>
+
+#include "src/coop/privacy.h"
+#include "src/coop/wire.h"
+
+#include "src/support/logging.h"
+
+namespace gist {
+
+Fleet::Fleet(const Module& module, WorkloadGenerator generator, FleetOptions options)
+    : module_(module),
+      generator_(std::move(generator)),
+      options_(std::move(options)),
+      server_(module, options_.gist) {}
+
+InstrumentationPlan Fleet::PlanForClient(uint64_t client_index) const {
+  const InstrumentationPlan& plan = server_.plan();
+  const uint32_t slots = options_.gist.watchpoint_slots;
+  if (plan.watch_instrs.size() <= slots) {
+    return plan;
+  }
+  // Cooperative rotation: this client watches a contiguous window of
+  // kNumWatchpointSlots accesses, offset by its index, so the fleet covers
+  // the full set collectively (§3.2.3).
+  std::vector<InstrId> all(plan.watch_instrs.begin(), plan.watch_instrs.end());
+  std::sort(all.begin(), all.end());
+  std::unordered_set<InstrId> mine;
+  for (uint32_t k = 0; k < slots; ++k) {
+    mine.insert(all[(client_index * slots + k) % all.size()]);
+  }
+  InstrumentationPlan restricted = plan;
+  restricted.watch_instrs = mine;
+  auto filter = [&](std::map<InstrId, std::vector<WatchArmSite>>& sites) {
+    for (auto it = sites.begin(); it != sites.end();) {
+      auto& list = it->second;
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const WatchArmSite& site) {
+                                  return mine.count(site.target_access) == 0;
+                                }),
+                 list.end());
+      it = list.empty() ? sites.erase(it) : std::next(it);
+    }
+  };
+  filter(restricted.arm_after);
+  filter(restricted.arm_before);
+  return restricted;
+}
+
+FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
+  FleetResult result;
+  Rng rng(options_.fleet_seed);
+
+  // --- Phase 1: wait for the first failure in unmonitored production -------
+  uint64_t run_index = 0;
+  for (uint32_t i = 0; i < options_.max_first_failure_runs; ++i) {
+    const Workload workload = generator_(run_index++, rng);
+    VmOptions vm_options;
+    vm_options.num_cores = options_.gist.num_cores;
+    vm_options.max_steps = options_.max_steps_per_run;
+    Vm vm(module_, workload, vm_options);
+    const RunResult run = vm.Run();
+    if (!run.ok() && run.failure.failing_instr != kNoInstr) {
+      result.first_failure_found = true;
+      result.first_failure = run.failure;
+      break;
+    }
+  }
+  if (!result.first_failure_found) {
+    GIST_LOG(kWarning) << "fleet: no failure observed in production budget";
+    return result;
+  }
+  server_.ReportFailure(result.first_failure);
+
+  // --- Phase 2: AsT iterations ---------------------------------------------
+  double overhead_sum = 0.0;
+  uint64_t overhead_samples = 0;
+  const CostModel cost_model;
+
+  for (uint32_t iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    FleetIterationStats stats;
+    stats.iteration = iteration;
+    stats.sigma = server_.sigma();
+    const uint32_t recurrences_at_start = server_.failure_recurrences();
+
+    for (uint32_t i = 0; i < options_.runs_per_iteration; ++i) {
+      const Workload workload = generator_(run_index++, rng);
+      const InstrumentationPlan client_plan = PlanForClient(i);
+      MonitoredRun run = RunMonitored(module_, client_plan, workload, options_.gist,
+                                      run_index, options_.max_steps_per_run);
+      // Simulated production pacing + the run itself.
+      result.sim_seconds += options_.mean_run_spacing_seconds * rng.NextDouble() * 2.0;
+      result.sim_seconds +=
+          static_cast<double>(run.trace.baseline_instructions) / (options_.clock_ghz * 1e9);
+      if (run.trace.baseline_instructions > 0) {
+        overhead_sum += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
+                                                  run.trace.activity);
+        ++overhead_samples;
+      }
+      if (run.result.ok()) {
+        ++stats.successful_runs;
+      } else {
+        ++stats.failing_runs;
+      }
+      const uint32_t recurrences_before = server_.failure_recurrences();
+      // The trace travels from client to server over the wire format,
+      // exactly as a deployed fleet would ship it — anonymized first when
+      // the deployment demands it.
+      if (options_.anonymize_traces) {
+        AnonymizeRunTrace(&run.trace);
+      }
+      Result<RunTrace> shipped = DeserializeRunTrace(SerializeRunTrace(run.trace));
+      GIST_CHECK(shipped.ok()) << shipped.error().message();
+      server_.AddTrace(std::move(*shipped));
+
+      // A new recurrence of the target failure arrived: rebuild the sketch
+      // and let the "developer" judge it. This is what Table 1 counts — the
+      // number of failure recurrences consumed until the sketch is good.
+      if (server_.failure_recurrences() > recurrences_before) {
+        Result<FailureSketch> sketch = server_.BuildSketch();
+        if (sketch.ok()) {
+          result.sketch = *sketch;
+          if (root_cause_check(*sketch)) {
+            stats.root_cause_found = true;
+            break;
+          }
+        }
+      }
+
+      // Enough data at this σ: grow the window rather than re-observing.
+      const uint32_t iteration_matching =
+          server_.failure_recurrences() - recurrences_at_start;
+      if (iteration_matching >= options_.min_matching_failures &&
+          stats.successful_runs >= options_.min_successful_runs) {
+        break;
+      }
+    }
+
+    stats.avg_overhead_percent =
+        overhead_samples == 0 ? 0.0 : overhead_sum / static_cast<double>(overhead_samples);
+    const bool saw_new_recurrence = server_.failure_recurrences() > recurrences_at_start;
+    result.failure_recurrences = server_.failure_recurrences();
+    result.iterations.push_back(stats);
+
+    if (stats.root_cause_found) {
+      result.root_cause_found = true;
+      break;
+    }
+    if (!saw_new_recurrence) {
+      // The target failure did not recur within this iteration's budget:
+      // growing the window without new data cannot help. Keep monitoring at
+      // the same σ (the iteration still counts against max_iterations).
+      continue;
+    }
+    if (server_.ExhaustedSlice()) {
+      break;  // the window already covers the whole slice
+    }
+    server_.AdvanceAst();
+  }
+
+  // Keep the last sketch even when no iteration satisfied the developer.
+  if (!result.root_cause_found && server_.failure_recurrences() > 0) {
+    Result<FailureSketch> sketch = server_.BuildSketch();
+    if (sketch.ok()) {
+      result.sketch = *sketch;
+    }
+  }
+
+  result.failure_recurrences = server_.failure_recurrences();
+  result.avg_overhead_percent =
+      overhead_samples == 0 ? 0.0 : overhead_sum / static_cast<double>(overhead_samples);
+  result.sigma_final = server_.sigma();
+  return result;
+}
+
+}  // namespace gist

@@ -1,0 +1,109 @@
+// Cooperative fleet simulation (paper §3, Fig. 2: "multiple instances of the
+// same software execute in a data center or in multiple users' machines").
+//
+// The fleet drives the full Gist loop for one bug:
+//   1. production runs execute uninstrumented until the target failure first
+//      manifests; its report seeds the server (static slice, initial plan);
+//   2. each AsT iteration ships the current instrumentation to the clients,
+//      collects run traces (failing and successful), and builds a sketch;
+//   3. a developer-supplied root-cause check decides whether to stop or to
+//      double σ and keep monitoring.
+//
+// When the monitored slice needs more watchpoints than the 4 available, the
+// fleet rotates watch subsets across clients (the cooperative strategy of
+// §3.2.3) so all addresses are covered collectively.
+//
+// Latency accounting mirrors Table 1: the simulated wall-clock to the final
+// sketch is dominated by waiting for failure recurrences; runs are spaced by
+// a configurable production pacing.
+
+#ifndef GIST_SRC_COOP_FLEET_H_
+#define GIST_SRC_COOP_FLEET_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/gist.h"
+#include "src/support/rng.h"
+
+namespace gist {
+
+// Produces the workload of production run `run_index` (deterministic per
+// fleet seed: the generator derives everything from `rng`).
+using WorkloadGenerator = std::function<Workload(uint64_t run_index, Rng& rng)>;
+
+// Developer stand-in: does this sketch expose the root cause?
+using RootCauseCheck = std::function<bool(const FailureSketch&)>;
+
+struct FleetOptions {
+  GistOptions gist;
+  // Hard cap of monitored production runs per AsT iteration. An iteration
+  // normally ends much earlier: as soon as it has gathered
+  // `min_matching_failures` new recurrences of the target failure and
+  // `min_successful_runs` successful runs — once the sketch still lacks the
+  // root cause with that data, more runs at the same σ add nothing and the
+  // window must grow instead. This early exit is what keeps the paper's
+  // recurrence counts in the 2–5 range; the cap only matters when the
+  // failure is very rare ("the once every 24 hours bugs").
+  uint32_t runs_per_iteration = 400;
+  uint32_t max_iterations = 10;
+  uint32_t min_matching_failures = 1;
+  uint32_t min_successful_runs = 8;
+  // Scrub data values and failure messages from shipped traces (paper §6's
+  // privacy discussion; see src/coop/privacy.h for exactly what survives).
+  bool anonymize_traces = false;
+  uint32_t max_first_failure_runs = 2000;  // budget to catch the first failure
+  uint64_t fleet_seed = 1;
+  double clock_ghz = 2.4;                 // converts instruction counts to time
+  double mean_run_spacing_seconds = 2.0;  // production pacing between runs
+  uint64_t max_steps_per_run = 2'000'000;
+};
+
+struct FleetIterationStats {
+  uint32_t iteration = 0;
+  uint32_t sigma = 0;
+  uint32_t failing_runs = 0;
+  uint32_t successful_runs = 0;
+  double avg_overhead_percent = 0.0;
+  bool root_cause_found = false;
+};
+
+struct FleetResult {
+  bool first_failure_found = false;
+  bool root_cause_found = false;
+  FailureReport first_failure;
+  FailureSketch sketch;
+  std::vector<FleetIterationStats> iterations;
+  // Failing-run recurrences (after the initial report) consumed until the
+  // final sketch — Table 1's "# failure recurrences".
+  uint32_t failure_recurrences = 0;
+  // Simulated wall-clock from first failure to final sketch — Table 1's
+  // "<time>".
+  double sim_seconds = 0.0;
+  // Mean client-side overhead across all monitored runs (§5.3).
+  double avg_overhead_percent = 0.0;
+  uint32_t sigma_final = 0;
+};
+
+class Fleet {
+ public:
+  Fleet(const Module& module, WorkloadGenerator generator, FleetOptions options);
+
+  // Runs the full loop; `root_cause_check` plays the developer.
+  FleetResult Run(const RootCauseCheck& root_cause_check);
+
+  const GistServer& server() const { return server_; }
+
+ private:
+  // Restricts `plan` to the client's rotating share of watchpoints.
+  InstrumentationPlan PlanForClient(uint64_t client_index) const;
+
+  const Module& module_;
+  WorkloadGenerator generator_;
+  FleetOptions options_;
+  GistServer server_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_COOP_FLEET_H_

@@ -1,0 +1,21 @@
+#include "src/coop/privacy.h"
+
+#include "src/support/str.h"
+
+namespace gist {
+
+AnonymizationStats AnonymizeRunTrace(RunTrace* trace) {
+  AnonymizationStats stats;
+  for (WatchEvent& event : trace->watch_events) {
+    if (event.value != 0) {
+      ++stats.values_scrubbed;
+    }
+    event.value = 0;
+  }
+  stats.message_bytes_scrubbed = trace->failure.message.size();
+  // Keep a value-free description so humans can still read server logs.
+  trace->failure.message = StrFormat("[anonymized] %s", FailureTypeName(trace->failure.type));
+  return stats;
+}
+
+}  // namespace gist

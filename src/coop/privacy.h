@@ -1,0 +1,33 @@
+// Privacy filtering for shipped traces (paper §6: "We plan to investigate
+// ways to quantify and anonymize the amount of information Gist ships from
+// production runs at user endpoints to Gist's server").
+//
+// The sensitive payload in a run trace is the *data values* the watchpoints
+// captured (user data) and the free-text failure message (may embed values).
+// Anonymization zeroes both while preserving everything the concurrency
+// diagnosis needs: which statements ran (PT), which statements touched the
+// shared variable, in what inter-thread order, and whether each access was a
+// read or a write. The cost is value predictors: an anonymized fleet cannot
+// distinguish "urls->current == 0" from any other value, so input-dependent
+// sequential bugs lose their sharpest predictor — `bench/ablations` section E
+// quantifies exactly that trade-off.
+
+#ifndef GIST_SRC_COOP_PRIVACY_H_
+#define GIST_SRC_COOP_PRIVACY_H_
+
+#include "src/core/run_trace.h"
+
+namespace gist {
+
+struct AnonymizationStats {
+  size_t values_scrubbed = 0;
+  size_t message_bytes_scrubbed = 0;
+};
+
+// Scrubs data values and the failure message in place. Control flow, access
+// order, read/write kinds, addresses, and all counters are preserved.
+AnonymizationStats AnonymizeRunTrace(RunTrace* trace);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_COOP_PRIVACY_H_

@@ -1,0 +1,33 @@
+// Wire format for shipping run traces from production clients to the Gist
+// server (paper Fig. 2, arrow ④: clients in a data center or at user
+// endpoints send their PT buffers and watchpoint logs to the developer site).
+//
+// The format is a little-endian, length-prefixed binary encoding with a magic
+// and a version so a server can reject foreign or stale clients. All lengths
+// are validated on decode; truncated or corrupt payloads produce errors, not
+// crashes — the server must survive hostile or damaged uploads.
+
+#ifndef GIST_SRC_COOP_WIRE_H_
+#define GIST_SRC_COOP_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/run_trace.h"
+#include "src/support/result.h"
+
+namespace gist {
+
+inline constexpr uint32_t kWireMagic = 0x47535431;  // "GST1"
+inline constexpr uint32_t kWireVersion = 1;
+
+// Serializes `trace` into a self-contained byte buffer.
+std::vector<uint8_t> SerializeRunTrace(const RunTrace& trace);
+
+// Parses a buffer produced by SerializeRunTrace. Errors on bad magic,
+// version mismatch, truncation, or length-field corruption.
+Result<RunTrace> DeserializeRunTrace(const std::vector<uint8_t>& bytes);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_COOP_WIRE_H_

@@ -1,0 +1,89 @@
+#include "src/core/accuracy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gist {
+
+uint64_t KendallTauDistance(const std::vector<InstrId>& a, const std::vector<InstrId>& b) {
+  // Restrict both orders to their common elements (first occurrence).
+  std::map<InstrId, size_t> pos_a;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pos_a.emplace(a[i], i);
+  }
+  std::vector<InstrId> common;
+  std::set<InstrId> seen;
+  for (InstrId id : b) {
+    if (pos_a.count(id) != 0 && seen.insert(id).second) {
+      common.push_back(id);
+    }
+  }
+  uint64_t discordant = 0;
+  for (size_t i = 0; i < common.size(); ++i) {
+    for (size_t j = i + 1; j < common.size(); ++j) {
+      // (i, j) ordered by b; discordant if a disagrees.
+      if (pos_a.at(common[i]) > pos_a.at(common[j])) {
+        ++discordant;
+      }
+    }
+  }
+  return discordant;
+}
+
+AccuracyResult MeasureAccuracy(const Module& module, const FailureSketch& sketch,
+                               const IdealSketch& ideal) {
+  return MeasureAccuracyRaw(sketch.InstrSet(), sketch.SharedAccessOrder(module), ideal);
+}
+
+AccuracyResult MeasureAccuracyRaw(const std::vector<InstrId>& instrs,
+                                  const std::vector<InstrId>& access_order,
+                                  const IdealSketch& ideal) {
+  AccuracyResult result;
+
+  const std::vector<InstrId>& sketch_instrs = instrs;
+  const std::set<InstrId> sketch_set(sketch_instrs.begin(), sketch_instrs.end());
+  const std::set<InstrId> ideal_set(ideal.instrs.begin(), ideal.instrs.end());
+  result.sketch_instrs = sketch_set.size();
+  result.ideal_instrs = ideal_set.size();
+
+  size_t intersection = 0;
+  for (InstrId id : sketch_set) {
+    if (ideal_set.count(id) != 0) {
+      ++intersection;
+    }
+  }
+  const size_t union_size = sketch_set.size() + ideal_set.size() - intersection;
+  result.relevance = union_size == 0 ? 100.0 : 100.0 * intersection / union_size;
+
+  // Ordering over the common shared-access statements. Both sketches always
+  // share at least the failing instruction (paper §5.2), so when fewer than
+  // two common accesses exist there are zero pairs and ordering is perfect.
+  const std::vector<InstrId>& sketch_order = access_order;
+  std::vector<InstrId> common_sketch_order;
+  std::set<InstrId> dedupe;
+  for (InstrId id : sketch_order) {
+    if (ideal_set.count(id) != 0 && dedupe.insert(id).second) {
+      common_sketch_order.push_back(id);
+    }
+  }
+  const uint64_t tau = KendallTauDistance(ideal.access_order, common_sketch_order);
+  uint64_t pairs = 0;
+  {
+    // #pairs among elements common to both access orders.
+    std::set<InstrId> ideal_accesses(ideal.access_order.begin(), ideal.access_order.end());
+    uint64_t common = 0;
+    for (InstrId id : common_sketch_order) {
+      if (ideal_accesses.count(id) != 0) {
+        ++common;
+      }
+    }
+    pairs = common < 2 ? 0 : common * (common - 1) / 2;
+  }
+  result.ordering = pairs == 0 ? 100.0 : 100.0 * (1.0 - static_cast<double>(tau) / pairs);
+
+  result.overall = (result.relevance + result.ordering) / 2.0;
+  return result;
+}
+
+}  // namespace gist

@@ -1,0 +1,51 @@
+// Failure-sketch accuracy metrics (paper §5.2).
+//
+//   relevance AR = 100 · |Φ_G ∩ Φ_I| / |Φ_G ∪ Φ_I|   over instruction sets
+//   ordering  AO = 100 · (1 − τ(Φ_G, Φ_I) / #common-pairs)
+// where τ is the (unnormalized) Kendall tau distance between the orders of
+// the shared-memory-access statements both sketches contain, and the overall
+// accuracy A = (AR + AO) / 2.
+
+#ifndef GIST_SRC_CORE_ACCURACY_H_
+#define GIST_SRC_CORE_ACCURACY_H_
+
+#include <vector>
+
+#include "src/core/sketch.h"
+
+namespace gist {
+
+// The hand-written ground truth a bug's developer fix implies (one per app).
+struct IdealSketch {
+  // Statements (instruction ids) of the ideal failure sketch.
+  std::vector<InstrId> instrs;
+  // Expected order of the shared-memory accesses among `instrs` in the
+  // failing schedule (subset of instrs, in failing-execution order).
+  std::vector<InstrId> access_order;
+};
+
+// Number of discordant pairs between two orderings of (a subset of) common
+// elements. Elements missing from either list are ignored.
+uint64_t KendallTauDistance(const std::vector<InstrId>& a, const std::vector<InstrId>& b);
+
+struct AccuracyResult {
+  double relevance = 0.0;  // AR, percent
+  double ordering = 0.0;   // AO, percent
+  double overall = 0.0;    // (AR + AO) / 2
+  size_t sketch_instrs = 0;
+  size_t ideal_instrs = 0;
+};
+
+AccuracyResult MeasureAccuracy(const Module& module, const FailureSketch& sketch,
+                               const IdealSketch& ideal);
+
+// Vector-based core used by MeasureAccuracy and by the stage-limited
+// pipeline variants of the Fig. 10 breakdown: `instrs` is the candidate
+// sketch's statement set, `access_order` its shared-memory-access order.
+AccuracyResult MeasureAccuracyRaw(const std::vector<InstrId>& instrs,
+                                  const std::vector<InstrId>& access_order,
+                                  const IdealSketch& ideal);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_ACCURACY_H_

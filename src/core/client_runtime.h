@@ -1,0 +1,65 @@
+// Gist's client-side runtime (paper Fig. 2, "Gist-client").
+//
+// An ExecutionObserver that executes an InstrumentationPlan against one
+// production run: it toggles the (simulated) Intel PT driver at the plan's
+// start blocks and stop instructions, arms hardware watchpoints when tracked
+// accesses first execute, and packages everything into a RunTrace for the
+// server.
+
+#ifndef GIST_SRC_CORE_CLIENT_RUNTIME_H_
+#define GIST_SRC_CORE_CLIENT_RUNTIME_H_
+
+#include <memory>
+
+#include "src/core/instrumentation.h"
+#include "src/core/run_trace.h"
+#include "src/hw/watchpoints.h"
+#include "src/pt/tracer.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+
+class ClientRuntime : public ExecutionObserver, public InstrumentationHook {
+ public:
+  ClientRuntime(const Module& module, const InstrumentationPlan& plan, uint32_t num_cores,
+                size_t pt_buffer_bytes = kDefaultPtBufferBytes,
+                uint32_t watchpoint_slots = kNumWatchpointSlots);
+
+  // Collects the run's traces; call after the VM run completes. `run_id`
+  // tags the trace; the run result supplies the outcome.
+  RunTrace TakeTrace(uint64_t run_id, const RunResult& result);
+
+  // --- ExecutionObserver ----------------------------------------------------
+  void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next, FunctionId next_function,
+                       BlockId next_block, uint32_t next_index) override;
+  void OnBlockEnter(ThreadId tid, CoreId core, FunctionId function, BlockId block) override;
+  void OnBranch(ThreadId tid, CoreId core, InstrId instr, bool taken) override;
+  void OnMemAccess(const MemAccessEvent& event) override;
+  void OnReturn(ThreadId tid, CoreId core, InstrId instr, FunctionId to_function,
+                BlockId to_block, uint32_t to_index) override;
+  void OnInstrRetired(ThreadId tid, CoreId core, InstrId instr) override;
+
+  // --- InstrumentationHook (watchpoint arming with register access) --------
+  void BeforeInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) override;
+  void AfterInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) override;
+
+  const PtTracer& tracer() const { return tracer_; }
+  const WatchpointUnit& watchpoints() const { return watchpoints_; }
+  // Accesses that hit the 4-watchpoint budget limit and could not be armed;
+  // the cooperative fleet rotates these across other runs (§3.2.3).
+  const std::vector<InstrId>& unarmed_accesses() const { return unarmed_; }
+
+ private:
+  void ArmSites(const std::vector<WatchArmSite>& sites, const std::vector<Word>& regs);
+
+  const Module& module_;
+  const InstrumentationPlan& plan_;
+  PtTracer tracer_;
+  WatchpointUnit watchpoints_;
+  PerfCounter perf_;
+  std::vector<InstrId> unarmed_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_CLIENT_RUNTIME_H_

@@ -1,0 +1,89 @@
+#include "src/core/gist.h"
+
+#include <algorithm>
+
+namespace gist {
+
+GistServer::GistServer(const Module& module, GistOptions options)
+    : module_(module), options_(std::move(options)), ticfg_(module) {}
+
+void GistServer::ReportFailure(const FailureReport& report) {
+  GIST_CHECK_NE(report.failing_instr, kNoInstr) << "failure report lacks a failing statement";
+  has_target_ = true;
+  target_hash_ = report.MatchHash();
+  slice_ = ComputeBackwardSlice(ticfg_, report.failing_instr);
+  ast_ = std::make_unique<AstController>(slice_, options_.initial_sigma, options_.ast_growth);
+  traces_.clear();
+  discovered_.clear();
+  failure_recurrences_ = 0;
+  Replan();
+}
+
+void GistServer::Replan() {
+  std::vector<InstrId> window = ast_->Window();
+  for (InstrId id : discovered_) {
+    if (std::find(window.begin(), window.end(), id) == window.end()) {
+      window.push_back(id);
+    }
+  }
+  plan_ = PlanInstrumentation(ticfg_, window);
+}
+
+void GistServer::AddTrace(RunTrace trace) {
+  GIST_CHECK(has_target_);
+  if (trace.failed) {
+    if (trace.failure.MatchHash() != target_hash_) {
+      return;  // a different bug; not our target
+    }
+    ++failure_recurrences_;
+  }
+
+  // Data-flow refinement: watchpoint-caught statements outside the static
+  // slice are added to it (the alias-analysis replacement, §3.2.3). Future
+  // plans give them PT coverage and watchpoints of their own.
+  bool grew = false;
+  for (const WatchEvent& event : trace.watch_events) {
+    if (!slice_.Contains(event.instr) &&
+        std::find(discovered_.begin(), discovered_.end(), event.instr) == discovered_.end()) {
+      discovered_.push_back(event.instr);
+      grew = true;
+    }
+  }
+  traces_.push_back(std::move(trace));
+  if (grew) {
+    Replan();
+  }
+}
+
+Result<FailureSketch> GistServer::BuildSketch() const {
+  GIST_CHECK(has_target_);
+  SketchOptions sketch_options;
+  sketch_options.beta = options_.beta;
+  sketch_options.title = options_.title;
+  sketch_options.discovered = &discovered_;
+  return BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
+}
+
+void GistServer::AdvanceAst() {
+  GIST_CHECK(has_target_);
+  ast_->Advance();
+  Replan();
+}
+
+MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
+                          const Workload& workload, const GistOptions& options, uint64_t run_id,
+                          uint64_t max_steps) {
+  ClientRuntime runtime(module, plan, options.num_cores, options.pt_buffer_bytes,
+                        options.watchpoint_slots);
+  VmOptions vm_options;
+  vm_options.num_cores = options.num_cores;
+  vm_options.max_steps = max_steps;
+  vm_options.observers = {&runtime};
+  vm_options.hook = &runtime;
+  Vm vm(module, workload, vm_options);
+  MonitoredRun run{vm.Run(), RunTrace{}};
+  run.trace = runtime.TakeTrace(run_id, run.result);
+  return run;
+}
+
+}  // namespace gist

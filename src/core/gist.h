@@ -1,0 +1,129 @@
+// Public facade of the Gist failure-sketching engine (paper Fig. 2).
+//
+// Server side (offline, "developer site"):
+//   GistServer server(module, options);
+//   server.ReportFailure(report);            // ① failure report
+//   const InstrumentationPlan& plan = server.plan();   // ② instrumentation
+//   ... clients run with the plan and produce RunTraces ...
+//   server.AddTrace(std::move(trace));       // ④ runtime traces
+//   Result<FailureSketch> sketch = server.BuildSketch();   // ⑤ sketch
+//   if (!sketch_has_root_cause) server.AdvanceAst();       // ③ refinement
+//
+// Client side (production run):
+//   MonitoredRun run = RunMonitored(module, server.plan(), workload, opts);
+
+#ifndef GIST_SRC_CORE_GIST_H_
+#define GIST_SRC_CORE_GIST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/slicer.h"
+#include "src/core/ast_controller.h"
+#include "src/core/client_runtime.h"
+#include "src/core/instrumentation.h"
+#include "src/core/renderer.h"
+#include "src/core/sketch.h"
+
+namespace gist {
+
+struct GistOptions {
+  uint32_t initial_sigma = kDefaultInitialSigma;
+  AstGrowth ast_growth = AstGrowth::kMultiplicative;
+  double beta = kDefaultBeta;
+  uint32_t num_cores = 4;
+  size_t pt_buffer_bytes = kDefaultPtBufferBytes;
+  // Hardware watchpoint slots per client (x86 has 4; the ablation bench
+  // sweeps this).
+  uint32_t watchpoint_slots = kNumWatchpointSlots;
+  std::string title = "failure";
+};
+
+class GistServer {
+ public:
+  explicit GistServer(const Module& module, GistOptions options = {});
+
+  const Module& module() const { return module_; }
+  const Ticfg& ticfg() const { return ticfg_; }
+
+  // Registers the target failure: computes the static backward slice from the
+  // failing statement and the initial instrumentation plan.
+  void ReportFailure(const FailureReport& report);
+  bool HasTarget() const { return has_target_; }
+
+  const StaticSlice& slice() const {
+    GIST_CHECK(has_target_);
+    return slice_;
+  }
+  const InstrumentationPlan& plan() const {
+    GIST_CHECK(has_target_);
+    return plan_;
+  }
+  uint32_t sigma() const {
+    GIST_CHECK(has_target_);
+    return ast_->sigma();
+  }
+  uint32_t ast_iteration() const {
+    GIST_CHECK(has_target_);
+    return ast_->iteration();
+  }
+  bool ExhaustedSlice() const {
+    GIST_CHECK(has_target_);
+    return ast_->ExhaustedSlice();
+  }
+
+  // Accepts a run trace. Failing traces are kept only when their failure
+  // matches the target (program counter + stack-trace hash, §3 footnote 1);
+  // successful traces of instrumented runs are always kept.
+  //
+  // Refinement (§3.2.3): statements the watchpoints caught that the static
+  // slice missed are *added to the slice* — subsequent plans track them with
+  // PT and watchpoints of their own.
+  void AddTrace(RunTrace trace);
+
+  // Statements added to the slice by data-flow refinement so far.
+  const std::vector<InstrId>& discovered_instrs() const { return discovered_; }
+
+  uint32_t failure_recurrences() const { return failure_recurrences_; }
+  size_t trace_count() const { return traces_.size(); }
+  const std::vector<RunTrace>& traces() const { return traces_; }
+
+  Result<FailureSketch> BuildSketch() const;
+
+  // Doubles σ and recomputes the plan. Traces already collected are kept:
+  // their predictors remain valid for the statistics.
+  void AdvanceAst();
+
+ private:
+  // Recomputes the plan for the current AsT window plus every statement
+  // refinement has added to the slice.
+  void Replan();
+
+  const Module& module_;
+  GistOptions options_;
+  Ticfg ticfg_;
+  bool has_target_ = false;
+  uint64_t target_hash_ = 0;
+  StaticSlice slice_;
+  std::unique_ptr<AstController> ast_;
+  InstrumentationPlan plan_;
+  std::vector<RunTrace> traces_;
+  std::vector<InstrId> discovered_;
+  uint32_t failure_recurrences_ = 0;
+};
+
+// One monitored production run: executes `workload` under the plan's
+// instrumentation and returns the outcome plus the trace to ship.
+struct MonitoredRun {
+  RunResult result;
+  RunTrace trace;
+};
+
+MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
+                          const Workload& workload, const GistOptions& options = {},
+                          uint64_t run_id = 0, uint64_t max_steps = 2'000'000);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_GIST_H_

@@ -1,0 +1,31 @@
+// ASCII failure-sketch renderer, producing output in the style of the
+// paper's Figs. 1, 7, and 8: a time axis flowing downward, one source-code
+// column per thread, [*] markers on the highest-ranked failure predictors,
+// value annotations from the data-flow tracking, and the failure line last.
+// Statements known to be extraneous relative to a provided ideal sketch are
+// prefixed with '·' (the paper grays them out).
+
+#ifndef GIST_SRC_CORE_RENDERER_H_
+#define GIST_SRC_CORE_RENDERER_H_
+
+#include <string>
+
+#include "src/core/accuracy.h"
+#include "src/core/sketch.h"
+
+namespace gist {
+
+struct RenderOptions {
+  // When set, statements outside the ideal sketch are marked as extraneous
+  // (the gray prefix of Fig. 8). Rendering never *uses* the ideal sketch for
+  // content — only for this presentation cue, mirroring the paper's figures.
+  const IdealSketch* ideal = nullptr;
+  uint32_t column_width = 44;
+};
+
+std::string RenderFailureSketch(const Module& module, const FailureSketch& sketch,
+                                const RenderOptions& options = {});
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_RENDERER_H_

@@ -1,0 +1,34 @@
+// What one monitored production run ships back to the Gist server: the raw
+// per-core PT buffers, the hardware-watchpoint log, the run outcome, and the
+// activity counters the overhead accounting needs (paper Fig. 2, arrow ④).
+
+#ifndef GIST_SRC_CORE_RUN_TRACE_H_
+#define GIST_SRC_CORE_RUN_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/perf_model.h"
+#include "src/hw/watchpoints.h"
+#include "src/vm/failure.h"
+
+namespace gist {
+
+struct RunTrace {
+  uint64_t run_id = 0;
+  bool failed = false;
+  FailureReport failure;  // valid when failed
+
+  // Raw PT packet streams, one per core; the server decodes them.
+  std::vector<std::vector<uint8_t>> pt_buffers;
+  // Hardware-watchpoint trap log (total order across threads).
+  std::vector<WatchEvent> watch_events;
+
+  // Client-side cost accounting for this run.
+  TracingActivity activity;
+  uint64_t baseline_instructions = 0;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_RUN_TRACE_H_

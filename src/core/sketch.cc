@@ -1,0 +1,253 @@
+#include "src/core/sketch.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/pt/decoder.h"
+#include "src/support/str.h"
+
+namespace gist {
+
+bool FailureSketch::Contains(InstrId id) const {
+  for (const SketchStatement& statement : statements) {
+    if (statement.instr == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<InstrId> FailureSketch::InstrSet() const {
+  std::set<InstrId> unique;
+  for (const SketchStatement& statement : statements) {
+    unique.insert(statement.instr);
+  }
+  return std::vector<InstrId>(unique.begin(), unique.end());
+}
+
+std::vector<InstrId> FailureSketch::SharedAccessOrder(const Module& module) const {
+  std::vector<InstrId> order;
+  for (const SketchStatement& statement : statements) {  // already step-ordered
+    if (module.instr(statement.instr).IsSharedAccess() && statement.value.has_value()) {
+      order.push_back(statement.instr);
+    }
+  }
+  return order;
+}
+
+namespace {
+
+struct LayoutEntry {
+  InstrId instr = kNoInstr;
+  ThreadId tid = kNoThread;
+  int64_t pos = -1;          // per-thread program-order position (-1: unknown)
+  double anchor = 0.0;       // global sort key
+  bool watched = false;
+  std::optional<Word> value;
+  bool discovered = false;
+};
+
+}  // namespace
+
+Result<FailureSketch> BuildFailureSketch(const Module& module,
+                                         const std::vector<InstrId>& window,
+                                         const std::vector<RunTrace>& traces,
+                                         const SketchOptions& options) {
+  // Locate the reference failing run used for layout: the failing run whose
+  // watchpoints captured the most data flow (ties broken toward the most
+  // recent). Failing runs where the victim thread lost the race so early
+  // that nothing was armed yet carry less information.
+  const RunTrace* reference = nullptr;
+  for (const RunTrace& trace : traces) {
+    if (trace.failed &&
+        (reference == nullptr || trace.watch_events.size() >= reference->watch_events.size())) {
+      reference = &trace;
+    }
+  }
+  if (reference == nullptr) {
+    return Error("no failing run collected yet");
+  }
+
+  // Decode every trace's PT buffers once; feed the statistics.
+  PredictorStats stats(options.beta);
+  std::vector<DecodedCoreTrace> reference_decoded;
+  for (const RunTrace& trace : traces) {
+    std::vector<DecodedCoreTrace> decoded;
+    for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
+      Result<DecodedCoreTrace> one =
+          DecodePtStream(module, static_cast<CoreId>(core), trace.pt_buffers[core]);
+      if (!one.ok()) {
+        return Error("PT decode failed: " + one.error().message());
+      }
+      decoded.push_back(std::move(*one));
+    }
+    stats.RecordRun(ExtractPredictors(decoded, trace.watch_events), trace.failed);
+    if (&trace == reference) {
+      reference_decoded = std::move(decoded);
+    }
+  }
+
+  // --- Refinement -----------------------------------------------------------
+  // (a) control flow: window statements that actually executed in the
+  //     reference failing run;
+  // (b) data flow: statements the watchpoints caught that static slicing
+  //     missed (no alias analysis), added to the sketch.
+  const std::unordered_set<InstrId> executed = ExecutedInstrs(module, reference_decoded);
+  std::set<InstrId> members;
+  for (InstrId id : window) {
+    if (executed.count(id) != 0 || id == reference->failure.failing_instr) {
+      members.insert(id);
+    }
+  }
+  std::set<InstrId> discovered;
+  if (options.discovered != nullptr) {
+    discovered.insert(options.discovered->begin(), options.discovered->end());
+  }
+  for (const WatchEvent& event : reference->watch_events) {
+    if (members.insert(event.instr).second) {
+      discovered.insert(event.instr);
+    }
+  }
+  members.insert(reference->failure.failing_instr);
+
+  // --- Layout ---------------------------------------------------------------
+  // Per-(thread, statement) entries with per-thread order positions from the
+  // decoded visits and global anchors from the watchpoint total order.
+  std::map<std::pair<ThreadId, InstrId>, LayoutEntry> entries;
+
+  std::map<ThreadId, int64_t> thread_pos;
+  for (const DecodedCoreTrace& trace : reference_decoded) {
+    for (const PtVisit& visit : trace.visits) {
+      if (visit.first_index > visit.last_index) {
+        continue;
+      }
+      const auto& instrs = module.function(visit.function).block(visit.block).instructions();
+      for (uint32_t i = visit.first_index; i <= visit.last_index && i < instrs.size(); ++i) {
+        const int64_t pos = thread_pos[visit.tid]++;
+        const InstrId id = instrs[i].id;
+        if (members.count(id) == 0) {
+          continue;
+        }
+        LayoutEntry& entry = entries[{visit.tid, id}];
+        entry.instr = id;
+        entry.tid = visit.tid;
+        entry.pos = pos;  // last occurrence wins
+      }
+    }
+  }
+  for (const WatchEvent& event : reference->watch_events) {
+    LayoutEntry& entry = entries[{event.tid, event.instr}];
+    entry.instr = event.instr;
+    entry.tid = event.tid;
+    entry.watched = true;
+    entry.anchor = static_cast<double>(event.seq);  // last occurrence wins
+    entry.value = event.value;
+    entry.discovered = discovered.count(event.instr) != 0;
+  }
+
+  // The failure point always appears, attributed to the failing thread.
+  {
+    LayoutEntry& entry =
+        entries[{reference->failure.failing_thread, reference->failure.failing_instr}];
+    entry.instr = reference->failure.failing_instr;
+    entry.tid = reference->failure.failing_thread;
+  }
+
+  // Interpolate anchors for unwatched entries: per thread, walk entries in
+  // program order and place them just after the previous watched anchor.
+  std::map<ThreadId, std::vector<LayoutEntry*>> by_thread;
+  for (auto& [key, entry] : entries) {
+    by_thread[key.first].push_back(&entry);
+  }
+  for (auto& [tid, list] : by_thread) {
+    (void)tid;
+    std::sort(list.begin(), list.end(), [](const LayoutEntry* a, const LayoutEntry* b) {
+      if (a->pos != b->pos) {
+        return a->pos < b->pos;
+      }
+      return a->instr < b->instr;
+    });
+    double current = 0.0;
+    int sub = 0;
+    for (LayoutEntry* entry : list) {
+      if (entry->watched) {
+        current = entry->anchor;
+        sub = 0;
+      } else {
+        entry->anchor = current + 0.001 * (++sub);
+      }
+    }
+  }
+
+  // Global order: anchors first, thread id and program position as
+  // deterministic tie-breaks; the failure point is forced last.
+  std::vector<LayoutEntry*> ordered;
+  LayoutEntry* failure_entry =
+      &entries[{reference->failure.failing_thread, reference->failure.failing_instr}];
+  for (auto& [key, entry] : entries) {
+    (void)key;
+    if (&entry != failure_entry) {
+      ordered.push_back(&entry);
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const LayoutEntry* a, const LayoutEntry* b) {
+    if (a->anchor != b->anchor) {
+      return a->anchor < b->anchor;
+    }
+    if (a->tid != b->tid) {
+      return a->tid < b->tid;
+    }
+    return a->pos < b->pos;
+  });
+  ordered.push_back(failure_entry);
+
+  // --- Assemble ---------------------------------------------------------------
+  FailureSketch sketch;
+  sketch.title = options.title;
+  sketch.failure_type = reference->failure.type;
+  sketch.failing_instr = reference->failure.failing_instr;
+  sketch.best_branch = stats.BestBranch();
+  sketch.best_value = stats.BestValue();
+  sketch.best_value_range = stats.BestValueRange();
+  sketch.best_concurrency = stats.BestConcurrency();
+  sketch.best_atomicity = stats.BestAtomicity();
+  sketch.success_order = stats.BestSuccessOrderPair();
+  sketch.failing_runs_used = stats.failing_runs();
+  sketch.successful_runs_used = stats.successful_runs();
+
+  std::set<InstrId> highlighted;
+  auto mark = [&](const std::optional<ScoredPredictor>& scored) {
+    if (!scored.has_value()) {
+      return;
+    }
+    for (InstrId id : {scored->predictor.a, scored->predictor.b, scored->predictor.c}) {
+      if (id != kNoInstr) {
+        highlighted.insert(id);
+      }
+    }
+  };
+  mark(sketch.best_branch);
+  mark(sketch.best_value);
+  mark(sketch.best_value_range);
+  mark(sketch.best_concurrency);
+
+  std::set<ThreadId> tids;
+  uint32_t step = 0;
+  for (const LayoutEntry* entry : ordered) {
+    SketchStatement statement;
+    statement.instr = entry->instr;
+    statement.tid = entry->tid;
+    statement.step = ++step;
+    statement.value = entry->value;
+    statement.is_failure_point = (entry == failure_entry);
+    statement.highlighted = highlighted.count(entry->instr) != 0;
+    statement.discovered_at_runtime = entry->discovered;
+    sketch.statements.push_back(statement);
+    tids.insert(entry->tid);
+  }
+  sketch.threads.assign(tids.begin(), tids.end());
+  return sketch;
+}
+
+}  // namespace gist

@@ -1,0 +1,94 @@
+// Failure sketch data model and construction (paper §3.2–§3.3, Figs. 1/7/8).
+//
+// A failure sketch is a compact, time-ordered view of the statements leading
+// to a failure, annotated with the thread that executed each statement in the
+// failing run, the data values hardware watchpoints observed, and the
+// highest-ranked failure predictors (the differences between failing and
+// successful runs).
+//
+// Construction = slice refinement + predictor statistics:
+//   1. decode the failing runs' PT buffers → which window statements actually
+//      executed (removes never-executed slice statements);
+//   2. add watchpoint-discovered statements that the alias-analysis-free
+//      static slice missed (§3.2.3);
+//   3. order statements by the watchpoint total order, interpolating
+//      unwatched statements by per-thread program order between anchors
+//      (cross-core order beyond that is unavailable — a PT limitation the
+//      paper accepts);
+//   4. attach per-statement values and the top branch / value / concurrency
+//      predictors from the statistics over all monitored runs.
+
+#ifndef GIST_SRC_CORE_SKETCH_H_
+#define GIST_SRC_CORE_SKETCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/run_trace.h"
+#include "src/core/statistics.h"
+#include "src/ir/module.h"
+#include "src/support/result.h"
+
+namespace gist {
+
+struct SketchStatement {
+  InstrId instr = kNoInstr;
+  ThreadId tid = kNoThread;      // thread that executed it in the failing run
+  uint32_t step = 0;             // row in the sketch's time axis (1-based)
+  std::optional<Word> value;     // last observed value (watched accesses)
+  bool is_failure_point = false;
+  bool highlighted = false;      // involved in a top failure predictor
+  bool discovered_at_runtime = false;  // added by data-flow refinement
+};
+
+struct FailureSketch {
+  std::string title;
+  FailureType failure_type = FailureType::kNone;
+  InstrId failing_instr = kNoInstr;
+  std::vector<SketchStatement> statements;  // ordered by step
+  std::vector<ThreadId> threads;            // distinct tids, column order
+
+  // Best predictor per family over all monitored runs (absent if none seen).
+  std::optional<ScoredPredictor> best_branch;
+  std::optional<ScoredPredictor> best_value;
+  std::optional<ScoredPredictor> best_value_range;
+  std::optional<ScoredPredictor> best_concurrency;
+  // Best Fig. 5 atomicity pattern (may differ from best_concurrency when a
+  // pair pattern outranks the triples); input to fix synthesis.
+  std::optional<ScoredPredictor> best_atomicity;
+  // Pair pattern most correlated with SUCCESS: the order a fix for an order
+  // violation must enforce (input to order-fix synthesis).
+  std::optional<ScoredPredictor> success_order;
+
+  uint32_t failing_runs_used = 0;
+  uint32_t successful_runs_used = 0;
+
+  bool Contains(InstrId id) const;
+  std::vector<InstrId> InstrSet() const;
+  // Statements in step order restricted to shared-memory accesses — the
+  // sequence the ordering-accuracy metric compares (§5.2).
+  std::vector<InstrId> SharedAccessOrder(const Module& module) const;
+};
+
+struct SketchOptions {
+  double beta = kDefaultBeta;
+  std::string title;
+  // Statements known to have been added to the slice by data-flow refinement
+  // (GistServer::discovered_instrs); the sketch marks them '+' even after
+  // they entered the tracked window.
+  const std::vector<InstrId>* discovered = nullptr;
+};
+
+// Builds a sketch from the monitored runs. `window` is the slice portion AsT
+// currently tracks; `traces` are all collected run traces (at least one
+// failing). Returns an error if no failing trace is present or PT decoding
+// fails.
+Result<FailureSketch> BuildFailureSketch(const Module& module,
+                                         const std::vector<InstrId>& window,
+                                         const std::vector<RunTrace>& traces,
+                                         const SketchOptions& options = {});
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_SKETCH_H_

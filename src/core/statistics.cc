@@ -1,0 +1,119 @@
+#include "src/core/statistics.h"
+
+#include <algorithm>
+
+namespace gist {
+
+double FMeasure(double precision, double recall, double beta) {
+  const double b2 = beta * beta;
+  const double denominator = b2 * precision + recall;
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return (1.0 + b2) * precision * recall / denominator;
+}
+
+void PredictorStats::RecordRun(const std::vector<Predictor>& predictors, bool failed) {
+  if (failed) {
+    ++failing_runs_;
+  } else {
+    ++successful_runs_;
+  }
+  for (const Predictor& predictor : predictors) {
+    Counts& counts = counts_[predictor];
+    if (failed) {
+      ++counts.failing;
+    } else {
+      ++counts.successful;
+    }
+  }
+}
+
+std::vector<ScoredPredictor> PredictorStats::Ranked() const {
+  std::vector<ScoredPredictor> scored;
+  scored.reserve(counts_.size());
+  for (const auto& [predictor, counts] : counts_) {
+    ScoredPredictor entry;
+    entry.predictor = predictor;
+    entry.failing_with = counts.failing;
+    entry.successful_with = counts.successful;
+    const uint32_t with = counts.failing + counts.successful;
+    entry.precision = with == 0 ? 0.0 : static_cast<double>(counts.failing) / with;
+    entry.recall =
+        failing_runs_ == 0 ? 0.0 : static_cast<double>(counts.failing) / failing_runs_;
+    entry.f_measure = FMeasure(entry.precision, entry.recall, beta_);
+    scored.push_back(entry);
+  }
+  std::sort(scored.begin(), scored.end(), [](const ScoredPredictor& a, const ScoredPredictor& b) {
+    if (a.f_measure != b.f_measure) {
+      return a.f_measure > b.f_measure;
+    }
+    return a.predictor < b.predictor;
+  });
+  return scored;
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestMatching(
+    bool (*matches)(PredictorKind)) const {
+  std::optional<ScoredPredictor> best;
+  for (const ScoredPredictor& entry : Ranked()) {
+    if (matches(entry.predictor.kind)) {
+      best = entry;
+      break;  // Ranked() is sorted by decreasing F
+    }
+  }
+  return best;
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestBranch() const {
+  return BestMatching([](PredictorKind kind) { return kind == PredictorKind::kBranch; });
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestValue() const {
+  return BestMatching([](PredictorKind kind) { return kind == PredictorKind::kValue; });
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestValueRange() const {
+  return BestMatching([](PredictorKind kind) { return kind == PredictorKind::kValueSign; });
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestConcurrency() const {
+  return BestMatching(&IsConcurrencyPredictor);
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestAtomicity() const {
+  return BestMatching(&IsAtomicityPattern);
+}
+
+std::optional<ScoredPredictor> PredictorStats::BestSuccessOrderPair() const {
+  std::optional<ScoredPredictor> best;
+  double best_f = -1.0;
+  for (const auto& [predictor, counts] : counts_) {
+    const bool is_pair = predictor.kind == PredictorKind::kWR ||
+                         predictor.kind == PredictorKind::kRW ||
+                         predictor.kind == PredictorKind::kWW;
+    if (!is_pair) {
+      continue;
+    }
+    const uint32_t with = counts.failing + counts.successful;
+    const double precision = with == 0 ? 0.0 : static_cast<double>(counts.successful) / with;
+    const double recall = successful_runs_ == 0
+                              ? 0.0
+                              : static_cast<double>(counts.successful) / successful_runs_;
+    const double f = FMeasure(precision, recall, beta_);
+    if (f > best_f) {
+      best_f = f;
+      ScoredPredictor scored;
+      scored.predictor = predictor;
+      scored.failing_with = counts.failing;
+      scored.successful_with = counts.successful;
+      scored.precision = precision;
+      scored.recall = recall;
+      scored.f_measure = f;
+      best = scored;
+    }
+  }
+  return best;
+}
+
+}  // namespace gist

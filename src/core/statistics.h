@@ -1,0 +1,81 @@
+// Statistical ranking of failure predictors (paper §3.3).
+//
+// For each predictor observed across monitored runs, Gist computes
+//   precision P = (failing runs containing it) / (runs containing it)
+//   recall    R = (failing runs containing it) / (all failing runs)
+// and ranks predictors by the F-measure
+//   F_β = (1 + β²) · P·R / (β²·P + R)
+// with β = 0.5, deliberately favouring precision: a wrong "root cause" is
+// worse for the developer than a missed one.
+
+#ifndef GIST_SRC_CORE_STATISTICS_H_
+#define GIST_SRC_CORE_STATISTICS_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/predictors.h"
+
+namespace gist {
+
+inline constexpr double kDefaultBeta = 0.5;
+
+double FMeasure(double precision, double recall, double beta);
+
+struct ScoredPredictor {
+  Predictor predictor;
+  uint32_t failing_with = 0;     // failing runs containing the predictor
+  uint32_t successful_with = 0;  // successful runs containing it
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+};
+
+class PredictorStats {
+ public:
+  explicit PredictorStats(double beta = kDefaultBeta) : beta_(beta) {}
+
+  // Records one run's deduplicated predictor set and outcome.
+  void RecordRun(const std::vector<Predictor>& predictors, bool failed);
+
+  uint32_t failing_runs() const { return failing_runs_; }
+  uint32_t successful_runs() const { return successful_runs_; }
+
+  // All predictors scored and sorted by decreasing F-measure (ties broken
+  // deterministically by predictor key).
+  std::vector<ScoredPredictor> Ranked() const;
+
+  // Highest-F predictor of the given family, if any was observed: the sketch
+  // shows the best branch, value, and concurrency predictor (Fig. 1/7/8's
+  // dotted boxes).
+  std::optional<ScoredPredictor> BestBranch() const;
+  std::optional<ScoredPredictor> BestValue() const;
+  std::optional<ScoredPredictor> BestValueRange() const;
+  std::optional<ScoredPredictor> BestConcurrency() const;
+  // Highest-F Fig. 5 atomicity-violation pattern (drives fix synthesis).
+  std::optional<ScoredPredictor> BestAtomicity() const;
+
+  // Order-violation fixes need the *correct* order: the pair pattern (WR/RW/
+  // WW) that correlates best with SUCCESS — its (a, b) order is the one a fix
+  // must enforce. Scored with the same F-measure computed against successful
+  // runs instead of failing ones.
+  std::optional<ScoredPredictor> BestSuccessOrderPair() const;
+
+ private:
+  struct Counts {
+    uint32_t failing = 0;
+    uint32_t successful = 0;
+  };
+
+  std::optional<ScoredPredictor> BestMatching(bool (*matches)(PredictorKind)) const;
+
+  double beta_;
+  uint32_t failing_runs_ = 0;
+  uint32_t successful_runs_ = 0;
+  std::map<Predictor, Counts> counts_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORE_STATISTICS_H_

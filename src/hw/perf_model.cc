@@ -1,0 +1,51 @@
+#include "src/hw/perf_model.h"
+
+#include "src/support/check.h"
+
+namespace gist {
+namespace {
+
+double Percent(double extra_cycles, double base_cycles) {
+  GIST_CHECK_GT(base_cycles, 0.0);
+  return 100.0 * extra_cycles / base_cycles;
+}
+
+}  // namespace
+
+double GistClientOverheadPercent(const CostModel& model, uint64_t baseline_instructions,
+                                 const TracingActivity& activity) {
+  const double base = static_cast<double>(baseline_instructions) * model.cycles_per_instr;
+  const double extra = static_cast<double>(activity.pt_bytes) * model.cycles_per_pt_byte +
+                       static_cast<double>(activity.pt_toggles) * model.cycles_per_pt_toggle +
+                       static_cast<double>(activity.watch_traps) * model.cycles_per_watch_trap +
+                       static_cast<double>(activity.watch_arms) * model.cycles_per_watch_arm;
+  return Percent(extra, base);
+}
+
+double PtFullTraceOverheadPercent(const CostModel& model, uint64_t baseline_instructions,
+                                  uint64_t pt_bytes) {
+  const double base = static_cast<double>(baseline_instructions) * model.cycles_per_instr;
+  // Full tracing pays the bandwidth drag plus one toggle pair for the run.
+  const double extra =
+      static_cast<double>(pt_bytes) * model.cycles_per_pt_byte + model.cycles_per_pt_toggle;
+  return Percent(extra, base);
+}
+
+double RecordReplayOverheadPercent(const CostModel& model, uint64_t baseline_instructions,
+                                   uint64_t mem_accesses) {
+  const double base = static_cast<double>(baseline_instructions) * model.cycles_per_instr;
+  const double extra =
+      static_cast<double>(baseline_instructions) * model.cycles_per_rr_instr +
+      static_cast<double>(mem_accesses) * model.cycles_per_rr_mem;
+  return Percent(extra, base);
+}
+
+double SoftwarePtOverheadPercent(const CostModel& model, uint64_t baseline_instructions,
+                                 uint64_t branches) {
+  const double base = static_cast<double>(baseline_instructions) * model.cycles_per_instr;
+  const double extra = static_cast<double>(baseline_instructions) * model.cycles_per_swpt_instr +
+                       static_cast<double>(branches) * model.cycles_per_swpt_branch;
+  return Percent(extra, base);
+}
+
+}  // namespace gist

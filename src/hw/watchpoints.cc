@@ -1,0 +1,81 @@
+#include "src/hw/watchpoints.h"
+
+namespace gist {
+
+bool WatchpointUnit::Arm(Addr addr, WatchTrigger trigger) {
+  if (addr == kNullAddr) {
+    return false;
+  }
+  for (Slot& slot : slots_) {
+    if (slot.addr == addr) {
+      // Already armed; widen the trigger if needed without consuming a slot.
+      if (slot.trigger == WatchTrigger::kWriteOnly && trigger == WatchTrigger::kReadWrite) {
+        slot.trigger = WatchTrigger::kReadWrite;
+        ++arm_operations_;
+      }
+      return true;
+    }
+  }
+  for (Slot& slot : slots_) {
+    if (slot.addr == kNullAddr) {
+      slot.addr = addr;
+      slot.trigger = trigger;
+      ++arm_operations_;
+      return true;
+    }
+  }
+  return false;  // all four debug registers busy
+}
+
+void WatchpointUnit::Disarm(Addr addr) {
+  for (Slot& slot : slots_) {
+    if (slot.addr == addr) {
+      slot.addr = kNullAddr;
+      ++arm_operations_;
+    }
+  }
+}
+
+void WatchpointUnit::DisarmAll() {
+  for (Slot& slot : slots_) {
+    if (slot.addr != kNullAddr) {
+      slot.addr = kNullAddr;
+      ++arm_operations_;
+    }
+  }
+}
+
+bool WatchpointUnit::IsWatched(Addr addr) const {
+  for (const Slot& slot : slots_) {
+    if (slot.addr == addr && slot.addr != kNullAddr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t WatchpointUnit::active_count() const {
+  uint32_t count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.addr != kNullAddr) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void WatchpointUnit::OnMemAccess(const MemAccessEvent& event) {
+  for (const Slot& slot : slots_) {
+    if (slot.addr != event.addr || slot.addr == kNullAddr) {
+      continue;
+    }
+    if (slot.trigger == WatchTrigger::kWriteOnly && !event.is_write) {
+      return;
+    }
+    events_.push_back(WatchEvent{event.seq, event.tid, event.instr, event.addr, event.value,
+                                 event.is_write});
+    return;
+  }
+}
+
+}  // namespace gist

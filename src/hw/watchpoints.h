@@ -1,0 +1,80 @@
+// Simulated hardware watchpoints (x86 debug registers DR0–DR3).
+//
+// Gist uses the 4 available hardware watchpoints to track the data flow of
+// slice statements: values read/written at watched addresses and — crucially
+// — the total order of those accesses across threads, which Intel PT cannot
+// provide (paper §3.2.3). Traps are recorded with a globally increasing
+// sequence number taken from the VM's memory-access order.
+
+#ifndef GIST_SRC_HW_WATCHPOINTS_H_
+#define GIST_SRC_HW_WATCHPOINTS_H_
+
+#include <vector>
+
+#include "src/vm/observer.h"
+
+namespace gist {
+
+// x86 exposes exactly four debug-register watchpoint slots.
+inline constexpr uint32_t kNumWatchpointSlots = 4;
+
+// DR7-style trigger condition. Gist tracks both directions (it needs read
+// values and write values alike); write-only triggers exist for tools that
+// only care about mutations.
+enum class WatchTrigger : uint8_t {
+  kReadWrite,
+  kWriteOnly,
+};
+
+// One watchpoint trap: a load or store at a watched address.
+struct WatchEvent {
+  uint64_t seq = 0;  // global memory-access order (total order across threads)
+  ThreadId tid = kNoThread;
+  InstrId instr = kNoInstr;
+  Addr addr = kNullAddr;
+  Word value = 0;
+  bool is_write = false;
+};
+
+class WatchpointUnit : public ExecutionObserver {
+ public:
+  // `num_slots` defaults to the x86 debug-register count; the ablation bench
+  // explores smaller and (hypothetical-hardware) larger budgets.
+  explicit WatchpointUnit(uint32_t num_slots = kNumWatchpointSlots) : slots_(num_slots) {}
+
+  // Arms a watchpoint on `addr` with the given trigger condition. Returns
+  // true if the address is now watched (including when it already was);
+  // false when all slots are busy — the caller then falls back to the
+  // cooperative multi-run strategy (§3.2.3).
+  bool Arm(Addr addr, WatchTrigger trigger = WatchTrigger::kReadWrite);
+  void Disarm(Addr addr);
+  void DisarmAll();
+
+  bool IsWatched(Addr addr) const;
+  uint32_t active_count() const;
+
+  const std::vector<WatchEvent>& events() const { return events_; }
+  // Number of debug traps delivered (each costs a trap round in the perf
+  // model).
+  uint64_t trap_count() const { return events_.size(); }
+  // Number of Arm/Disarm operations (each is a ptrace-style syscall in the
+  // perf model).
+  uint64_t arm_operations() const { return arm_operations_; }
+
+  // --- ExecutionObserver ----------------------------------------------------
+  void OnMemAccess(const MemAccessEvent& event) override;
+
+ private:
+  struct Slot {
+    Addr addr = kNullAddr;
+    WatchTrigger trigger = WatchTrigger::kReadWrite;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<WatchEvent> events_;
+  uint64_t arm_operations_ = 0;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_HW_WATCHPOINTS_H_

@@ -1,0 +1,274 @@
+#include "src/ir/builder.h"
+
+namespace gist {
+
+Function& IrBuilder::StartFunction(const std::string& name, uint32_t num_params) {
+  function_ = &module_.CreateFunction(name, num_params);
+  block_ = &function_->CreateBlock("entry");
+  src_line_ = 0;
+  src_text_.clear();
+  return *function_;
+}
+
+BasicBlock& IrBuilder::NewBlock(const std::string& label) {
+  return current_function().CreateBlock(label);
+}
+
+void IrBuilder::Src(uint32_t line, const std::string& text) {
+  src_line_ = line;
+  src_text_ = text;
+}
+
+InstrId IrBuilder::EmitCopy(const Instruction& instr) {
+  GIST_CHECK(function_ != nullptr && block_ != nullptr) << "builder has no insertion point";
+  GIST_CHECK(!block_->HasTerminator())
+      << "appending to already-terminated block ^" << block_->id();
+  Instruction copy = instr;  // keeps loc, operands, targets, callee
+  copy.id = module_.NextInstrId(InstrLocation{function_->id(), block_->id(),
+                                              static_cast<uint32_t>(block_->size())});
+  last_id_ = copy.id;
+  block_->mutable_instructions().push_back(std::move(copy));
+  return last_id_;
+}
+
+Instruction& IrBuilder::Emit(Instruction instr) {
+  GIST_CHECK(function_ != nullptr && block_ != nullptr) << "builder has no insertion point";
+  GIST_CHECK(!block_->HasTerminator())
+      << "appending to already-terminated block ^" << block_->id();
+  instr.loc = SourceLoc{function_->name(), src_line_, src_text_};
+  instr.id = module_.NextInstrId(InstrLocation{function_->id(), block_->id(),
+                                               static_cast<uint32_t>(block_->size())});
+  last_id_ = instr.id;
+  block_->mutable_instructions().push_back(std::move(instr));
+  return block_->mutable_instructions().back();
+}
+
+Reg IrBuilder::Const(int64_t value) {
+  Instruction instr;
+  instr.op = Opcode::kConst;
+  instr.dst = current_function().NewReg();
+  instr.imm = value;
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Move(Reg src) {
+  Instruction instr;
+  instr.op = Opcode::kMove;
+  instr.dst = current_function().NewReg();
+  instr.operands = {src};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Binary(BinOp op, Reg lhs, Reg rhs) {
+  Instruction instr;
+  instr.op = Opcode::kBinOp;
+  instr.binop = op;
+  instr.dst = current_function().NewReg();
+  instr.operands = {lhs, rhs};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Not(Reg value) {
+  Instruction instr;
+  instr.op = Opcode::kNot;
+  instr.dst = current_function().NewReg();
+  instr.operands = {value};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Load(Reg addr) {
+  Instruction instr;
+  instr.op = Opcode::kLoad;
+  instr.dst = current_function().NewReg();
+  instr.operands = {addr};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::AddrOfGlobal(GlobalId global, int64_t offset_words) {
+  Instruction instr;
+  instr.op = Opcode::kAddrOfGlobal;
+  instr.dst = current_function().NewReg();
+  instr.global = global;
+  instr.imm = offset_words;
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Gep(Reg base, Reg offset) {
+  Instruction instr;
+  instr.op = Opcode::kGep;
+  instr.dst = current_function().NewReg();
+  instr.operands = {base, offset};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::GepConst(Reg base, int64_t offset_words) {
+  const Reg offset = Const(offset_words);
+  return Gep(base, offset);
+}
+
+Reg IrBuilder::Alloc(Reg size_words) {
+  Instruction instr;
+  instr.op = Opcode::kAlloc;
+  instr.dst = current_function().NewReg();
+  instr.operands = {size_words};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::AllocConst(int64_t size_words) {
+  const Reg size = Const(size_words);
+  return Alloc(size);
+}
+
+Reg IrBuilder::Call(FunctionId callee, std::initializer_list<Reg> args) {
+  Instruction instr;
+  instr.op = Opcode::kCall;
+  instr.dst = current_function().NewReg();
+  instr.callee = callee;
+  instr.operands.assign(args);
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::ThreadCreate(FunctionId callee, Reg arg) {
+  Instruction instr;
+  instr.op = Opcode::kThreadCreate;
+  instr.dst = current_function().NewReg();
+  instr.callee = callee;
+  instr.operands = {arg};
+  return Emit(std::move(instr)).dst;
+}
+
+Reg IrBuilder::Input(int64_t index) {
+  Instruction instr;
+  instr.op = Opcode::kInput;
+  instr.dst = current_function().NewReg();
+  instr.imm = index;
+  return Emit(std::move(instr)).dst;
+}
+
+void IrBuilder::AssignConst(Reg dst, int64_t value) {
+  Instruction instr;
+  instr.op = Opcode::kConst;
+  instr.dst = dst;
+  instr.imm = value;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::AssignMove(Reg dst, Reg src) {
+  Instruction instr;
+  instr.op = Opcode::kMove;
+  instr.dst = dst;
+  instr.operands = {src};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::AssignBinary(Reg dst, BinOp op, Reg lhs, Reg rhs) {
+  Instruction instr;
+  instr.op = Opcode::kBinOp;
+  instr.binop = op;
+  instr.dst = dst;
+  instr.operands = {lhs, rhs};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::AssignLoad(Reg dst, Reg addr) {
+  Instruction instr;
+  instr.op = Opcode::kLoad;
+  instr.dst = dst;
+  instr.operands = {addr};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Store(Reg addr, Reg value) {
+  Instruction instr;
+  instr.op = Opcode::kStore;
+  instr.operands = {addr, value};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Free(Reg addr) {
+  Instruction instr;
+  instr.op = Opcode::kFree;
+  instr.operands = {addr};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::CallVoid(FunctionId callee, std::initializer_list<Reg> args) {
+  Instruction instr;
+  instr.op = Opcode::kCall;
+  instr.callee = callee;
+  instr.operands.assign(args);
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Ret() {
+  Instruction instr;
+  instr.op = Opcode::kRet;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Ret(Reg value) {
+  Instruction instr;
+  instr.op = Opcode::kRet;
+  instr.operands = {value};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Br(Reg cond, BlockId if_true, BlockId if_false) {
+  Instruction instr;
+  instr.op = Opcode::kBr;
+  instr.operands = {cond};
+  instr.target0 = if_true;
+  instr.target1 = if_false;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Jmp(BlockId target) {
+  Instruction instr;
+  instr.op = Opcode::kJmp;
+  instr.target0 = target;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Assert(Reg cond, const std::string& message) {
+  Instruction instr;
+  instr.op = Opcode::kAssert;
+  instr.operands = {cond};
+  instr.text = message;
+  Emit(std::move(instr));
+}
+
+void IrBuilder::ThreadJoin(Reg tid) {
+  Instruction instr;
+  instr.op = Opcode::kThreadJoin;
+  instr.operands = {tid};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Lock(Reg addr) {
+  Instruction instr;
+  instr.op = Opcode::kLock;
+  instr.operands = {addr};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Unlock(Reg addr) {
+  Instruction instr;
+  instr.op = Opcode::kUnlock;
+  instr.operands = {addr};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Print(Reg value) {
+  Instruction instr;
+  instr.op = Opcode::kPrint;
+  instr.operands = {value};
+  Emit(std::move(instr));
+}
+
+void IrBuilder::Nop() {
+  Instruction instr;
+  instr.op = Opcode::kNop;
+  Emit(std::move(instr));
+}
+
+}  // namespace gist

@@ -1,0 +1,125 @@
+// Convenience builder for constructing MiniIR, used by tests, examples, and
+// the bug-reproduction apps. Tracks a current insertion block and a current
+// pseudo-source position (function/line/text) that is attached to every
+// emitted instruction, so failure sketches can render "source code".
+
+#ifndef GIST_SRC_IR_BUILDER_H_
+#define GIST_SRC_IR_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace gist {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+
+  // Starts a new function and an implicit "entry" block, and makes them
+  // current. Parameters occupy registers [0, num_params).
+  Function& StartFunction(const std::string& name, uint32_t num_params);
+
+  // Makes an existing function current without creating blocks (used by the
+  // module rewriter, which lays out blocks to mirror another module).
+  void SetFunction(Function& function) {
+    function_ = &function;
+    block_ = nullptr;
+  }
+
+  Function& current_function() {
+    GIST_CHECK(function_ != nullptr) << "no current function";
+    return *function_;
+  }
+
+  BasicBlock& NewBlock(const std::string& label);
+  void SetInsertBlock(BasicBlock& block) { block_ = &block; }
+  void SetInsertBlock(BlockId id) { block_ = &current_function().mutable_block(id); }
+  BlockId current_block() const {
+    GIST_CHECK(block_ != nullptr) << "no current block";
+    return block_->id();
+  }
+
+  // Sets the pseudo-source position attached to subsequently emitted
+  // instructions. The function component defaults to the IR function name.
+  void Src(uint32_t line, const std::string& text);
+
+  // --- value producers ---------------------------------------------------
+  Reg Const(int64_t value);
+  Reg Move(Reg src);
+  Reg Binary(BinOp op, Reg lhs, Reg rhs);
+  Reg Add(Reg lhs, Reg rhs) { return Binary(BinOp::kAdd, lhs, rhs); }
+  Reg Sub(Reg lhs, Reg rhs) { return Binary(BinOp::kSub, lhs, rhs); }
+  Reg Mul(Reg lhs, Reg rhs) { return Binary(BinOp::kMul, lhs, rhs); }
+  Reg Eq(Reg lhs, Reg rhs) { return Binary(BinOp::kEq, lhs, rhs); }
+  Reg Ne(Reg lhs, Reg rhs) { return Binary(BinOp::kNe, lhs, rhs); }
+  Reg Lt(Reg lhs, Reg rhs) { return Binary(BinOp::kLt, lhs, rhs); }
+  Reg Le(Reg lhs, Reg rhs) { return Binary(BinOp::kLe, lhs, rhs); }
+  Reg Gt(Reg lhs, Reg rhs) { return Binary(BinOp::kGt, lhs, rhs); }
+  Reg Ge(Reg lhs, Reg rhs) { return Binary(BinOp::kGe, lhs, rhs); }
+  Reg Not(Reg value);
+  Reg Load(Reg addr);
+  Reg AddrOfGlobal(GlobalId global, int64_t offset_words = 0);
+  Reg Gep(Reg base, Reg offset);
+  // base + constant offset; emits a const followed by a gep.
+  Reg GepConst(Reg base, int64_t offset_words);
+  Reg Alloc(Reg size_words);
+  Reg AllocConst(int64_t size_words);
+  Reg Call(FunctionId callee, std::initializer_list<Reg> args = {});
+  Reg ThreadCreate(FunctionId callee, Reg arg);
+  Reg Input(int64_t index);
+
+  // --- assignment to existing registers (loop-carried values) -------------
+  // Reserves a register without emitting an instruction.
+  Reg DeclareReg() { return current_function().NewReg(); }
+  void AssignConst(Reg dst, int64_t value);
+  void AssignMove(Reg dst, Reg src);
+  void AssignBinary(Reg dst, BinOp op, Reg lhs, Reg rhs);
+  void AssignLoad(Reg dst, Reg addr);
+
+  // --- void instructions --------------------------------------------------
+  void Store(Reg addr, Reg value);
+  void Free(Reg addr);
+  void CallVoid(FunctionId callee, std::initializer_list<Reg> args = {});
+  void Ret();
+  void Ret(Reg value);
+  void Br(Reg cond, BlockId if_true, BlockId if_false);
+  void Jmp(BlockId target);
+  void Assert(Reg cond, const std::string& message);
+  void ThreadJoin(Reg tid);
+  void Lock(Reg addr);
+  void Unlock(Reg addr);
+  void Print(Reg value);
+  void Nop();
+
+  // Appends a copy of `instr` at the insertion point with a fresh id but the
+  // original source location (used by the module rewriter). The copy's
+  // callee/targets/operands are taken verbatim; the caller is responsible for
+  // their validity in the destination module.
+  InstrId EmitCopy(const Instruction& instr);
+
+  // Id of the most recently emitted instruction; apps record these to define
+  // ideal failure sketches and root-cause statements.
+  InstrId last_instr_id() const {
+    GIST_CHECK_NE(last_id_, kNoInstr);
+    return last_id_;
+  }
+
+ private:
+  Instruction& Emit(Instruction instr);
+
+  Module& module_;
+  Function* function_ = nullptr;
+  BasicBlock* block_ = nullptr;
+  uint32_t src_line_ = 0;
+  std::string src_text_;
+  InstrId last_id_ = kNoInstr;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_BUILDER_H_

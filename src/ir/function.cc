@@ -1,0 +1,20 @@
+#include "src/ir/function.h"
+
+namespace gist {
+
+BasicBlock& Function::CreateBlock(std::string label) {
+  const BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.push_back(std::make_unique<BasicBlock>(id, std::move(label)));
+  return *blocks_.back();
+}
+
+BlockId Function::FindBlock(const std::string& label) const {
+  for (const auto& block : blocks_) {
+    if (block->label() == label) {
+      return block->id();
+    }
+  }
+  return kNoBlock;
+}
+
+}  // namespace gist

@@ -1,0 +1,83 @@
+// MiniIR functions and basic blocks.
+
+#ifndef GIST_SRC_IR_FUNCTION_H_
+#define GIST_SRC_IR_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/ids.h"
+#include "src/ir/instruction.h"
+#include "src/support/check.h"
+
+namespace gist {
+
+class BasicBlock {
+ public:
+  BasicBlock(BlockId id, std::string label) : id_(id), label_(std::move(label)) {}
+
+  BlockId id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  const std::vector<Instruction>& instructions() const { return instrs_; }
+  std::vector<Instruction>& mutable_instructions() { return instrs_; }
+
+  bool empty() const { return instrs_.empty(); }
+  size_t size() const { return instrs_.size(); }
+
+  const Instruction& terminator() const {
+    GIST_CHECK(!instrs_.empty() && instrs_.back().IsTerminator())
+        << "block ^" << id_ << " has no terminator";
+    return instrs_.back();
+  }
+  bool HasTerminator() const { return !instrs_.empty() && instrs_.back().IsTerminator(); }
+
+ private:
+  BlockId id_;
+  std::string label_;
+  std::vector<Instruction> instrs_;
+};
+
+class Function {
+ public:
+  Function(FunctionId id, std::string name, uint32_t num_params)
+      : id_(id), name_(std::move(name)), num_params_(num_params), num_regs_(num_params) {}
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  FunctionId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  // Parameters occupy registers [0, num_params).
+  uint32_t num_params() const { return num_params_; }
+  uint32_t num_regs() const { return num_regs_; }
+
+  Reg NewReg() { return num_regs_++; }
+
+  BasicBlock& CreateBlock(std::string label);
+  const BasicBlock& block(BlockId id) const {
+    GIST_CHECK_LT(id, blocks_.size());
+    return *blocks_[id];
+  }
+  BasicBlock& mutable_block(BlockId id) {
+    GIST_CHECK_LT(id, blocks_.size());
+    return *blocks_[id];
+  }
+  size_t num_blocks() const { return blocks_.size(); }
+  const BasicBlock& entry() const { return block(0); }
+
+  // Block id for a label, or kNoBlock.
+  BlockId FindBlock(const std::string& label) const;
+
+ private:
+  FunctionId id_;
+  std::string name_;
+  uint32_t num_params_;
+  uint32_t num_regs_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_FUNCTION_H_

@@ -1,0 +1,180 @@
+#include "src/ir/instruction.h"
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace gist {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+      return "const";
+    case Opcode::kMove:
+      return "move";
+    case Opcode::kBinOp:
+      return "binop";
+    case Opcode::kNot:
+      return "not";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kAddrOfGlobal:
+      return "addrof";
+    case Opcode::kGep:
+      return "gep";
+    case Opcode::kAlloc:
+      return "alloc";
+    case Opcode::kFree:
+      return "free";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kJmp:
+      return "jmp";
+    case Opcode::kAssert:
+      return "assert";
+    case Opcode::kThreadCreate:
+      return "spawn";
+    case Opcode::kThreadJoin:
+      return "join";
+    case Opcode::kLock:
+      return "lock";
+    case Opcode::kUnlock:
+      return "unlock";
+    case Opcode::kInput:
+      return "input";
+    case Opcode::kPrint:
+      return "print";
+    case Opcode::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "add";
+    case BinOp::kSub:
+      return "sub";
+    case BinOp::kMul:
+      return "mul";
+    case BinOp::kDiv:
+      return "div";
+    case BinOp::kRem:
+      return "rem";
+    case BinOp::kEq:
+      return "eq";
+    case BinOp::kNe:
+      return "ne";
+    case BinOp::kLt:
+      return "lt";
+    case BinOp::kLe:
+      return "le";
+    case BinOp::kGt:
+      return "gt";
+    case BinOp::kGe:
+      return "ge";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kXor:
+      return "xor";
+    case BinOp::kShl:
+      return "shl";
+    case BinOp::kShr:
+      return "shr";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string RegName(Reg reg) {
+  return reg == kNoReg ? std::string("_") : StrFormat("r%u", reg);
+}
+
+std::string OperandList(const Instruction& instr, size_t first = 0) {
+  std::string out;
+  for (size_t i = first; i < instr.operands.size(); ++i) {
+    if (i > first) {
+      out += ", ";
+    }
+    out += RegName(instr.operands[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string InstructionToString(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kConst:
+      return StrFormat("%s = const %lld", RegName(instr.dst).c_str(),
+                       static_cast<long long>(instr.imm));
+    case Opcode::kMove:
+      return StrFormat("%s = move %s", RegName(instr.dst).c_str(),
+                       RegName(instr.operands[0]).c_str());
+    case Opcode::kBinOp:
+      return StrFormat("%s = %s %s, %s", RegName(instr.dst).c_str(), BinOpName(instr.binop),
+                       RegName(instr.operands[0]).c_str(), RegName(instr.operands[1]).c_str());
+    case Opcode::kNot:
+      return StrFormat("%s = not %s", RegName(instr.dst).c_str(),
+                       RegName(instr.operands[0]).c_str());
+    case Opcode::kLoad:
+      return StrFormat("%s = load %s", RegName(instr.dst).c_str(),
+                       RegName(instr.operands[0]).c_str());
+    case Opcode::kStore:
+      return StrFormat("store %s, %s", RegName(instr.operands[0]).c_str(),
+                       RegName(instr.operands[1]).c_str());
+    case Opcode::kAddrOfGlobal:
+      return StrFormat("%s = addrof g%u + %lld", RegName(instr.dst).c_str(), instr.global,
+                       static_cast<long long>(instr.imm));
+    case Opcode::kGep:
+      return StrFormat("%s = gep %s, %s", RegName(instr.dst).c_str(),
+                       RegName(instr.operands[0]).c_str(), RegName(instr.operands[1]).c_str());
+    case Opcode::kAlloc:
+      return StrFormat("%s = alloc %s", RegName(instr.dst).c_str(),
+                       RegName(instr.operands[0]).c_str());
+    case Opcode::kFree:
+      return StrFormat("free %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kCall:
+      return StrFormat("%s = call @%u(%s)", RegName(instr.dst).c_str(), instr.callee,
+                       OperandList(instr).c_str());
+    case Opcode::kRet:
+      return instr.operands.empty() ? std::string("ret")
+                                    : StrFormat("ret %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kBr:
+      return StrFormat("br %s, ^%u, ^%u", RegName(instr.operands[0]).c_str(), instr.target0,
+                       instr.target1);
+    case Opcode::kJmp:
+      return StrFormat("jmp ^%u", instr.target0);
+    case Opcode::kAssert:
+      return StrFormat("assert %s, \"%s\"", RegName(instr.operands[0]).c_str(),
+                       instr.text.c_str());
+    case Opcode::kThreadCreate:
+      return StrFormat("%s = spawn @%u(%s)", RegName(instr.dst).c_str(), instr.callee,
+                       OperandList(instr).c_str());
+    case Opcode::kThreadJoin:
+      return StrFormat("join %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kLock:
+      return StrFormat("lock %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kUnlock:
+      return StrFormat("unlock %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kInput:
+      return StrFormat("%s = input %lld", RegName(instr.dst).c_str(),
+                       static_cast<long long>(instr.imm));
+    case Opcode::kPrint:
+      return StrFormat("print %s", RegName(instr.operands[0]).c_str());
+    case Opcode::kNop:
+      return "nop";
+  }
+  GIST_UNREACHABLE("bad opcode");
+}
+
+}  // namespace gist

@@ -1,0 +1,107 @@
+// MiniIR instruction set.
+//
+// Instructions are plain structs owned by value inside basic blocks. Operand
+// registers live in a small inline vector; control-flow targets and callees
+// are ids resolved against the owning module.
+
+#ifndef GIST_SRC_IR_INSTRUCTION_H_
+#define GIST_SRC_IR_INSTRUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ids.h"
+
+namespace gist {
+
+enum class Opcode : uint8_t {
+  kConst,         // dst = imm
+  kMove,          // dst = op0
+  kBinOp,         // dst = op0 <binop> op1
+  kNot,           // dst = (op0 == 0)
+  kLoad,          // dst = mem[op0]
+  kStore,         // mem[op0] = op1
+  kAddrOfGlobal,  // dst = &global(global_id) ; imm = element offset
+  kGep,           // dst = op0 + op1 (address arithmetic, word granular)
+  kAlloc,         // dst = heap_alloc(op0 words)
+  kFree,          // heap_free(op0)
+  kCall,          // dst? = call callee(op0, op1, ...)
+  kRet,           // ret op0?  (operand optional)
+  kBr,            // if (op0 != 0) goto target0 else goto target1
+  kJmp,           // goto target0
+  kAssert,        // if (op0 == 0) raise AssertViolation(text)
+  kThreadCreate,  // dst = spawn callee(op0?)
+  kThreadJoin,    // join thread id in op0
+  kLock,          // acquire mutex at mem[op0]
+  kUnlock,        // release mutex at mem[op0]
+  kInput,         // dst = workload input #imm
+  kPrint,         // observable output of op0
+  kNop,
+};
+
+enum class BinOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // traps on divide-by-zero
+  kRem,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,  // logical: nonzero operands
+  kOr,
+  kXor,  // bitwise
+  kShl,
+  kShr,
+};
+
+// Pseudo source-code position. Sketches and Table 1 report both "source LOC"
+// and "instructions"; several instructions typically share one source line.
+struct SourceLoc {
+  std::string function;  // source-level function name
+  uint32_t line = 0;     // 1-based line within the app's pseudo source
+  std::string text;      // the source line as shown in failure sketches
+};
+
+struct Instruction {
+  InstrId id = kNoInstr;
+  Opcode op = Opcode::kNop;
+  Reg dst = kNoReg;
+  std::vector<Reg> operands;
+
+  int64_t imm = 0;                     // kConst value / kInput index / kAddrOfGlobal offset
+  BinOp binop = BinOp::kAdd;           // kBinOp only
+  FunctionId callee = kNoFunction;     // kCall / kThreadCreate
+  BlockId target0 = kNoBlock;          // kBr taken / kJmp target
+  BlockId target1 = kNoBlock;          // kBr fall-through
+  GlobalId global = 0;                 // kAddrOfGlobal
+  std::string text;                    // kAssert message
+
+  SourceLoc loc;
+
+  bool IsTerminator() const {
+    return op == Opcode::kBr || op == Opcode::kJmp || op == Opcode::kRet;
+  }
+  bool HasDst() const { return dst != kNoReg; }
+  bool IsMemoryAccess() const {
+    return op == Opcode::kLoad || op == Opcode::kStore || op == Opcode::kLock ||
+           op == Opcode::kUnlock || op == Opcode::kFree;
+  }
+  // Memory accesses whose inter-thread order feeds concurrency predictors.
+  bool IsSharedAccess() const { return op == Opcode::kLoad || op == Opcode::kStore; }
+  bool IsWriteAccess() const { return op == Opcode::kStore; }
+  bool IsCallLike() const { return op == Opcode::kCall || op == Opcode::kThreadCreate; }
+};
+
+const char* OpcodeName(Opcode op);
+const char* BinOpName(BinOp op);
+
+// Renders one instruction in the textual IR syntax (see parser.h).
+std::string InstructionToString(const Instruction& instr);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_INSTRUCTION_H_

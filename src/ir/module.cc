@@ -1,0 +1,112 @@
+#include "src/ir/module.h"
+
+#include <set>
+#include <utility>
+
+#include "src/support/str.h"
+
+namespace gist {
+
+Function& Module::CreateFunction(std::string name, uint32_t num_params) {
+  const FunctionId id = static_cast<FunctionId>(functions_.size());
+  functions_.push_back(std::make_unique<Function>(id, std::move(name), num_params));
+  return *functions_.back();
+}
+
+GlobalId Module::CreateGlobal(std::string name, uint64_t size_words, Word initial_value) {
+  const GlobalId id = static_cast<GlobalId>(globals_.size());
+  globals_.push_back(GlobalVar{std::move(name), size_words, initial_value});
+  return id;
+}
+
+FunctionId Module::FindFunction(const std::string& name) const {
+  for (const auto& function : functions_) {
+    if (function->name() == name) {
+      return function->id();
+    }
+  }
+  return kNoFunction;
+}
+
+GlobalId Module::FindGlobal(const std::string& name) const {
+  for (size_t i = 0; i < globals_.size(); ++i) {
+    if (globals_[i].name == name) {
+      return static_cast<GlobalId>(i);
+    }
+  }
+  GIST_UNREACHABLE("unknown global: " + name);
+}
+
+InstrId Module::NextInstrId(InstrLocation location) {
+  const InstrId id = static_cast<InstrId>(locations_.size());
+  locations_.push_back(location);
+  return id;
+}
+
+const Instruction& Module::instr(InstrId id) const {
+  const InstrLocation& loc = location(id);
+  return function(loc.function).block(loc.block).instructions()[loc.index];
+}
+
+size_t Module::CountSourceLines(const std::vector<InstrId>& instrs) const {
+  std::set<std::pair<std::string, uint32_t>> lines;
+  for (InstrId id : instrs) {
+    const Instruction& instruction = instr(id);
+    if (instruction.loc.line != 0) {
+      lines.emplace(instruction.loc.function, instruction.loc.line);
+    }
+  }
+  return lines.size();
+}
+
+std::string Module::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < globals_.size(); ++i) {
+    out += StrFormat("global %s %llu %lld\n", globals_[i].name.c_str(),
+                     static_cast<unsigned long long>(globals_[i].size_words),
+                     static_cast<long long>(globals_[i].initial_value));
+  }
+  for (const auto& function : functions_) {
+    out += StrFormat("\nfunc %s(%u) {\n", function->name().c_str(), function->num_params());
+    for (size_t b = 0; b < function->num_blocks(); ++b) {
+      const BasicBlock& block = function->block(static_cast<BlockId>(b));
+      out += block.label() + ":\n";
+      for (const Instruction& instruction : block.instructions()) {
+        std::string line = "  " + InstructionToString(instruction);
+        // Resolve ids to names for readability and parser round-trips.
+        if (instruction.IsCallLike()) {
+          const std::string callee_name = FunctionNameOrDie(instruction.callee);
+          const std::string needle = StrFormat("@%u(", instruction.callee);
+          const size_t pos = line.find(needle);
+          GIST_CHECK_NE(pos, std::string::npos);
+          line.replace(pos, needle.size() - 1, "@" + callee_name);
+        } else if (instruction.op == Opcode::kBr || instruction.op == Opcode::kJmp) {
+          std::string resolved = StrFormat("  %s", OpcodeName(instruction.op));
+          if (instruction.op == Opcode::kBr) {
+            resolved += StrFormat(" r%u, ^%s, ^%s", instruction.operands[0],
+                                  function->block(instruction.target0).label().c_str(),
+                                  function->block(instruction.target1).label().c_str());
+          } else {
+            resolved += StrFormat(" ^%s", function->block(instruction.target0).label().c_str());
+          }
+          line = resolved;
+        } else if (instruction.op == Opcode::kAddrOfGlobal) {
+          line = StrFormat("  r%u = addrof %s + %lld", instruction.dst,
+                           globals_[instruction.global].name.c_str(),
+                           static_cast<long long>(instruction.imm));
+        }
+        out += line + "\n";
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+// private helper declared inline here to keep the header minimal
+std::string Module::FunctionNameOrDie(FunctionId id) const {
+  GIST_CHECK_LT(id, functions_.size());
+  return functions_[id]->name();
+}
+
+}  // namespace gist

@@ -1,0 +1,83 @@
+// MiniIR module: the unit of compilation, analysis, and execution.
+
+#ifndef GIST_SRC_IR_MODULE_H_
+#define GIST_SRC_IR_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/function.h"
+#include "src/ir/ids.h"
+
+namespace gist {
+
+struct GlobalVar {
+  std::string name;
+  uint64_t size_words = 1;
+  Word initial_value = 0;  // every word of the global starts at this value
+};
+
+// Where an instruction lives; resolvable from its module-wide id.
+struct InstrLocation {
+  FunctionId function = kNoFunction;
+  BlockId block = kNoBlock;
+  uint32_t index = 0;  // position within the block
+};
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  Function& CreateFunction(std::string name, uint32_t num_params);
+  GlobalId CreateGlobal(std::string name, uint64_t size_words = 1, Word initial_value = 0);
+
+  const Function& function(FunctionId id) const {
+    GIST_CHECK_LT(id, functions_.size());
+    return *functions_[id];
+  }
+  Function& mutable_function(FunctionId id) {
+    GIST_CHECK_LT(id, functions_.size());
+    return *functions_[id];
+  }
+  size_t num_functions() const { return functions_.size(); }
+
+  FunctionId FindFunction(const std::string& name) const;
+
+  const GlobalVar& global(GlobalId id) const {
+    GIST_CHECK_LT(id, globals_.size());
+    return globals_[id];
+  }
+  size_t num_globals() const { return globals_.size(); }
+  GlobalId FindGlobal(const std::string& name) const;
+
+  // Assigns a fresh module-wide instruction id; called by the builder/parser
+  // when appending instructions.
+  InstrId NextInstrId(InstrLocation location);
+
+  size_t num_instructions() const { return locations_.size(); }
+  const InstrLocation& location(InstrId id) const {
+    GIST_CHECK_LT(id, locations_.size());
+    return locations_[id];
+  }
+  const Instruction& instr(InstrId id) const;
+
+  // Total number of distinct (function, line) source lines covered by the
+  // given instruction ids; Table 1 reports slice sizes in both units.
+  size_t CountSourceLines(const std::vector<InstrId>& instrs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string FunctionNameOrDie(FunctionId id) const;
+
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<GlobalVar> globals_;
+  std::vector<InstrLocation> locations_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_MODULE_H_

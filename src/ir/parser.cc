@@ -1,0 +1,460 @@
+#include "src/ir/parser.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ir/verifier.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+struct PendingBranch {
+  FunctionId function;
+  BlockId block;
+  uint32_t index;
+  std::string label0;
+  std::string label1;  // empty for jmp
+};
+
+struct PendingCall {
+  FunctionId function;
+  BlockId block;
+  uint32_t index;
+  std::string callee;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Module>> Run();
+
+ private:
+  Result<bool> ParseLine(std::string_view line);
+  Result<bool> ParseInstruction(std::string_view line);
+  Error Err(const std::string& message) const {
+    return Error(StrFormat("line %u: %s", line_number_, message.c_str()));
+  }
+
+  // Parses "rN" and widens the current function's register file as needed.
+  Result<Reg> ParseReg(std::string_view token);
+  Result<std::vector<Reg>> ParseRegList(std::string_view tokens);
+
+  std::string_view text_;
+  uint32_t line_number_ = 0;
+  std::unique_ptr<Module> module_ = std::make_unique<Module>();
+  Function* function_ = nullptr;
+  BasicBlock* block_ = nullptr;
+  std::string raw_line_;  // current line, used as the pseudo-source text
+  std::vector<PendingBranch> pending_branches_;
+  std::vector<PendingCall> pending_calls_;
+};
+
+Result<Reg> Parser::ParseReg(std::string_view token) {
+  token = StripWhitespace(token);
+  if (token.size() < 2 || token[0] != 'r') {
+    return Err(StrFormat("expected register, got '%.*s'", static_cast<int>(token.size()),
+                         token.data()));
+  }
+  uint64_t index = 0;
+  for (char c : token.substr(1)) {
+    if (c < '0' || c > '9') {
+      return Err(StrFormat("bad register '%.*s'", static_cast<int>(token.size()), token.data()));
+    }
+    index = index * 10 + static_cast<uint64_t>(c - '0');
+  }
+  while (function_->num_regs() <= index) {
+    function_->NewReg();
+  }
+  return static_cast<Reg>(index);
+}
+
+Result<std::vector<Reg>> Parser::ParseRegList(std::string_view tokens) {
+  std::vector<Reg> regs;
+  for (std::string_view piece : SplitNonEmpty(tokens, ',')) {
+    Result<Reg> reg = ParseReg(piece);
+    if (!reg.ok()) {
+      return reg.error();
+    }
+    regs.push_back(*reg);
+  }
+  return regs;
+}
+
+// Maps a mnemonic to a BinOp, if it is one.
+bool LookupBinOp(std::string_view name, BinOp* out) {
+  static const std::map<std::string_view, BinOp> kOps = {
+      {"add", BinOp::kAdd}, {"sub", BinOp::kSub}, {"mul", BinOp::kMul}, {"div", BinOp::kDiv},
+      {"rem", BinOp::kRem}, {"eq", BinOp::kEq},   {"ne", BinOp::kNe},   {"lt", BinOp::kLt},
+      {"le", BinOp::kLe},   {"gt", BinOp::kGt},   {"ge", BinOp::kGe},   {"and", BinOp::kAnd},
+      {"or", BinOp::kOr},   {"xor", BinOp::kXor}, {"shl", BinOp::kShl}, {"shr", BinOp::kShr},
+  };
+  auto it = kOps.find(name);
+  if (it == kOps.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  token = StripWhitespace(token);
+  if (token.empty()) {
+    return false;
+  }
+  bool negative = false;
+  size_t i = 0;
+  if (token[0] == '-') {
+    negative = true;
+    i = 1;
+    if (token.size() == 1) {
+      return false;
+    }
+  }
+  int64_t value = 0;
+  for (; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') {
+      return false;
+    }
+    value = value * 10 + (token[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+Result<bool> Parser::ParseInstruction(std::string_view line) {
+  Instruction instr;
+  // "dst = rest" or bare "op ..." form.
+  std::string_view rest = line;
+  const size_t eq = line.find('=');
+  // Careful: "r2 = eq r0, r1" has '=' only as assignment; mnemonics never
+  // contain '='.
+  if (eq != std::string_view::npos) {
+    Result<Reg> dst = ParseReg(line.substr(0, eq));
+    if (!dst.ok()) {
+      return dst.error();
+    }
+    instr.dst = *dst;
+    rest = StripWhitespace(line.substr(eq + 1));
+  }
+
+  const size_t space = rest.find_first_of(" \t");
+  const std::string_view mnemonic = rest.substr(0, space);
+  std::string_view args =
+      space == std::string_view::npos ? std::string_view() : StripWhitespace(rest.substr(space));
+
+  auto finish = [&]() -> Result<bool> {
+    instr.loc = SourceLoc{function_->name(), line_number_, raw_line_};
+    instr.id = module_->NextInstrId(InstrLocation{function_->id(), block_->id(),
+                                                  static_cast<uint32_t>(block_->size())});
+    block_->mutable_instructions().push_back(std::move(instr));
+    return true;
+  };
+
+  BinOp binop;
+  if (LookupBinOp(mnemonic, &binop)) {
+    instr.op = Opcode::kBinOp;
+    instr.binop = binop;
+    Result<std::vector<Reg>> regs = ParseRegList(args);
+    if (!regs.ok()) {
+      return regs.error();
+    }
+    if (regs->size() != 2) {
+      return Err("binop expects two operands");
+    }
+    instr.operands = *regs;
+    return finish();
+  }
+
+  if (mnemonic == "const" || mnemonic == "input") {
+    instr.op = mnemonic == "const" ? Opcode::kConst : Opcode::kInput;
+    if (!ParseInt(args, &instr.imm)) {
+      return Err("expected integer literal");
+    }
+    return finish();
+  }
+  if (mnemonic == "move" || mnemonic == "not" || mnemonic == "load" || mnemonic == "alloc" ||
+      mnemonic == "free" || mnemonic == "join" || mnemonic == "lock" || mnemonic == "unlock" ||
+      mnemonic == "print") {
+    static const std::map<std::string_view, Opcode> kUnary = {
+        {"move", Opcode::kMove}, {"not", Opcode::kNot},        {"load", Opcode::kLoad},
+        {"alloc", Opcode::kAlloc}, {"free", Opcode::kFree},    {"join", Opcode::kThreadJoin},
+        {"lock", Opcode::kLock},   {"unlock", Opcode::kUnlock}, {"print", Opcode::kPrint},
+    };
+    instr.op = kUnary.at(mnemonic);
+    Result<Reg> reg = ParseReg(args);
+    if (!reg.ok()) {
+      return reg.error();
+    }
+    instr.operands = {*reg};
+    return finish();
+  }
+  if (mnemonic == "store" || mnemonic == "gep") {
+    instr.op = mnemonic == "store" ? Opcode::kStore : Opcode::kGep;
+    Result<std::vector<Reg>> regs = ParseRegList(args);
+    if (!regs.ok()) {
+      return regs.error();
+    }
+    if (regs->size() != 2) {
+      return Err(std::string(mnemonic) + " expects two operands");
+    }
+    instr.operands = *regs;
+    return finish();
+  }
+  if (mnemonic == "addrof") {
+    instr.op = Opcode::kAddrOfGlobal;
+    // "<global> + <offset>" with the offset optional.
+    std::string_view name = args;
+    int64_t offset = 0;
+    const size_t plus = args.find('+');
+    if (plus != std::string_view::npos) {
+      name = StripWhitespace(args.substr(0, plus));
+      if (!ParseInt(args.substr(plus + 1), &offset)) {
+        return Err("bad addrof offset");
+      }
+    }
+    name = StripWhitespace(name);
+    bool found = false;
+    for (GlobalId g = 0; g < module_->num_globals(); ++g) {
+      if (module_->global(g).name == name) {
+        instr.global = g;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Err("unknown global '" + std::string(name) + "'");
+    }
+    instr.imm = offset;
+    return finish();
+  }
+  if (mnemonic == "call" || mnemonic == "spawn") {
+    instr.op = mnemonic == "call" ? Opcode::kCall : Opcode::kThreadCreate;
+    const size_t at = args.find('@');
+    const size_t paren = args.find('(');
+    const size_t close = args.rfind(')');
+    if (at == std::string_view::npos || paren == std::string_view::npos ||
+        close == std::string_view::npos || close < paren) {
+      return Err("expected @callee(args)");
+    }
+    const std::string callee(StripWhitespace(args.substr(at + 1, paren - at - 1)));
+    Result<std::vector<Reg>> regs = ParseRegList(args.substr(paren + 1, close - paren - 1));
+    if (!regs.ok()) {
+      return regs.error();
+    }
+    instr.operands = *regs;
+    pending_calls_.push_back(PendingCall{function_->id(), block_->id(),
+                                         static_cast<uint32_t>(block_->size()), callee});
+    return finish();
+  }
+  if (mnemonic == "assert") {
+    instr.op = Opcode::kAssert;
+    const size_t comma = args.find(',');
+    if (comma == std::string_view::npos) {
+      return Err("assert expects: assert rN, \"msg\"");
+    }
+    Result<Reg> reg = ParseReg(args.substr(0, comma));
+    if (!reg.ok()) {
+      return reg.error();
+    }
+    instr.operands = {*reg};
+    std::string_view msg = StripWhitespace(args.substr(comma + 1));
+    if (msg.size() >= 2 && msg.front() == '"' && msg.back() == '"') {
+      msg = msg.substr(1, msg.size() - 2);
+    }
+    instr.text = std::string(msg);
+    return finish();
+  }
+  if (mnemonic == "br") {
+    instr.op = Opcode::kBr;
+    auto pieces = SplitNonEmpty(args, ',');
+    if (pieces.size() != 3) {
+      return Err("br expects: br rN, ^a, ^b");
+    }
+    Result<Reg> reg = ParseReg(pieces[0]);
+    if (!reg.ok()) {
+      return reg.error();
+    }
+    instr.operands = {*reg};
+    std::string_view label0 = StripWhitespace(pieces[1]);
+    std::string_view label1 = StripWhitespace(pieces[2]);
+    if (label0.empty() || label0[0] != '^' || label1.empty() || label1[0] != '^') {
+      return Err("branch targets must start with ^");
+    }
+    pending_branches_.push_back(PendingBranch{function_->id(), block_->id(),
+                                              static_cast<uint32_t>(block_->size()),
+                                              std::string(label0.substr(1)),
+                                              std::string(label1.substr(1))});
+    return finish();
+  }
+  if (mnemonic == "jmp") {
+    instr.op = Opcode::kJmp;
+    std::string_view label = StripWhitespace(args);
+    if (label.empty() || label[0] != '^') {
+      return Err("jump target must start with ^");
+    }
+    pending_branches_.push_back(PendingBranch{function_->id(), block_->id(),
+                                              static_cast<uint32_t>(block_->size()),
+                                              std::string(label.substr(1)), std::string()});
+    return finish();
+  }
+  if (mnemonic == "ret") {
+    instr.op = Opcode::kRet;
+    if (!args.empty()) {
+      Result<Reg> reg = ParseReg(args);
+      if (!reg.ok()) {
+        return reg.error();
+      }
+      instr.operands = {*reg};
+    }
+    return finish();
+  }
+  if (mnemonic == "nop") {
+    instr.op = Opcode::kNop;
+    return finish();
+  }
+  return Err("unknown mnemonic '" + std::string(mnemonic) + "'");
+}
+
+Result<bool> Parser::ParseLine(std::string_view line) {
+  if (StartsWith(line, "global ")) {
+    auto pieces = SplitNonEmpty(line.substr(7), ' ');
+    if (pieces.empty() || pieces.size() > 3) {
+      return Err("global expects: global <name> [<size>] [<init>]");
+    }
+    int64_t size = 1;
+    int64_t init = 0;
+    if (pieces.size() >= 2 && !ParseInt(pieces[1], &size)) {
+      return Err("bad global size");
+    }
+    if (pieces.size() == 3 && !ParseInt(pieces[2], &init)) {
+      return Err("bad global init");
+    }
+    if (size <= 0) {
+      return Err("global size must be positive");
+    }
+    module_->CreateGlobal(std::string(pieces[0]), static_cast<uint64_t>(size), init);
+    return true;
+  }
+  if (StartsWith(line, "func ")) {
+    if (function_ != nullptr) {
+      return Err("nested func");
+    }
+    const size_t paren = line.find('(');
+    const size_t close = line.find(')');
+    if (paren == std::string_view::npos || close == std::string_view::npos || close < paren ||
+        line.back() != '{') {
+      return Err("func expects: func name(nparams) {");
+    }
+    const std::string name(StripWhitespace(line.substr(5, paren - 5)));
+    int64_t num_params = 0;
+    const std::string_view params = StripWhitespace(line.substr(paren + 1, close - paren - 1));
+    if (!params.empty() && !ParseInt(params, &num_params)) {
+      return Err("bad parameter count");
+    }
+    if (module_->FindFunction(name) != kNoFunction) {
+      return Err("duplicate function '" + name + "'");
+    }
+    function_ = &module_->CreateFunction(name, static_cast<uint32_t>(num_params));
+    block_ = nullptr;
+    return true;
+  }
+  if (line == "}") {
+    if (function_ == nullptr) {
+      return Err("'}' outside function");
+    }
+    function_ = nullptr;
+    block_ = nullptr;
+    return true;
+  }
+  if (line.back() == ':' && line.find(' ') == std::string_view::npos) {
+    if (function_ == nullptr) {
+      return Err("label outside function");
+    }
+    const std::string label(line.substr(0, line.size() - 1));
+    if (function_->FindBlock(label) != kNoBlock) {
+      return Err("duplicate label '" + label + "'");
+    }
+    block_ = &function_->CreateBlock(label);
+    return true;
+  }
+  if (function_ == nullptr) {
+    return Err("instruction outside function");
+  }
+  if (block_ == nullptr) {
+    return Err("instruction before first label");
+  }
+  return ParseInstruction(line);
+}
+
+Result<std::unique_ptr<Module>> Parser::Run() {
+  size_t start = 0;
+  while (start <= text_.size()) {
+    size_t end = text_.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text_.size();
+    }
+    ++line_number_;
+    std::string_view line = text_.substr(start, end - start);
+    start = end + 1;
+    const size_t comment = line.find(';');
+    if (comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    line = StripWhitespace(line);
+    if (line.empty()) {
+      continue;
+    }
+    raw_line_ = std::string(line);
+    Result<bool> parsed = ParseLine(line);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+  }
+  if (function_ != nullptr) {
+    return Error("unterminated function at end of input");
+  }
+
+  // Resolve branch labels and call targets now that everything is declared.
+  for (const PendingBranch& pending : pending_branches_) {
+    Function& function = module_->mutable_function(pending.function);
+    Instruction& instr =
+        function.mutable_block(pending.block).mutable_instructions()[pending.index];
+    const BlockId target0 = function.FindBlock(pending.label0);
+    if (target0 == kNoBlock) {
+      return Error("unknown label '^" + pending.label0 + "' in " + function.name());
+    }
+    instr.target0 = target0;
+    if (!pending.label1.empty()) {
+      const BlockId target1 = function.FindBlock(pending.label1);
+      if (target1 == kNoBlock) {
+        return Error("unknown label '^" + pending.label1 + "' in " + function.name());
+      }
+      instr.target1 = target1;
+    }
+  }
+  for (const PendingCall& pending : pending_calls_) {
+    const FunctionId callee = module_->FindFunction(pending.callee);
+    if (callee == kNoFunction) {
+      return Error("unknown function '@" + pending.callee + "'");
+    }
+    module_->mutable_function(pending.function)
+        .mutable_block(pending.block)
+        .mutable_instructions()[pending.index]
+        .callee = callee;
+  }
+
+  Status verified = VerifyModule(*module_);
+  if (!verified.ok()) {
+    return Error("verification failed: " + verified.error().message());
+  }
+  return std::move(module_);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Module>> ParseModule(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace gist

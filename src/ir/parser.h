@@ -1,0 +1,53 @@
+// Textual MiniIR parser.
+//
+// Grammar (line oriented; ';' starts a comment):
+//
+//   global <name> <size_words> [<init>]
+//   func <name>(<num_params>) {
+//   <label>:
+//     r1 = const 42
+//     r2 = input 0
+//     r3 = add r1, r2           ; any BinOp name: add sub mul div rem eq ne
+//                               ;   lt le gt ge and or xor shl shr
+//     r4 = not r3
+//     r5 = move r3
+//     r6 = addrof <global> + 2
+//     r7 = gep r6, r1
+//     r8 = load r7
+//     store r7, r8
+//     r9 = alloc r1
+//     free r9
+//     r10 = call @f(r1, r2)
+//     call @g()
+//     r11 = spawn @worker(r1)
+//     join r11
+//     lock r7
+//     unlock r7
+//     assert r3, "message"
+//     print r3
+//     nop
+//     br r3, ^then, ^else
+//     jmp ^exit
+//     ret r1                    ; or: ret
+//   }
+//
+// Registers are dense indices; parameters occupy r0..r(n-1). Instruction
+// source locations record the input line so parsed programs render naturally
+// in failure sketches.
+
+#ifndef GIST_SRC_IR_PARSER_H_
+#define GIST_SRC_IR_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/ir/module.h"
+#include "src/support/result.h"
+
+namespace gist {
+
+Result<std::unique_ptr<Module>> ParseModule(std::string_view text);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_PARSER_H_

@@ -1,0 +1,278 @@
+#include "src/pt/decoder.h"
+
+#include <map>
+
+namespace gist {
+namespace {
+
+// Reconstruction state for one traced thread on one core.
+struct Walker {
+  enum class Wait : uint8_t {
+    kNone,  // actively walking (transient)
+    kTnt,   // paused at a conditional branch, needs a TNT bit
+    kTip,   // paused at a return, needs a TIP packet
+  };
+
+  ThreadId tid = kNoThread;
+  FunctionId function = kNoFunction;
+  BlockId block = kNoBlock;
+  uint32_t index = 0;
+  Wait wait = Wait::kNone;
+  bool active = false;
+  std::vector<size_t> visit_indices;  // into DecodedCoreTrace::visits
+};
+
+class Decoder {
+ public:
+  Decoder(const Module& module, CoreId core, const std::vector<uint8_t>& bytes)
+      : module_(module), bytes_(bytes) {
+    trace_.core = core;
+  }
+
+  Result<DecodedCoreTrace> Run() {
+    size_t offset = 0;
+    while (offset < bytes_.size()) {
+      Result<PtPacket> packet = ReadPtPacket(bytes_, &offset);
+      if (!packet.ok()) {
+        return packet.error();
+      }
+      Status status = Apply(*packet);
+      if (!status.ok()) {
+        return status.error();
+      }
+      if (trace_.overflow) {
+        break;  // packets after OVF were dropped by the encoder
+      }
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  // Trace payloads come from outside the trust boundary (a client upload);
+  // every IP must be validated against the module before the walker uses it.
+  Status ValidateIp(const PtIp& ip) const {
+    if (ip.function >= module_.num_functions()) {
+      return Error("IP payload names a nonexistent function");
+    }
+    const Function& function = module_.function(ip.function);
+    if (ip.block >= function.num_blocks()) {
+      return Error("IP payload names a nonexistent block");
+    }
+    if (ip.index >= function.block(ip.block).size()) {
+      return Error("IP payload indexes past the block");
+    }
+    return Status::Ok();
+  }
+
+  Status Apply(const PtPacket& packet) {
+    switch (packet.kind) {
+      case PtPacketKind::kPad:
+      case PtPacketKind::kPsb:
+        return Status::Ok();
+      case PtPacketKind::kOvf:
+        trace_.overflow = true;
+        return Status::Ok();
+      case PtPacketKind::kPip:
+        current_tid_ = packet.tid;
+        return Status::Ok();
+      case PtPacketKind::kPge: {
+        Status valid = ValidateIp(packet.ip);
+        if (!valid.ok()) {
+          return valid;
+        }
+        // Tracing (re)starts: discard stale walkers, they are from before a
+        // gap of unknown length.
+        walkers_.clear();
+        Walker& walker = walkers_[current_tid_];
+        walker.tid = current_tid_;
+        walker.active = true;
+        StartWalk(walker, packet.ip);
+        return Status::Ok();
+      }
+      case PtPacketKind::kFup: {
+        Status valid = ValidateIp(packet.ip);
+        if (!valid.ok()) {
+          return valid;
+        }
+        // Resync for the incoming thread after a context switch. Only needed
+        // when the thread has no walker yet; an existing walker already knows
+        // where it paused.
+        auto it = walkers_.find(current_tid_);
+        if (it == walkers_.end()) {
+          Walker& walker = walkers_[current_tid_];
+          walker.tid = current_tid_;
+          walker.active = true;
+          StartWalk(walker, packet.ip);
+        }
+        return Status::Ok();
+      }
+      case PtPacketKind::kPgd: {
+        auto it = walkers_.find(current_tid_);
+        if (it != walkers_.end()) {
+          TruncateAfter(it->second, packet.ip);
+          it->second.active = false;
+        }
+        return Status::Ok();
+      }
+      case PtPacketKind::kTnt: {
+        for (uint8_t i = 0; i < packet.tnt_count; ++i) {
+          const bool taken = (packet.tnt_bits >> i) & 1;
+          Status status = ApplyTntBit(taken);
+          if (!status.ok()) {
+            return status;
+          }
+        }
+        return Status::Ok();
+      }
+      case PtPacketKind::kTip: {
+        auto it = walkers_.find(current_tid_);
+        if (it == walkers_.end() || it->second.wait != Walker::Wait::kTip) {
+          return Error("TIP packet without a return-waiting walker");
+        }
+        Walker& walker = it->second;
+        if (IsPtEndIp(packet.ip)) {
+          walker.active = false;
+          walker.wait = Walker::Wait::kNone;
+          return Status::Ok();
+        }
+        Status valid = ValidateIp(packet.ip);
+        if (!valid.ok()) {
+          return valid;
+        }
+        walker.wait = Walker::Wait::kNone;
+        StartWalk(walker, packet.ip);
+        return Status::Ok();
+      }
+    }
+    return Error("unhandled packet kind");
+  }
+
+  Status ApplyTntBit(bool taken) {
+    auto it = walkers_.find(current_tid_);
+    if (it == walkers_.end() || it->second.wait != Walker::Wait::kTnt) {
+      return Error("TNT bit without a branch-waiting walker");
+    }
+    Walker& walker = it->second;
+    const Instruction& branch = module_.function(walker.function)
+                                    .block(walker.block)
+                                    .instructions()[walker.index];
+    GIST_CHECK_EQ(static_cast<int>(branch.op), static_cast<int>(Opcode::kBr));
+    trace_.branches.push_back(PtBranch{walker.tid, branch.id, taken});
+    walker.wait = Walker::Wait::kNone;
+    StartWalk(walker,
+              PtIp{walker.function, taken ? branch.target0 : branch.target1, 0});
+    return Status::Ok();
+  }
+
+  // Opens a visit at `ip` and walks forward until the next packet is needed
+  // (a conditional branch or a return), following direct jumps and calls.
+  void StartWalk(Walker& walker, PtIp ip) {
+    for (;;) {
+      walker.function = ip.function;
+      walker.block = ip.block;
+      walker.index = ip.index;
+
+      PtVisit visit;
+      visit.tid = walker.tid;
+      visit.function = ip.function;
+      visit.block = ip.block;
+      visit.first_index = ip.index;
+
+      const auto& instrs = module_.function(ip.function).block(ip.block).instructions();
+      uint32_t i = ip.index;
+      for (; i < instrs.size(); ++i) {
+        const Instruction& instr = instrs[i];
+        if (instr.op == Opcode::kBr) {
+          visit.last_index = i;
+          PushVisit(walker, visit);
+          walker.index = i;
+          walker.wait = Walker::Wait::kTnt;
+          return;
+        }
+        if (instr.op == Opcode::kRet) {
+          visit.last_index = i;
+          PushVisit(walker, visit);
+          walker.index = i;
+          walker.wait = Walker::Wait::kTip;
+          return;
+        }
+        if (instr.op == Opcode::kJmp) {
+          visit.last_index = i;
+          PushVisit(walker, visit);
+          ip = PtIp{ip.function, instr.target0, 0};
+          break;
+        }
+        if (instr.op == Opcode::kCall) {
+          visit.last_index = i;
+          PushVisit(walker, visit);
+          ip = PtIp{instr.callee, 0, 0};
+          break;
+        }
+      }
+      if (i >= instrs.size()) {
+        // Block ended without a terminator: impossible on verified modules.
+        GIST_UNREACHABLE("walk fell off a block");
+      }
+    }
+  }
+
+  void PushVisit(Walker& walker, const PtVisit& visit) {
+    walker.visit_indices.push_back(trace_.visits.size());
+    trace_.visits.push_back(visit);
+  }
+
+  // Tracing stopped after `ip`; drop everything the eager walk recorded past
+  // that point for this walker.
+  void TruncateAfter(Walker& walker, const PtIp& ip) {
+    // Find the most recent visit of this walker containing ip.
+    for (size_t r = walker.visit_indices.size(); r-- > 0;) {
+      PtVisit& visit = trace_.visits[walker.visit_indices[r]];
+      if (visit.function == ip.function && visit.block == ip.block &&
+          visit.first_index <= ip.index) {
+        if (visit.last_index > ip.index) {
+          visit.last_index = ip.index;
+        }
+        // Invalidate later visits of this walker (mark empty; filtered below
+        // by ExecutedInstrs and by consumers via first>last convention).
+        for (size_t d = r + 1; d < walker.visit_indices.size(); ++d) {
+          PtVisit& dropped = trace_.visits[walker.visit_indices[d]];
+          dropped.first_index = 1;
+          dropped.last_index = 0;
+        }
+        return;
+      }
+    }
+  }
+
+  const Module& module_;
+  const std::vector<uint8_t>& bytes_;
+  DecodedCoreTrace trace_;
+  ThreadId current_tid_ = kNoThread;
+  std::map<ThreadId, Walker> walkers_;
+};
+
+}  // namespace
+
+Result<DecodedCoreTrace> DecodePtStream(const Module& module, CoreId core,
+                                        const std::vector<uint8_t>& bytes) {
+  return Decoder(module, core, bytes).Run();
+}
+
+std::unordered_set<InstrId> ExecutedInstrs(const Module& module,
+                                           const std::vector<DecodedCoreTrace>& traces) {
+  std::unordered_set<InstrId> executed;
+  for (const DecodedCoreTrace& trace : traces) {
+    for (const PtVisit& visit : trace.visits) {
+      if (visit.first_index > visit.last_index) {
+        continue;  // truncated-away visit
+      }
+      const auto& instrs = module.function(visit.function).block(visit.block).instructions();
+      for (uint32_t i = visit.first_index; i <= visit.last_index && i < instrs.size(); ++i) {
+        executed.insert(instrs[i].id);
+      }
+    }
+  }
+  return executed;
+}
+
+}  // namespace gist

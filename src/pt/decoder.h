@@ -1,0 +1,56 @@
+// PT trace decoder: reconstructs executed control flow from a per-core packet
+// buffer plus the program (the decoder walks the module's CFG, consuming TNT
+// bits at conditional branches and TIP packets at returns, exactly as real PT
+// decoders walk the binary).
+//
+// The output is per-core only: traces from different cores carry no relative
+// order, mirroring the Intel PT limitation the paper works around with
+// hardware watchpoints (§3.2.3, §6).
+
+#ifndef GIST_SRC_PT_DECODER_H_
+#define GIST_SRC_PT_DECODER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/pt/packets.h"
+#include "src/support/result.h"
+#include "src/vm/observer.h"
+
+namespace gist {
+
+// A contiguous run of instructions [first_index, last_index] executed by one
+// thread inside one basic block while tracing was on.
+struct PtVisit {
+  ThreadId tid = kNoThread;
+  FunctionId function = kNoFunction;
+  BlockId block = kNoBlock;
+  uint32_t first_index = 0;
+  uint32_t last_index = 0;  // inclusive
+};
+
+// A conditional-branch outcome recovered from a TNT bit.
+struct PtBranch {
+  ThreadId tid = kNoThread;
+  InstrId instr = kNoInstr;
+  bool taken = false;
+};
+
+struct DecodedCoreTrace {
+  CoreId core = 0;
+  std::vector<PtVisit> visits;     // in per-core trace order
+  std::vector<PtBranch> branches;  // in per-core trace order
+  bool overflow = false;
+};
+
+Result<DecodedCoreTrace> DecodePtStream(const Module& module, CoreId core,
+                                        const std::vector<uint8_t>& bytes);
+
+// Union of all instruction ids covered by the visits.
+std::unordered_set<InstrId> ExecutedInstrs(const Module& module,
+                                           const std::vector<DecodedCoreTrace>& traces);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_PT_DECODER_H_

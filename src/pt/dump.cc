@@ -1,0 +1,85 @@
+#include "src/pt/dump.h"
+
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+std::string IpToString(const PtIp& ip, const Module& module) {
+  if (IsPtEndIp(ip)) {
+    return "<thread-end>";
+  }
+  if (ip.function >= module.num_functions()) {
+    return StrFormat("<bad f%u>", ip.function);
+  }
+  const Function& function = module.function(ip.function);
+  if (ip.block >= function.num_blocks()) {
+    return StrFormat("%s:<bad ^%u>", function.name().c_str(), ip.block);
+  }
+  return StrFormat("%s:^%s:%u", function.name().c_str(),
+                   function.block(ip.block).label().c_str(), ip.index);
+}
+
+}  // namespace
+
+std::string PtPacketToString(const PtPacket& packet, const Module& module) {
+  switch (packet.kind) {
+    case PtPacketKind::kPad:
+      return "PAD";
+    case PtPacketKind::kPsb:
+      return "PSB";
+    case PtPacketKind::kPge:
+      return "TIP.PGE  ip=" + IpToString(packet.ip, module);
+    case PtPacketKind::kPgd:
+      return "TIP.PGD  ip=" + IpToString(packet.ip, module);
+    case PtPacketKind::kTip:
+      return "TIP      ip=" + IpToString(packet.ip, module);
+    case PtPacketKind::kPip:
+      return StrFormat("PIP      tid=%u", packet.tid);
+    case PtPacketKind::kFup:
+      return "FUP      ip=" + IpToString(packet.ip, module);
+    case PtPacketKind::kTnt: {
+      std::string bits;
+      for (uint8_t i = 0; i < packet.tnt_count; ++i) {
+        bits += ((packet.tnt_bits >> i) & 1) != 0 ? 'T' : 'N';
+      }
+      return StrFormat("TNT      %s (%u)", bits.c_str(), packet.tnt_count);
+    }
+    case PtPacketKind::kOvf:
+      return "OVF";
+  }
+  return "?";
+}
+
+std::string DumpPtStream(const Module& module, const std::vector<uint8_t>& bytes) {
+  std::string out;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t at = offset;
+    Result<PtPacket> packet = ReadPtPacket(bytes, &offset);
+    if (!packet.ok()) {
+      out += StrFormat("%6zu  <malformed: %s>\n", at, packet.error().message().c_str());
+      break;
+    }
+    out += StrFormat("%6zu  %s\n", at, PtPacketToString(*packet, module).c_str());
+  }
+  return out;
+}
+
+std::string DumpDecodedTrace(const Module& module, const DecodedCoreTrace& trace) {
+  std::string out = StrFormat("core %u: %zu visits, %zu branches%s\n", trace.core,
+                              trace.visits.size(), trace.branches.size(),
+                              trace.overflow ? " [OVERFLOW]" : "");
+  for (const PtVisit& visit : trace.visits) {
+    if (visit.first_index > visit.last_index) {
+      continue;  // truncated away
+    }
+    const Function& function = module.function(visit.function);
+    out += StrFormat("  T%-3u %s:^%s [%u..%u]\n", visit.tid, function.name().c_str(),
+                     function.block(visit.block).label().c_str(), visit.first_index,
+                     visit.last_index);
+  }
+  return out;
+}
+
+}  // namespace gist

@@ -1,0 +1,28 @@
+// Human-readable dumps of PT packet streams and decoded traces, for the CLI
+// trace command and debugging.
+
+#ifndef GIST_SRC_PT_DUMP_H_
+#define GIST_SRC_PT_DUMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/pt/decoder.h"
+#include "src/pt/packets.h"
+
+namespace gist {
+
+// One line, e.g. "TIP.PGE  ip=main:^2:0" or "TNT      bits=101 (3)".
+std::string PtPacketToString(const PtPacket& packet, const Module& module);
+
+// The whole stream, one packet per line with byte offsets. Stops at the
+// first malformed packet with a diagnostic line.
+std::string DumpPtStream(const Module& module, const std::vector<uint8_t>& bytes);
+
+// Decoded-trace view: one line per visit with function/block labels and the
+// covered instruction range.
+std::string DumpDecodedTrace(const Module& module, const DecodedCoreTrace& trace);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_PT_DUMP_H_

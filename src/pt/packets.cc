@@ -1,0 +1,234 @@
+#include "src/pt/packets.h"
+
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+constexpr uint8_t kPad = 0x00;
+constexpr uint8_t kPsbHeader = 0x10;
+constexpr uint8_t kPsbFill = 0x82;
+constexpr size_t kPsbLength = 16;  // header + 15 fill bytes, like real PSB
+constexpr uint8_t kPgeHeader = 0x20;
+constexpr uint8_t kPgdHeader = 0x21;
+constexpr uint8_t kTipHeader = 0x22;
+constexpr uint8_t kPipHeader = 0x23;
+constexpr uint8_t kFupHeader = 0x24;
+constexpr uint8_t kTntBase = 0x30;
+constexpr uint8_t kLongTntHeader = 0x38;
+constexpr uint8_t kOvfHeader = 0x40;
+
+void PutU64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+PtIp PtEndIp() { return PtIp{kNoFunction, kNoBlock, 0xffffffffu}; }
+
+bool IsPtEndIp(const PtIp& ip) { return ip == PtEndIp(); }
+
+uint64_t PackPtIp(const PtIp& ip) {
+  // 24 bits function | 24 bits block | 16 bits index.
+  return (static_cast<uint64_t>(ip.function & 0xffffffu) << 40) |
+         (static_cast<uint64_t>(ip.block & 0xffffffu) << 16) |
+         static_cast<uint64_t>(ip.index & 0xffffu);
+}
+
+PtIp UnpackPtIp(uint64_t packed) {
+  PtIp ip;
+  ip.function = static_cast<FunctionId>((packed >> 40) & 0xffffffu);
+  ip.block = static_cast<BlockId>((packed >> 16) & 0xffffffu);
+  ip.index = static_cast<uint32_t>(packed & 0xffffu);
+  // Restore sentinel ranges for the end-of-thread marker.
+  if (ip.function == 0xffffffu) {
+    ip.function = kNoFunction;
+  }
+  if (ip.block == 0xffffffu) {
+    ip.block = kNoBlock;
+  }
+  if (ip.index == 0xffffu) {
+    ip.index = 0xffffffffu;
+  }
+  return ip;
+}
+
+void PtBuffer::Append(const uint8_t* data, size_t size) {
+  bytes_generated_ += size;
+  if (overflowed_) {
+    return;
+  }
+  if (bytes_.size() + size > capacity_) {
+    overflowed_ = true;
+    if (bytes_.size() < capacity_) {
+      bytes_.push_back(kOvfHeader);
+    }
+    return;
+  }
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void PtBuffer::AppendPsb() {
+  uint8_t packet[kPsbLength];
+  packet[0] = kPsbHeader;
+  std::memset(packet + 1, kPsbFill, kPsbLength - 1);
+  Append(packet, sizeof(packet));
+}
+
+void PtBuffer::AppendPge(const PtIp& ip) {
+  std::vector<uint8_t> packet{kPgeHeader};
+  PutU64(packet, PackPtIp(ip));
+  Append(packet.data(), packet.size());
+}
+
+void PtBuffer::AppendPgd(const PtIp& ip) {
+  std::vector<uint8_t> packet{kPgdHeader};
+  PutU64(packet, PackPtIp(ip));
+  Append(packet.data(), packet.size());
+}
+
+void PtBuffer::AppendTip(const PtIp& ip) {
+  std::vector<uint8_t> packet{kTipHeader};
+  PutU64(packet, PackPtIp(ip));
+  Append(packet.data(), packet.size());
+}
+
+void PtBuffer::AppendPip(ThreadId tid) {
+  std::vector<uint8_t> packet{kPipHeader};
+  PutU32(packet, tid);
+  Append(packet.data(), packet.size());
+}
+
+void PtBuffer::AppendFup(const PtIp& ip) {
+  std::vector<uint8_t> packet{kFupHeader};
+  PutU64(packet, PackPtIp(ip));
+  Append(packet.data(), packet.size());
+}
+
+void PtBuffer::AppendTnt(uint8_t bits, uint8_t count) {
+  GIST_CHECK_GE(count, 1);
+  GIST_CHECK_LE(count, 6);
+  const uint8_t packet[2] = {static_cast<uint8_t>(kTntBase | count),
+                             static_cast<uint8_t>(bits & ((1u << count) - 1))};
+  Append(packet, sizeof(packet));
+}
+
+void PtBuffer::AppendLongTnt(uint64_t bits, uint8_t count) {
+  GIST_CHECK_GE(count, 1);
+  GIST_CHECK_LE(count, kLongTntBits);
+  uint8_t packet[8];
+  packet[0] = kLongTntHeader;
+  packet[1] = count;
+  const uint64_t masked = bits & ((uint64_t{1} << count) - 1);
+  for (int i = 0; i < 6; ++i) {
+    packet[2 + i] = static_cast<uint8_t>(masked >> (8 * i));
+  }
+  Append(packet, sizeof(packet));
+}
+
+void PtBuffer::Clear() {
+  bytes_.clear();
+  overflowed_ = false;
+  bytes_generated_ = 0;
+}
+
+Result<PtPacket> ReadPtPacket(const std::vector<uint8_t>& bytes, size_t* offset) {
+  auto need = [&](size_t n) { return *offset + n <= bytes.size(); };
+  auto get_u64 = [&](size_t at) {
+    uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+      value = (value << 8) | bytes[at + static_cast<size_t>(i)];
+    }
+    return value;
+  };
+
+  if (!need(1)) {
+    return Error("truncated stream");
+  }
+  const uint8_t header = bytes[*offset];
+  PtPacket packet;
+  if (header == kPad) {
+    packet.kind = PtPacketKind::kPad;
+    *offset += 1;
+    return packet;
+  }
+  if (header == kPsbHeader) {
+    if (!need(kPsbLength)) {
+      return Error("truncated PSB");
+    }
+    packet.kind = PtPacketKind::kPsb;
+    *offset += kPsbLength;
+    return packet;
+  }
+  if (header == kPgeHeader || header == kPgdHeader || header == kTipHeader ||
+      header == kFupHeader) {
+    if (!need(9)) {
+      return Error("truncated TIP payload");
+    }
+    packet.kind = header == kPgeHeader   ? PtPacketKind::kPge
+                  : header == kPgdHeader ? PtPacketKind::kPgd
+                  : header == kTipHeader ? PtPacketKind::kTip
+                                         : PtPacketKind::kFup;
+    packet.ip = UnpackPtIp(get_u64(*offset + 1));
+    *offset += 9;
+    return packet;
+  }
+  if (header == kPipHeader) {
+    if (!need(5)) {
+      return Error("truncated PIP");
+    }
+    packet.kind = PtPacketKind::kPip;
+    uint32_t tid = 0;
+    for (int i = 3; i >= 0; --i) {
+      tid = (tid << 8) | bytes[*offset + 1 + static_cast<size_t>(i)];
+    }
+    packet.tid = tid;
+    *offset += 5;
+    return packet;
+  }
+  if ((header & 0xf8) == kTntBase && (header & 0x07) >= 1 && (header & 0x07) <= 6) {
+    if (!need(2)) {
+      return Error("truncated TNT");
+    }
+    packet.kind = PtPacketKind::kTnt;
+    packet.tnt_count = header & 0x07;
+    packet.tnt_bits = bytes[*offset + 1];
+    *offset += 2;
+    return packet;
+  }
+  if (header == kLongTntHeader) {
+    if (!need(8)) {
+      return Error("truncated long TNT");
+    }
+    packet.kind = PtPacketKind::kTnt;
+    packet.tnt_count = bytes[*offset + 1];
+    if (packet.tnt_count < 1 || packet.tnt_count > kLongTntBits) {
+      return Error("bad long TNT count");
+    }
+    uint64_t bits = 0;
+    for (int i = 5; i >= 0; --i) {
+      bits = (bits << 8) | bytes[*offset + 2 + static_cast<size_t>(i)];
+    }
+    packet.tnt_bits = bits;
+    *offset += 8;
+    return packet;
+  }
+  if (header == kOvfHeader) {
+    packet.kind = PtPacketKind::kOvf;
+    *offset += 1;
+    return packet;
+  }
+  return Error(StrFormat("unknown packet header 0x%02x at offset %zu", header, *offset));
+}
+
+}  // namespace gist

@@ -1,0 +1,114 @@
+// Simulated Intel Processor Trace packet stream.
+//
+// The packet vocabulary mirrors the real Intel PT packets Gist relies on
+// (paper §3.2.2): PSB sync points, TIP.PGE/TIP.PGD tracing-enable/disable
+// with an IP payload, TIP for indirect transfers (returns), PIP for context
+// switches (CR3 analog carrying the scheduled thread id), TNT for compressed
+// conditional-branch outcomes (up to 6 per two-byte packet), and OVF when the
+// trace buffer fills. "IP" payloads are synthetic code locations packed as
+// (function, block, index).
+//
+// Byte layout (little-endian payloads):
+//   0x00                 PAD
+//   0x10 + 15×0x82       PSB
+//   0x20 + 8-byte ip     TIP.PGE   (tracing starts at ip)
+//   0x21 + 8-byte ip     TIP.PGD   (tracing stops after ip)
+//   0x22 + 8-byte ip     TIP       (indirect transfer to ip; kEndIp = thread end)
+//   0x23 + 4-byte tid    PIP       (context switch to tid)
+//   0x24 + 8-byte ip     FUP       (flow update: resync location of the
+//                                   incoming thread after a context switch)
+//   0x30|n + 1 byte      TNT       (short: n ∈ [1,6] branch bits, LSB first)
+//   0x38 + count + 6B    TNT.LONG  (up to 47 branch bits, LSB first)
+//   0x40                 OVF
+
+#ifndef GIST_SRC_PT_PACKETS_H_
+#define GIST_SRC_PT_PACKETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ids.h"
+#include "src/support/result.h"
+
+namespace gist {
+
+// Synthetic instruction pointer: a code location in the module.
+struct PtIp {
+  FunctionId function = kNoFunction;
+  BlockId block = kNoBlock;
+  uint32_t index = 0;
+
+  bool operator==(const PtIp&) const = default;
+};
+
+// Sentinel TIP payload marking "thread finished" (no return target).
+PtIp PtEndIp();
+bool IsPtEndIp(const PtIp& ip);
+
+uint64_t PackPtIp(const PtIp& ip);
+PtIp UnpackPtIp(uint64_t packed);
+
+enum class PtPacketKind : uint8_t {
+  kPad,
+  kPsb,
+  kPge,
+  kPgd,
+  kTip,
+  kPip,
+  kFup,
+  kTnt,
+  kOvf,
+};
+
+// A decoded packet (used by the stream decoder and tests).
+struct PtPacket {
+  PtPacketKind kind = PtPacketKind::kPad;
+  PtIp ip;                 // kPge / kPgd / kTip
+  ThreadId tid = kNoThread;  // kPip
+  uint64_t tnt_bits = 0;   // kTnt, LSB first
+  uint8_t tnt_count = 0;   // kTnt: 1..6 (short) or up to kLongTntBits (long)
+};
+
+inline constexpr uint8_t kLongTntBits = 47;
+
+// Fixed-capacity trace buffer (the paper's driver uses a 2 MB buffer). Once
+// full, the buffer records an OVF marker and drops further packets; the
+// number of dropped bytes is still accounted so bandwidth stats stay honest.
+class PtBuffer {
+ public:
+  explicit PtBuffer(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  void AppendPsb();
+  void AppendPge(const PtIp& ip);
+  void AppendPgd(const PtIp& ip);
+  void AppendTip(const PtIp& ip);
+  void AppendPip(ThreadId tid);
+  void AppendFup(const PtIp& ip);
+  void AppendTnt(uint8_t bits, uint8_t count);
+  // Long TNT: up to kLongTntBits outcomes in one 8-byte packet (real PT's
+  // long TNT carries 47 bits); the encoder batches branches into these.
+  void AppendLongTnt(uint64_t bits, uint8_t count);
+  void Clear();
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  bool overflowed() const { return overflowed_; }
+  // All bytes generated, including those dropped after overflow.
+  uint64_t bytes_generated() const { return bytes_generated_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Append(const uint8_t* data, size_t size);
+
+  size_t capacity_;
+  std::vector<uint8_t> bytes_;
+  bool overflowed_ = false;
+  uint64_t bytes_generated_ = 0;
+};
+
+// Parses the next packet at `offset`; advances `offset` past it. Returns an
+// error on malformed input (truncated payload, unknown header).
+Result<PtPacket> ReadPtPacket(const std::vector<uint8_t>& bytes, size_t* offset);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_PT_PACKETS_H_

@@ -1,0 +1,119 @@
+#include "src/pt/tracer.h"
+
+namespace gist {
+
+PtTracer::PtTracer(uint32_t num_cores, size_t buffer_bytes, bool always_on)
+    : always_on_(always_on) {
+  GIST_CHECK_GT(num_cores, 0u);
+  cores_.reserve(num_cores);
+  for (uint32_t i = 0; i < num_cores; ++i) {
+    cores_.emplace_back(buffer_bytes);
+  }
+}
+
+void PtTracer::FlushTnt(CoreState& core) {
+  if (core.tnt_count == 0) {
+    return;
+  }
+  // Short packets hold up to 6 outcomes in 2 bytes; longer runs batch into
+  // a 47-bit long TNT (8 bytes), like real PT's two TNT encodings.
+  if (core.tnt_count <= 6) {
+    core.buffer.AppendTnt(static_cast<uint8_t>(core.tnt_bits), core.tnt_count);
+  } else {
+    core.buffer.AppendLongTnt(core.tnt_bits, core.tnt_count);
+  }
+  core.tnt_bits = 0;
+  core.tnt_count = 0;
+}
+
+void PtTracer::Enable(CoreId core_id, ThreadId tid, FunctionId function, BlockId block) {
+  CoreState& core = cores_[core_id];
+  if (core.enabled) {
+    return;
+  }
+  ++toggles_;
+  core.enabled = true;
+  core.current_tid = tid;
+  core.buffer.AppendPsb();
+  core.buffer.AppendPip(tid);
+  core.buffer.AppendPge(PtIp{function, block, 0});
+}
+
+void PtTracer::Disable(CoreId core_id, FunctionId function, BlockId block, uint32_t index) {
+  CoreState& core = cores_[core_id];
+  if (!core.enabled) {
+    return;
+  }
+  ++toggles_;
+  FlushTnt(core);
+  core.buffer.AppendPgd(PtIp{function, block, index});
+  core.enabled = false;
+  core.current_tid = kNoThread;
+}
+
+void PtTracer::OnContextSwitch(CoreId core_id, ThreadId /*prev*/, ThreadId next,
+                               FunctionId next_function, BlockId next_block,
+                               uint32_t next_index) {
+  CoreState& core = cores_[core_id];
+  if (!core.enabled) {
+    return;
+  }
+  FlushTnt(core);
+  core.buffer.AppendPip(next);
+  core.buffer.AppendFup(PtIp{next_function, next_block, next_index});
+  core.current_tid = next;
+}
+
+void PtTracer::OnBlockEnter(ThreadId tid, CoreId core_id, FunctionId function, BlockId block) {
+  CoreState& core = cores_[core_id];
+  if (always_on_ && !core.enabled) {
+    Enable(core_id, tid, function, block);
+    return;
+  }
+  // If the core is enabled but this thread became current without a context
+  // switch packet (it was already current), nothing to do: direct control
+  // flow is reconstructed by the decoder.
+  (void)tid;
+}
+
+void PtTracer::OnBranch(ThreadId /*tid*/, CoreId core_id, InstrId /*instr*/, bool taken) {
+  CoreState& core = cores_[core_id];
+  if (!core.enabled) {
+    return;
+  }
+  ++traced_branches_;
+  core.tnt_bits |= (taken ? uint64_t{1} : uint64_t{0}) << core.tnt_count;
+  if (++core.tnt_count == kLongTntBits) {
+    FlushTnt(core);
+  }
+}
+
+void PtTracer::OnReturn(ThreadId /*tid*/, CoreId core_id, InstrId /*instr*/,
+                        FunctionId to_function, BlockId to_block, uint32_t to_index) {
+  CoreState& core = cores_[core_id];
+  if (!core.enabled) {
+    return;
+  }
+  FlushTnt(core);
+  if (to_function == kNoFunction) {
+    core.buffer.AppendTip(PtEndIp());
+  } else {
+    core.buffer.AppendTip(PtIp{to_function, to_block, to_index});
+  }
+}
+
+void PtTracer::FlushAllPending() {
+  for (CoreState& core : cores_) {
+    FlushTnt(core);
+  }
+}
+
+uint64_t PtTracer::total_bytes_generated() const {
+  uint64_t total = 0;
+  for (const CoreState& core : cores_) {
+    total += core.buffer.bytes_generated();
+  }
+  return total;
+}
+
+}  // namespace gist

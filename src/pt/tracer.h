@@ -1,0 +1,84 @@
+// PT trace encoder: an ExecutionObserver that turns the VM's retired-branch
+// stream into per-core Intel-PT-style packet buffers.
+//
+// Mirrors the hardware semantics Gist depends on:
+//   * tracing is per core — traces from different cores have no common order;
+//   * only conditional-branch outcomes are compressed into TNT packets; the
+//     decoder reconstructs everything else by walking the program;
+//   * returns emit TIP packets (indirect transfer targets);
+//   * context switches emit PIP packets carrying the incoming thread id;
+//   * enabling emits PSB + PIP + TIP.PGE, disabling emits TIP.PGD, exactly
+//     the toggling interface Gist's instrumentation uses via the "driver".
+
+#ifndef GIST_SRC_PT_TRACER_H_
+#define GIST_SRC_PT_TRACER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/pt/packets.h"
+#include "src/vm/observer.h"
+
+namespace gist {
+
+// Default trace-buffer capacity; the paper's kernel driver uses 2 MB.
+inline constexpr size_t kDefaultPtBufferBytes = 2 * 1024 * 1024;
+
+class PtTracer : public ExecutionObserver {
+ public:
+  // `always_on` arms tracing automatically at the first block a core
+  // executes (full-program tracing, used by the Fig. 13 baseline); otherwise
+  // tracing is off until Enable() is called (Gist's adaptive mode).
+  PtTracer(uint32_t num_cores, size_t buffer_bytes = kDefaultPtBufferBytes,
+           bool always_on = false);
+
+  // --- the "kernel driver" control interface -------------------------------
+  void Enable(CoreId core, ThreadId tid, FunctionId function, BlockId block);
+  void Disable(CoreId core, FunctionId function, BlockId block, uint32_t index);
+  bool enabled(CoreId core) const { return cores_[core].enabled; }
+
+  // Flushes partially-filled TNT packets on every core. Call when trace
+  // collection stops (end of run or crash): real drivers drain the trace
+  // buffers the same way before shipping them.
+  void FlushAllPending();
+
+  const PtBuffer& buffer(CoreId core) const { return cores_[core].buffer; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+
+  // Total packet bytes generated across cores (including post-overflow).
+  uint64_t total_bytes_generated() const;
+  // Number of Enable/Disable transitions (each costs an MSR write pair in the
+  // perf model).
+  uint64_t toggle_count() const { return toggles_; }
+  uint64_t traced_branches() const { return traced_branches_; }
+
+  // --- ExecutionObserver ----------------------------------------------------
+  void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next, FunctionId next_function,
+                       BlockId next_block, uint32_t next_index) override;
+  void OnBlockEnter(ThreadId tid, CoreId core, FunctionId function, BlockId block) override;
+  void OnBranch(ThreadId tid, CoreId core, InstrId instr, bool taken) override;
+  void OnReturn(ThreadId tid, CoreId core, InstrId instr, FunctionId to_function,
+                BlockId to_block, uint32_t to_index) override;
+
+ private:
+  struct CoreState {
+    PtBuffer buffer;
+    bool enabled = false;
+    ThreadId current_tid = kNoThread;
+    uint64_t tnt_bits = 0;
+    uint8_t tnt_count = 0;
+
+    explicit CoreState(size_t capacity) : buffer(capacity) {}
+  };
+
+  void FlushTnt(CoreState& core);
+
+  std::vector<CoreState> cores_;
+  bool always_on_;
+  uint64_t toggles_ = 0;
+  uint64_t traced_branches_ = 0;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_PT_TRACER_H_

@@ -1,0 +1,24 @@
+#include "src/support/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gist {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "GIST_CHECK failed at %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace internal {
+
+CheckMessageBuilder::CheckMessageBuilder(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition << " ";
+}
+
+CheckMessageBuilder::~CheckMessageBuilder() { CheckFailed(file_, line_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace gist

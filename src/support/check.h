@@ -1,0 +1,56 @@
+// Invariant-checking macros for programmer errors.
+//
+// GIST_CHECK aborts the process with a diagnostic when the condition is false.
+// It is always on (including release builds) because this library underpins a
+// failure-diagnosis tool: silently corrupt analysis state would be worse than
+// a crash. Use Result<T> (see result.h) for recoverable, caller-facing errors.
+
+#ifndef GIST_SRC_SUPPORT_CHECK_H_
+#define GIST_SRC_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace gist {
+
+// Terminates the process after printing `message` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+namespace internal {
+
+// Builds the failure message lazily; only constructed on the failing path.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckMessageBuilder();
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gist
+
+#define GIST_CHECK(condition)                                           \
+  while (!(condition))                                                  \
+  ::gist::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define GIST_CHECK_EQ(a, b) GIST_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GIST_CHECK_NE(a, b) GIST_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GIST_CHECK_LT(a, b) GIST_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GIST_CHECK_LE(a, b) GIST_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GIST_CHECK_GT(a, b) GIST_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define GIST_CHECK_GE(a, b) GIST_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+#define GIST_UNREACHABLE(msg) \
+  ::gist::CheckFailed(__FILE__, __LINE__, std::string("unreachable: ") + (msg))
+
+#endif  // GIST_SRC_SUPPORT_CHECK_H_

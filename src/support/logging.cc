@@ -1,0 +1,35 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gist {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace gist

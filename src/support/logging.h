@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is process-global and defaults to kInfo; benches and tests lower
+// it to kWarning to keep output focused on the tables they print.
+
+#ifndef GIST_SRC_SUPPORT_LOGGING_H_
+#define GIST_SRC_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gist {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLineBuilder {
+ public:
+  explicit LogLineBuilder(LogLevel level) : level_(level) {}
+  ~LogLineBuilder() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogLineVoidify {
+  void operator&(LogLineBuilder&) {}
+};
+
+}  // namespace internal
+}  // namespace gist
+
+#define GIST_LOG(level)                                            \
+  (::gist::LogLevel::level < ::gist::GetLogLevel())                \
+      ? (void)0                                                    \
+      : ::gist::internal::LogLineVoidify() &                       \
+            ::gist::internal::LogLineBuilder(::gist::LogLevel::level)
+
+#endif  // GIST_SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,86 @@
+// Result<T>: value-or-error return type used at library boundaries.
+//
+// The library does not throw exceptions across public interfaces; fallible
+// operations (parsing, verification, decoding) return Result<T>. Dereferencing
+// an error Result is a programmer error and aborts via GIST_CHECK.
+
+#ifndef GIST_SRC_SUPPORT_RESULT_H_
+#define GIST_SRC_SUPPORT_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace gist {
+
+// Error payload: a human-readable message.
+class Error {
+ public:
+  explicit Error(std::string message) : message_(std::move(message)) {}
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` / `return Error(...)`.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    GIST_CHECK(ok()) << "Result::value() on error: " << error_->message();
+    return *value_;
+  }
+  T& value() & {
+    GIST_CHECK(ok()) << "Result::value() on error: " << error_->message();
+    return *value_;
+  }
+  T&& value() && {
+    GIST_CHECK(ok()) << "Result::value() on error: " << error_->message();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    GIST_CHECK(!ok()) << "Result::error() on ok result";
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+// Status-like specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;                                       // ok
+  Status(Error error) : error_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  const Error& error() const {
+    GIST_CHECK(!ok()) << "Status::error() on ok status";
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_SUPPORT_RESULT_H_

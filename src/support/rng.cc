@@ -1,0 +1,76 @@
+#include "src/support/rng.h"
+
+#include "src/support/check.h"
+
+namespace gist {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  GIST_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t sample = NextU64();
+    if (sample >= threshold) {
+      return sample % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  GIST_CHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextU64());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+bool Rng::NextChance(uint32_t numerator, uint32_t denominator) {
+  GIST_CHECK_GT(denominator, 0u);
+  if (numerator >= denominator) {
+    return true;
+  }
+  return NextBelow(denominator) < numerator;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace gist

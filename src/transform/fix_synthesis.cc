@@ -1,0 +1,295 @@
+#include "src/transform/fix_synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/cfg/ticfg.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+// What the rewriter must do in one function.
+struct FunctionPlan {
+  bool whole_function = false;
+  // Block-local bracketing (used when !whole_function).
+  BlockId block = kNoBlock;
+  InstrId first = kNoInstr;  // lock before this instruction...
+  InstrId last = kNoInstr;   // ...unlock after this one
+};
+
+}  // namespace
+
+Result<SynthesizedFix> SynthesizeAtomicityFix(const Module& module,
+                                              const FailureSketch& sketch) {
+  if (!sketch.best_concurrency.has_value()) {
+    return Error("sketch has no concurrency predictor to fix");
+  }
+  if (!sketch.best_atomicity.has_value()) {
+    return Error(StrFormat(
+        "top predictor is a %s order violation; the fix must order two events "
+        "(e.g. join/signal), which lock insertion cannot express",
+        PredictorKindName(sketch.best_concurrency->predictor.kind)));
+  }
+  const Predictor& predictor = sketch.best_atomicity->predictor;
+
+  // Group the involved statements by function.
+  std::map<FunctionId, std::vector<InstrId>> by_function;
+  for (InstrId id : {predictor.a, predictor.b, predictor.c}) {
+    if (id != kNoInstr) {
+      by_function[module.location(id).function].push_back(id);
+    }
+  }
+
+  std::map<FunctionId, FunctionPlan> plans;
+  for (const auto& [function_id, instrs] : by_function) {
+    const Function& function = module.function(function_id);
+    FunctionPlan plan;
+    std::set<BlockId> blocks;
+    for (InstrId id : instrs) {
+      blocks.insert(module.location(id).block);
+    }
+    if (blocks.size() == 1) {
+      plan.block = *blocks.begin();
+      uint32_t first_index = UINT32_MAX;
+      uint32_t last_index = 0;
+      for (InstrId id : instrs) {
+        const InstrLocation& loc = module.location(id);
+        if (loc.index < first_index) {
+          first_index = loc.index;
+          plan.first = id;
+        }
+        if (loc.index >= last_index) {
+          last_index = loc.index;
+          plan.last = id;
+        }
+      }
+    } else {
+      // Coarse critical section: the whole function. Refuse when it contains
+      // a join — holding the lock across a join can deadlock against the
+      // joined thread.
+      for (BlockId b = 0; b < function.num_blocks(); ++b) {
+        for (const Instruction& instr : function.block(b).instructions()) {
+          if (instr.op == Opcode::kThreadJoin) {
+            return Error("involved function '" + function.name() +
+                         "' joins threads; a whole-function critical section could deadlock");
+          }
+        }
+      }
+      plan.whole_function = true;
+    }
+    plans[function_id] = plan;
+  }
+
+  // Rewrite: add the mutex global, then inject lock/unlock per plan.
+  SynthesizedFix fix;
+  fix.target = predictor;
+  GlobalId mutex_global = 0;
+  RewriteHooks hooks;
+
+  hooks.before = [&](const Instruction& instr, IrBuilder& builder) {
+    const InstrLocation& loc = module.location(instr.id);
+    auto it = plans.find(loc.function);
+    if (it == plans.end()) {
+      return;
+    }
+    const FunctionPlan& plan = it->second;
+    const bool is_entry_point =
+        plan.whole_function ? (loc.block == 0 && loc.index == 0) : (instr.id == plan.first);
+    if (is_entry_point) {
+      const Reg mutex_addr = builder.AddrOfGlobal(mutex_global);
+      builder.Lock(mutex_addr);
+    }
+    if (plan.whole_function && instr.op == Opcode::kRet) {
+      const Reg mutex_addr = builder.AddrOfGlobal(mutex_global);
+      builder.Unlock(mutex_addr);
+    }
+  };
+  hooks.after = [&](const Instruction& instr, IrBuilder& builder) {
+    const InstrLocation& loc = module.location(instr.id);
+    auto it = plans.find(loc.function);
+    if (it == plans.end() || it->second.whole_function) {
+      return;
+    }
+    if (instr.id == it->second.last) {
+      const Reg mutex_addr = builder.AddrOfGlobal(mutex_global);
+      builder.Unlock(mutex_addr);
+    }
+  };
+
+  RewriteResult rewritten = RewriteModule(module, hooks, [&](Module& clone) {
+    mutex_global = clone.CreateGlobal("gist_fix_mutex", 1, 0);
+  });
+
+  fix.module = std::move(rewritten.module);
+  fix.mutex_global = mutex_global;
+  std::string description =
+      StrFormat("serialize %s pattern with a new mutex: ", PredictorKindName(predictor.kind));
+  for (const auto& [function_id, plan] : plans) {
+    description += module.function(function_id).name();
+    description += plan.whole_function ? " [whole function]" : " [block-local]";
+    description += " ";
+  }
+  fix.description = description;
+  return fix;
+}
+
+namespace {
+
+// True when `a` comes strictly before `b` in `function`'s program order
+// (block dominance, or earlier index within the same block).
+bool ComesBefore(const Ticfg& ticfg, const Module& module, InstrId a, InstrId b) {
+  const InstrLocation& la = module.location(a);
+  const InstrLocation& lb = module.location(b);
+  if (la.function != lb.function) {
+    return false;
+  }
+  if (la.block == lb.block) {
+    return la.index < lb.index;
+  }
+  return ticfg.dominators(la.function).StrictlyDominates(la.block, lb.block);
+}
+
+}  // namespace
+
+namespace {
+
+// Attempts join-insertion / spawn-delay for one candidate ordering.
+Result<SynthesizedFix> TryEnforceOrder(const Module& module, const Ticfg& ticfg,
+                                       const Predictor& pattern);
+
+}  // namespace
+
+Result<SynthesizedFix> SynthesizeOrderFix(const Module& module, const FailureSketch& sketch) {
+  // Candidate orderings to enforce, most trustworthy first: the pair most
+  // correlated with success (its observed order is the correct one), then the
+  // inversion of the top failing write-then-read (a premature write).
+  std::vector<Predictor> candidates;
+  if (sketch.success_order.has_value() && sketch.success_order->successful_with > 0 &&
+      sketch.success_order->failing_with == 0) {
+    candidates.push_back(sketch.success_order->predictor);
+  }
+  if (sketch.best_concurrency.has_value() &&
+      sketch.best_concurrency->predictor.kind == PredictorKind::kWR) {
+    Predictor inverted;
+    inverted.kind = PredictorKind::kRW;
+    inverted.a = sketch.best_concurrency->predictor.b;
+    inverted.b = sketch.best_concurrency->predictor.a;
+    candidates.push_back(inverted);
+  }
+  if (candidates.empty()) {
+    return Error("no order pattern to enforce (need a success-correlated pair or a failing WR)");
+  }
+
+  Ticfg ticfg(module);
+  std::string last_error;
+  for (const Predictor& pattern : candidates) {
+    Result<SynthesizedFix> fix = TryEnforceOrder(module, ticfg, pattern);
+    if (fix.ok()) {
+      return fix;
+    }
+    last_error = fix.error().message();
+  }
+  return Error(last_error);
+}
+
+namespace {
+
+Result<SynthesizedFix> TryEnforceOrder(const Module& module, const Ticfg& ticfg,
+                                       const Predictor& pattern) {
+  const InstrId first = pattern.a;
+  const InstrId second = pattern.b;
+  const FunctionId first_function = module.location(first).function;
+  const FunctionId second_function = module.location(second).function;
+  if (first_function == second_function) {
+    return Error("both events are in one function; their order is already program order");
+  }
+
+  SynthesizedFix fix;
+  fix.target = pattern;
+
+  // --- Strategy 1: join insertion -----------------------------------------
+  // `first` runs inside a routine spawned by `second`'s function: joining the
+  // spawned thread before `second` forces the whole routine (first included)
+  // to finish first — the pbzip2 developers' fix.
+  for (InstrId spawn_id : ticfg.spawn_sites(first_function)) {
+    const InstrLocation& spawn_loc = module.location(spawn_id);
+    if (spawn_loc.function != second_function ||
+        !ComesBefore(ticfg, module, spawn_id, second)) {
+      continue;
+    }
+    const Instruction& spawn = module.instr(spawn_id);
+    RewriteHooks hooks;
+    hooks.before = [&](const Instruction& instr, IrBuilder& builder) {
+      if (instr.id != second) {
+        return;
+      }
+      Instruction join;
+      join.op = Opcode::kThreadJoin;
+      join.operands = {spawn.dst};
+      join.loc = SourceLoc{module.function(second_function).name(), instr.loc.line,
+                           "join(" + module.function(first_function).name() + ");  /* gist fix */"};
+      builder.EmitCopy(join);
+    };
+    RewriteResult rewritten = RewriteModule(module, hooks);
+    fix.module = std::move(rewritten.module);
+    fix.description = StrFormat("order fix: join %s's thread before \"%s\" in %s",
+                                module.function(first_function).name().c_str(),
+                                module.instr(second).loc.text.c_str(),
+                                module.function(second_function).name().c_str());
+    return fix;
+  }
+
+  // --- Strategy 2: spawn delay ---------------------------------------------
+  // `second` runs inside a routine spawned by `first`'s function: moving the
+  // spawn to just after `first` guarantees the order — the "initialize before
+  // you publish the thread" fix of Apache #25520.
+  for (InstrId spawn_id : ticfg.spawn_sites(second_function)) {
+    const InstrLocation& spawn_loc = module.location(spawn_id);
+    if (spawn_loc.function != first_function ||
+        !ComesBefore(ticfg, module, spawn_id, first)) {
+      continue;
+    }
+    const Instruction& spawn = module.instr(spawn_id);
+    // The motion is safe only if nothing between the spawn's old position and
+    // `first` uses the thread id it defines.
+    const Function& host = module.function(first_function);
+    for (BlockId b = 0; b < host.num_blocks(); ++b) {
+      for (const Instruction& instr : host.block(b).instructions()) {
+        const bool uses_tid =
+            std::count(instr.operands.begin(), instr.operands.end(), spawn.dst) > 0;
+        if (uses_tid && !ComesBefore(ticfg, module, first, instr.id)) {
+          return Error("cannot delay spawn: its thread id is used before the anchor statement");
+        }
+      }
+    }
+    RewriteHooks hooks;
+    hooks.drop = [&](const Instruction& instr) { return instr.id == spawn_id; };
+    hooks.after = [&](const Instruction& instr, IrBuilder& builder) {
+      if (instr.id == first) {
+        builder.EmitCopy(spawn);
+      }
+    };
+    RewriteResult rewritten = RewriteModule(module, hooks);
+    fix.module = std::move(rewritten.module);
+    fix.description = StrFormat("order fix: delay spawn of %s until after \"%s\" in %s",
+                                module.function(second_function).name().c_str(),
+                                module.instr(first).loc.text.c_str(),
+                                module.function(first_function).name().c_str());
+    return fix;
+  }
+
+  return Error("no join-insertion or spawn-delay site enforces the required order");
+}
+
+}  // namespace
+
+Result<SynthesizedFix> SynthesizeFix(const Module& module, const FailureSketch& sketch) {
+  if (sketch.best_atomicity.has_value()) {
+    return SynthesizeAtomicityFix(module, sketch);
+  }
+  return SynthesizeOrderFix(module, sketch);
+}
+
+}  // namespace gist

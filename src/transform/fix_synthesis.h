@@ -1,0 +1,66 @@
+// Sketch-guided fix synthesis (the paper's §6 CFix hook: "developers can use
+// failure sketches to help tools like CFix automatically synthesize fixes").
+//
+// Given a failure sketch whose top concurrency predictor is a
+// single-variable atomicity violation (RWR/WWR/RWW/WRW — Fig. 5 — or a WW
+// write-write race), the synthesizer rewrites the module to make the
+// violated region atomic: it allocates a fresh mutex global and, for every
+// function containing statements of the violation,
+//
+//   * when all involved statements share one basic block, brackets them with
+//     lock/unlock inside that block;
+//   * otherwise locks at function entry and unlocks before every return —
+//     the whole operation becomes the critical section (refusing functions
+//     that contain `join`, which a coarse lock could deadlock).
+//
+// Order violations (WR/RW patterns, where the fix is to *order* two events,
+// e.g. pbzip2's "join before free") are out of scope and reported as such —
+// mirroring the CFix distinction between atomicity and order fixes.
+
+#ifndef GIST_SRC_TRANSFORM_FIX_SYNTHESIS_H_
+#define GIST_SRC_TRANSFORM_FIX_SYNTHESIS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/sketch.h"
+#include "src/support/result.h"
+#include "src/transform/rewriter.h"
+
+namespace gist {
+
+struct SynthesizedFix {
+  std::unique_ptr<Module> module;  // the fixed program
+  Predictor target;                // the violation the fix serializes
+  GlobalId mutex_global = 0;       // the inserted mutex
+  std::string description;         // human-readable summary of the edit
+};
+
+// Synthesizes a fix for `sketch`'s best concurrency predictor. Errors when
+// the sketch has no concurrency predictor, the pattern is an order violation,
+// or a coarse critical section would risk deadlock.
+Result<SynthesizedFix> SynthesizeAtomicityFix(const Module& module, const FailureSketch& sketch);
+
+// Synthesizes a fix for an order violation: the sketch names a pair of
+// statements whose correct order ("first" strictly before "second") the fix
+// must enforce, taken from the success-correlated order pattern when one was
+// observed, otherwise from inverting a failing write-then-read pair (the
+// premature write). Two strategies, both statement motions the pbzip2 and
+// Apache developers actually used:
+//
+//   * join insertion — "first" runs in a spawned routine and "second" in the
+//     spawner: insert `join <spawned thread>` before "second";
+//   * spawn delay — "second" runs in a routine spawned by "first"'s
+//     function: move the spawn to right after "first".
+//
+// Like CFix, the synthesized patch targets the *diagnosed* interleaving;
+// validation against production workloads decides whether it suffices.
+Result<SynthesizedFix> SynthesizeOrderFix(const Module& module, const FailureSketch& sketch);
+
+// Dispatcher: atomicity fix when the sketch shows a Fig. 5 pattern,
+// otherwise an order fix.
+Result<SynthesizedFix> SynthesizeFix(const Module& module, const FailureSketch& sketch);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_TRANSFORM_FIX_SYNTHESIS_H_

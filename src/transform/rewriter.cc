@@ -1,0 +1,63 @@
+#include "src/transform/rewriter.h"
+
+namespace gist {
+
+RewriteResult RewriteModule(const Module& module, const RewriteHooks& hooks) {
+  return RewriteModule(module, hooks, [](Module&) {});
+}
+
+RewriteResult RewriteModule(const Module& module, const RewriteHooks& hooks,
+                            const std::function<void(Module&)>& setup) {
+  RewriteResult result;
+  result.module = std::make_unique<Module>();
+  Module& clone = *result.module;
+
+  // Globals first, preserving ids.
+  for (GlobalId g = 0; g < module.num_globals(); ++g) {
+    const GlobalVar& global = module.global(g);
+    clone.CreateGlobal(global.name, global.size_words, global.initial_value);
+  }
+  setup(clone);
+
+  // Declare every function up front so callee ids remain valid.
+  for (FunctionId f = 0; f < module.num_functions(); ++f) {
+    const Function& original = module.function(f);
+    clone.CreateFunction(original.name(), original.num_params());
+  }
+
+  IrBuilder builder(clone);
+  for (FunctionId f = 0; f < module.num_functions(); ++f) {
+    const Function& original = module.function(f);
+    Function& copy = clone.mutable_function(f);
+    builder.SetFunction(copy);
+
+    // Mirror the block layout so branch targets carry over.
+    for (BlockId b = 0; b < original.num_blocks(); ++b) {
+      copy.CreateBlock(original.block(b).label());
+    }
+    // Mirror the register file; injected code allocates above it.
+    while (copy.num_regs() < original.num_regs()) {
+      copy.NewReg();
+    }
+
+    for (BlockId b = 0; b < original.num_blocks(); ++b) {
+      builder.SetInsertBlock(b);
+      for (const Instruction& instr : original.block(b).instructions()) {
+        if (hooks.before) {
+          hooks.before(instr, builder);
+        }
+        if (hooks.drop && hooks.drop(instr)) {
+          continue;
+        }
+        const InstrId new_id = builder.EmitCopy(instr);
+        result.id_map.emplace(instr.id, new_id);
+        if (hooks.after && !instr.IsTerminator()) {
+          hooks.after(instr, builder);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gist

@@ -1,0 +1,58 @@
+// Module rewriting: rebuilds a module instruction by instruction, letting the
+// caller inject code before or after chosen instructions.
+//
+// Cloning preserves function ids, block ids, and register numbers (injected
+// code allocates fresh registers above the original range), so branch
+// targets, callees, and operands carry over verbatim. Instruction ids are
+// reassigned — injections shift positions — and the result carries an
+// old-id → new-id map so analyses made against the original module can be
+// carried across.
+//
+// This is the substrate for sketch-guided fix synthesis (paper §6's CFix
+// hook): inserting lock/unlock pairs around racing regions.
+
+#ifndef GIST_SRC_TRANSFORM_REWRITER_H_
+#define GIST_SRC_TRANSFORM_REWRITER_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/ir/builder.h"
+#include "src/ir/module.h"
+
+namespace gist {
+
+struct RewriteResult {
+  std::unique_ptr<Module> module;
+  // Original instruction id -> id of its copy in the new module.
+  std::unordered_map<InstrId, InstrId> id_map;
+};
+
+// Injection callback: `original` is the instruction about to be / just
+// copied; emit extra code through `builder` (its insertion point is the
+// corresponding block of the new module).
+using RewriteHook = std::function<void(const Instruction& original, IrBuilder& builder)>;
+
+struct RewriteHooks {
+  RewriteHook before;  // runs before the instruction's copy is emitted
+  RewriteHook after;   // runs after the instruction's copy is emitted
+  // When set and returning true, the instruction is not copied (it has no
+  // id_map entry); used for code motion — the caller re-emits it elsewhere
+  // via IrBuilder::EmitCopy.
+  std::function<bool(const Instruction&)> drop;
+};
+
+// Clones `module`, applying the hooks. Globals are copied first, so hooks may
+// reference globals created on the clone beforehand via CreateGlobal... to
+// add new globals, use RewriteModule's `extra_globals` hook below.
+RewriteResult RewriteModule(const Module& module, const RewriteHooks& hooks);
+
+// Variant that first lets the caller add globals to the clone (e.g. a fresh
+// mutex) before any code is emitted; the callback receives the clone.
+RewriteResult RewriteModule(const Module& module, const RewriteHooks& hooks,
+                            const std::function<void(Module&)>& setup);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_TRANSFORM_REWRITER_H_

@@ -1,0 +1,42 @@
+#include "src/vm/failure.h"
+
+#include "src/support/str.h"
+
+namespace gist {
+
+const char* FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kNone:
+      return "none";
+    case FailureType::kSegFault:
+      return "segmentation fault";
+    case FailureType::kUseAfterFree:
+      return "use after free";
+    case FailureType::kDoubleFree:
+      return "double free";
+    case FailureType::kInvalidFree:
+      return "invalid free";
+    case FailureType::kAssertViolation:
+      return "assertion violation";
+    case FailureType::kArithmeticFault:
+      return "arithmetic fault";
+    case FailureType::kDeadlock:
+      return "deadlock";
+    case FailureType::kHang:
+      return "hang";
+    case FailureType::kStackOverflow:
+      return "stack overflow";
+  }
+  return "?";
+}
+
+uint64_t FailureReport::MatchHash() const {
+  uint64_t hash = HashBytes(&type, sizeof(type));
+  hash = HashCombine(hash, failing_instr);
+  for (InstrId frame : stack_trace) {
+    hash = HashCombine(hash, frame);
+  }
+  return hash;
+}
+
+}  // namespace gist

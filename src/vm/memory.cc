@@ -1,0 +1,124 @@
+#include "src/vm/memory.h"
+
+namespace gist {
+
+FailureType MemFaultToFailure(MemFault fault) {
+  switch (fault) {
+    case MemFault::kOk:
+      return FailureType::kNone;
+    case MemFault::kNullDeref:
+    case MemFault::kUnmapped:
+      return FailureType::kSegFault;
+    case MemFault::kUseAfterFree:
+      return FailureType::kUseAfterFree;
+    case MemFault::kDoubleFree:
+      return FailureType::kDoubleFree;
+    case MemFault::kInvalidFree:
+      return FailureType::kInvalidFree;
+  }
+  return FailureType::kNone;
+}
+
+Addr StaticGlobalAddr(const Module& module, GlobalId id) {
+  GIST_CHECK_LT(id, module.num_globals());
+  Addr addr = kGlobalsBase;
+  for (GlobalId g = 0; g < id; ++g) {
+    addr += module.global(g).size_words;
+  }
+  return addr;
+}
+
+Memory::Memory(const Module& module) {
+  Addr next = kGlobalsBase;
+  for (GlobalId g = 0; g < module.num_globals(); ++g) {
+    const GlobalVar& global = module.global(g);
+    GIST_CHECK_EQ(next, StaticGlobalAddr(module, g));
+    global_addrs_.push_back(next);
+    for (uint64_t i = 0; i < global.size_words; ++i) {
+      words_[next + i] = global.initial_value;
+    }
+    next += global.size_words;
+  }
+  globals_end_ = next;
+}
+
+Addr Memory::GlobalAddr(GlobalId id) const {
+  GIST_CHECK_LT(id, global_addrs_.size());
+  return global_addrs_[id];
+}
+
+const Memory::HeapBlock* Memory::FindBlock(Addr addr, Addr* base) const {
+  auto it = heap_blocks_.upper_bound(addr);
+  if (it == heap_blocks_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (addr < it->first + it->second.size_words) {
+    *base = it->first;
+    return &it->second;
+  }
+  return nullptr;
+}
+
+MemFault Memory::Check(Addr addr) const {
+  if (addr == kNullAddr) {
+    return MemFault::kNullDeref;
+  }
+  if (addr >= kGlobalsBase && addr < globals_end_) {
+    return MemFault::kOk;
+  }
+  Addr base;
+  const HeapBlock* block = FindBlock(addr, &base);
+  if (block == nullptr) {
+    return MemFault::kUnmapped;
+  }
+  return block->live ? MemFault::kOk : MemFault::kUseAfterFree;
+}
+
+MemFault Memory::Read(Addr addr, Word* out) const {
+  const MemFault fault = Check(addr);
+  if (fault != MemFault::kOk) {
+    return fault;
+  }
+  auto it = words_.find(addr);
+  *out = it == words_.end() ? 0 : it->second;
+  return MemFault::kOk;
+}
+
+MemFault Memory::Write(Addr addr, Word value) {
+  const MemFault fault = Check(addr);
+  if (fault != MemFault::kOk) {
+    return fault;
+  }
+  words_[addr] = value;
+  return MemFault::kOk;
+}
+
+Addr Memory::Alloc(uint64_t size_words) {
+  GIST_CHECK_GT(size_words, 0u);
+  const Addr base = heap_next_;
+  heap_next_ += size_words + 1;  // +1 guard word so adjacent blocks never touch
+  heap_blocks_[base] = HeapBlock{size_words, /*live=*/true};
+  for (uint64_t i = 0; i < size_words; ++i) {
+    words_[base + i] = 0;
+  }
+  words_allocated_ += size_words;
+  return base;
+}
+
+MemFault Memory::Free(Addr addr) {
+  if (addr == kNullAddr) {
+    return MemFault::kNullDeref;
+  }
+  auto it = heap_blocks_.find(addr);
+  if (it == heap_blocks_.end()) {
+    return MemFault::kInvalidFree;
+  }
+  if (!it->second.live) {
+    return MemFault::kDoubleFree;
+  }
+  it->second.live = false;
+  return MemFault::kOk;
+}
+
+}  // namespace gist

@@ -1,0 +1,83 @@
+// Flat word-granular memory with a fault-detecting heap.
+//
+// Address space layout (word addresses):
+//   [0]                      null, never mapped
+//   [kGlobalsBase, ...)      module globals, laid out in declaration order
+//   [kHeapBase, ...)         bump-allocated heap blocks
+//
+// The heap never reuses addresses, so every dangling pointer access is
+// detected precisely as kUseAfterFree (the analog of running the paper's
+// workloads under a crash-on-error allocator).
+
+#ifndef GIST_SRC_VM_MEMORY_H_
+#define GIST_SRC_VM_MEMORY_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "src/ir/module.h"
+#include "src/vm/failure.h"
+
+namespace gist {
+
+inline constexpr Addr kGlobalsBase = 0x1000;
+inline constexpr Addr kHeapBase = 0x100000;
+
+// Outcome of a memory operation; kOk means the access went through.
+enum class MemFault : uint8_t {
+  kOk,
+  kNullDeref,
+  kUnmapped,
+  kUseAfterFree,
+  kDoubleFree,
+  kInvalidFree,
+};
+
+FailureType MemFaultToFailure(MemFault fault);
+
+// Address global `id` will occupy at runtime. Globals are laid out in
+// declaration order from kGlobalsBase, so the address is a static property of
+// the module — Gist's planner uses this to arm watchpoints on globals before
+// the run starts, just as a debugger sets a debug register on a symbol.
+Addr StaticGlobalAddr(const Module& module, GlobalId id);
+
+class Memory {
+ public:
+  // Maps and initializes every global of `module`.
+  explicit Memory(const Module& module);
+
+  // Word address of global `id` (its first element).
+  Addr GlobalAddr(GlobalId id) const;
+
+  MemFault Read(Addr addr, Word* out) const;
+  MemFault Write(Addr addr, Word value);
+
+  // Allocates `size_words` (> 0) and zero-initializes them.
+  Addr Alloc(uint64_t size_words);
+  MemFault Free(Addr addr);
+
+  // Validity check without data transfer (used by lock/unlock).
+  MemFault Check(Addr addr) const;
+
+  uint64_t bytes_allocated() const { return words_allocated_ * sizeof(Word); }
+
+ private:
+  struct HeapBlock {
+    uint64_t size_words;
+    bool live;
+  };
+
+  // Locates the heap block covering addr, if any.
+  const HeapBlock* FindBlock(Addr addr, Addr* base) const;
+
+  std::unordered_map<Addr, Word> words_;       // backing store (sparse)
+  std::map<Addr, HeapBlock> heap_blocks_;      // by base address
+  std::vector<Addr> global_addrs_;             // GlobalId -> base address
+  Addr globals_end_ = kGlobalsBase;
+  Addr heap_next_ = kHeapBase;
+  uint64_t words_allocated_ = 0;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_VM_MEMORY_H_

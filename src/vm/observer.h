@@ -1,0 +1,121 @@
+// Execution observer interface: the tap through which the simulated hardware
+// (Intel PT, debug registers), the record/replay baselines, and the perf cost
+// model watch a VM run. Callbacks fire synchronously in execution order on
+// the (single-threaded, deterministic) interpreter loop.
+
+#ifndef GIST_SRC_VM_OBSERVER_H_
+#define GIST_SRC_VM_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ids.h"
+
+namespace gist {
+
+using CoreId = uint32_t;
+
+// One dynamic shared-memory access (load or store), in global total order.
+// `seq` increases by one per access across all threads — this is the order
+// the hardware-watchpoint log preserves (paper §3.2.3).
+struct MemAccessEvent {
+  uint64_t seq;
+  ThreadId tid;
+  CoreId core;
+  InstrId instr;
+  Addr addr;
+  Word value;  // value loaded (reads) or stored (writes)
+  bool is_write;
+};
+
+// Inline instrumentation injected into the program (Gist's client-side
+// patches). Unlike ExecutionObserver, hooks see the executing thread's
+// register file, which is what the watchpoint-arming code needs: it computes
+// the concrete address of a tracked access as soon as the address operand is
+// defined (paper Fig. 4b: "before the access and after its immediate
+// dominator").
+class InstrumentationHook {
+ public:
+  virtual ~InstrumentationHook() = default;
+
+  // Called before `instr` executes; `regs` is the current frame's registers.
+  virtual void BeforeInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) {
+    (void)tid;
+    (void)instr;
+    (void)regs;
+  }
+
+  // Called after a value-producing, non-control instruction executed; `regs`
+  // reflects the instruction's effect.
+  virtual void AfterInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) {
+    (void)tid;
+    (void)instr;
+    (void)regs;
+  }
+};
+
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  // A thread was scheduled onto a core, displacing `prev` (kNoThread at the
+  // start of the run or after the previous occupant exited). The incoming
+  // thread's code location is included so the simulated PT can emit a
+  // flow-update (FUP) resync packet, as real PT does.
+  virtual void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next,
+                               FunctionId next_function, BlockId next_block,
+                               uint32_t next_index) {
+    (void)core;
+    (void)prev;
+    (void)next;
+    (void)next_function;
+    (void)next_block;
+    (void)next_index;
+  }
+
+  // Control enters a basic block.
+  virtual void OnBlockEnter(ThreadId tid, CoreId core, FunctionId function, BlockId block) {
+    (void)tid;
+    (void)core;
+    (void)function;
+    (void)block;
+  }
+
+  // A conditional branch retired with the given outcome.
+  virtual void OnBranch(ThreadId tid, CoreId core, InstrId instr, bool taken) {
+    (void)tid;
+    (void)core;
+    (void)instr;
+    (void)taken;
+  }
+
+  // A data access (load/store) retired.
+  virtual void OnMemAccess(const MemAccessEvent& event) { (void)event; }
+
+  // A `ret` retired. Returns are the IR's only indirect control transfers, so
+  // the simulated PT needs the concrete target to emit a TIP packet. For the
+  // final return of a thread (empty stack) `to_function` is kNoFunction.
+  virtual void OnReturn(ThreadId tid, CoreId core, InstrId instr, FunctionId to_function,
+                        BlockId to_block, uint32_t to_index) {
+    (void)tid;
+    (void)core;
+    (void)instr;
+    (void)to_function;
+    (void)to_block;
+    (void)to_index;
+  }
+
+  // Any instruction retired (fires after the more specific callbacks).
+  virtual void OnInstrRetired(ThreadId tid, CoreId core, InstrId instr) {
+    (void)tid;
+    (void)core;
+    (void)instr;
+  }
+
+  virtual void OnThreadStart(ThreadId tid) { (void)tid; }
+  virtual void OnThreadExit(ThreadId tid) { (void)tid; }
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_VM_OBSERVER_H_

@@ -1,0 +1,480 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace gist {
+
+Vm::Vm(const Module& module, Workload workload, VmOptions options)
+    : module_(module),
+      workload_(std::move(workload)),
+      options_(std::move(options)),
+      memory_(module),
+      rng_(workload_.schedule_seed) {
+  GIST_CHECK_GT(options_.num_cores, 0u);
+  core_occupant_.assign(options_.num_cores, kNoThread);
+  threads_.reserve(kMaxThreads);
+}
+
+ThreadId Vm::SpawnThread(FunctionId function, const std::vector<Word>& args, bool is_main) {
+  GIST_CHECK_LT(threads_.size(), kMaxThreads) << "thread limit exceeded";
+  const ThreadId tid = static_cast<ThreadId>(threads_.size());
+  ThreadState thread;
+  thread.id = tid;
+  thread.core = tid % options_.num_cores;
+  Frame frame;
+  frame.function = function;
+  frame.regs.assign(module_.function(function).num_regs(), 0);
+  for (size_t i = 0; i < args.size() && i < frame.regs.size(); ++i) {
+    frame.regs[i] = args[i];
+  }
+  thread.stack.push_back(std::move(frame));
+  threads_.push_back(std::move(thread));
+  ++result_.stats.threads_created;
+  if (!is_main) {
+    ForObservers([&](ExecutionObserver& o) { o.OnThreadStart(tid); });
+  }
+  return tid;
+}
+
+void Vm::RaiseFailure(ThreadState& thread, FailureType type, InstrId instr,
+                      const std::string& message) {
+  result_.failure.type = type;
+  result_.failure.failing_instr = instr;
+  result_.failure.failing_thread = thread.id;
+  result_.failure.message = message;
+  result_.failure.stack_trace = StackTrace(thread, instr);
+  done_ = true;
+}
+
+std::vector<InstrId> Vm::StackTrace(const ThreadState& thread, InstrId failing) const {
+  std::vector<InstrId> trace;
+  for (const Frame& frame : thread.stack) {
+    if (frame.call_site != kNoInstr) {
+      trace.push_back(frame.call_site);
+    }
+  }
+  trace.push_back(failing);
+  return trace;
+}
+
+void Vm::NotifyBlockEnter(ThreadState& thread) {
+  const Frame& frame = thread.stack.back();
+  ForObservers([&](ExecutionObserver& o) {
+    o.OnBlockEnter(thread.id, thread.core, frame.function, frame.block);
+  });
+}
+
+void Vm::ExitThread(ThreadState& thread) {
+  thread.status = ThreadStatus::kExited;
+  ForObservers([&](ExecutionObserver& o) { o.OnThreadExit(thread.id); });
+  // Wake joiners.
+  for (ThreadState& other : threads_) {
+    if (other.status == ThreadStatus::kBlockedJoin && other.join_target == thread.id) {
+      other.status = ThreadStatus::kRunnable;
+      other.join_target = kNoThread;
+    }
+  }
+}
+
+bool Vm::Step(ThreadState& thread) {
+  Frame& frame = thread.stack.back();
+  const Function& function = module_.function(frame.function);
+  const BasicBlock& block = function.block(frame.block);
+  GIST_CHECK_LT(frame.index, block.size());
+  const Instruction& instr = block.instructions()[frame.index];
+
+  auto reg = [&](Reg r) -> Word {
+    GIST_CHECK_LT(r, frame.regs.size());
+    return frame.regs[r];
+  };
+  auto set_reg = [&](Reg r, Word value) {
+    if (r != kNoReg) {
+      GIST_CHECK_LT(r, frame.regs.size());
+      frame.regs[r] = value;
+    }
+  };
+  auto mem_fault = [&](MemFault fault, Addr addr) {
+    RaiseFailure(thread, MemFaultToFailure(fault), instr.id,
+                 StrFormat("%s at address 0x%llx: %s", FailureTypeName(MemFaultToFailure(fault)),
+                           static_cast<unsigned long long>(addr),
+                           instr.loc.text.empty() ? OpcodeName(instr.op) : instr.loc.text.c_str()));
+  };
+  auto emit_access = [&](Addr addr, Word value, bool is_write) {
+    MemAccessEvent event{access_seq_++, thread.id, thread.core, instr.id, addr, value, is_write};
+    ++result_.stats.mem_accesses;
+    ForObservers([&](ExecutionObserver& o) { o.OnMemAccess(event); });
+  };
+  auto retire = [&]() {
+    ForObservers([&](ExecutionObserver& o) { o.OnInstrRetired(thread.id, thread.core, instr.id); });
+  };
+
+  if (options_.hook != nullptr) {
+    options_.hook->BeforeInstr(thread.id, instr.id, frame.regs);
+  }
+
+  // Most instructions fall through to the next index; control flow overrides.
+  ++frame.index;
+
+  switch (instr.op) {
+    case Opcode::kConst:
+      set_reg(instr.dst, instr.imm);
+      break;
+    case Opcode::kMove:
+      set_reg(instr.dst, reg(instr.operands[0]));
+      break;
+    case Opcode::kNot:
+      set_reg(instr.dst, reg(instr.operands[0]) == 0 ? 1 : 0);
+      break;
+    case Opcode::kBinOp: {
+      const Word lhs = reg(instr.operands[0]);
+      const Word rhs = reg(instr.operands[1]);
+      Word value = 0;
+      switch (instr.binop) {
+        case BinOp::kAdd:
+          value = lhs + rhs;
+          break;
+        case BinOp::kSub:
+          value = lhs - rhs;
+          break;
+        case BinOp::kMul:
+          value = lhs * rhs;
+          break;
+        case BinOp::kDiv:
+        case BinOp::kRem:
+          if (rhs == 0) {
+            RaiseFailure(thread, FailureType::kArithmeticFault, instr.id, "division by zero");
+            return false;
+          }
+          value = instr.binop == BinOp::kDiv ? lhs / rhs : lhs % rhs;
+          break;
+        case BinOp::kEq:
+          value = lhs == rhs;
+          break;
+        case BinOp::kNe:
+          value = lhs != rhs;
+          break;
+        case BinOp::kLt:
+          value = lhs < rhs;
+          break;
+        case BinOp::kLe:
+          value = lhs <= rhs;
+          break;
+        case BinOp::kGt:
+          value = lhs > rhs;
+          break;
+        case BinOp::kGe:
+          value = lhs >= rhs;
+          break;
+        case BinOp::kAnd:
+          value = (lhs != 0) && (rhs != 0);
+          break;
+        case BinOp::kOr:
+          value = (lhs != 0) || (rhs != 0);
+          break;
+        case BinOp::kXor:
+          value = lhs ^ rhs;
+          break;
+        case BinOp::kShl:
+          value = static_cast<Word>(static_cast<uint64_t>(lhs) << (rhs & 63));
+          break;
+        case BinOp::kShr:
+          value = static_cast<Word>(static_cast<uint64_t>(lhs) >> (rhs & 63));
+          break;
+      }
+      set_reg(instr.dst, value);
+      break;
+    }
+    case Opcode::kLoad: {
+      const Addr addr = static_cast<Addr>(reg(instr.operands[0]));
+      Word value = 0;
+      const MemFault fault = memory_.Read(addr, &value);
+      if (fault != MemFault::kOk) {
+        mem_fault(fault, addr);
+        return false;
+      }
+      set_reg(instr.dst, value);
+      emit_access(addr, value, /*is_write=*/false);
+      break;
+    }
+    case Opcode::kStore: {
+      const Addr addr = static_cast<Addr>(reg(instr.operands[0]));
+      const Word value = reg(instr.operands[1]);
+      const MemFault fault = memory_.Write(addr, value);
+      if (fault != MemFault::kOk) {
+        mem_fault(fault, addr);
+        return false;
+      }
+      emit_access(addr, value, /*is_write=*/true);
+      break;
+    }
+    case Opcode::kAddrOfGlobal:
+      set_reg(instr.dst, static_cast<Word>(memory_.GlobalAddr(instr.global)) + instr.imm);
+      break;
+    case Opcode::kGep:
+      set_reg(instr.dst, reg(instr.operands[0]) + reg(instr.operands[1]));
+      break;
+    case Opcode::kAlloc: {
+      const Word size = reg(instr.operands[0]);
+      set_reg(instr.dst, static_cast<Word>(memory_.Alloc(size > 0 ? static_cast<uint64_t>(size)
+                                                                  : 1)));
+      break;
+    }
+    case Opcode::kFree: {
+      const Addr addr = static_cast<Addr>(reg(instr.operands[0]));
+      const MemFault fault = memory_.Free(addr);
+      if (fault != MemFault::kOk) {
+        mem_fault(fault, addr);
+        return false;
+      }
+      break;
+    }
+    case Opcode::kCall: {
+      if (thread.stack.size() >= options_.max_call_depth) {
+        RaiseFailure(thread, FailureType::kStackOverflow, instr.id,
+                     "call depth exceeded the stack limit");
+        return false;
+      }
+      Frame callee;
+      callee.function = instr.callee;
+      callee.regs.assign(module_.function(instr.callee).num_regs(), 0);
+      for (size_t i = 0; i < instr.operands.size(); ++i) {
+        callee.regs[i] = reg(instr.operands[i]);
+      }
+      callee.ret_dst = instr.dst;
+      callee.call_site = instr.id;
+      retire();
+      thread.stack.push_back(std::move(callee));
+      NotifyBlockEnter(thread);
+      return true;
+    }
+    case Opcode::kRet: {
+      const Word value = instr.operands.empty() ? 0 : reg(instr.operands[0]);
+      const Reg ret_dst = frame.ret_dst;
+      retire();
+      thread.stack.pop_back();
+      if (thread.stack.empty()) {
+        ForObservers([&](ExecutionObserver& o) {
+          o.OnReturn(thread.id, thread.core, instr.id, kNoFunction, kNoBlock, 0);
+        });
+        ExitThread(thread);
+        return true;
+      }
+      Frame& caller = thread.stack.back();
+      if (ret_dst != kNoReg) {
+        caller.regs[ret_dst] = value;
+      }
+      ForObservers([&](ExecutionObserver& o) {
+        o.OnReturn(thread.id, thread.core, instr.id, caller.function, caller.block, caller.index);
+      });
+      return true;
+    }
+    case Opcode::kBr: {
+      const bool taken = reg(instr.operands[0]) != 0;
+      ++result_.stats.branches;
+      ForObservers([&](ExecutionObserver& o) {
+        o.OnBranch(thread.id, thread.core, instr.id, taken);
+      });
+      frame.block = taken ? instr.target0 : instr.target1;
+      frame.index = 0;
+      retire();
+      NotifyBlockEnter(thread);
+      return true;
+    }
+    case Opcode::kJmp:
+      frame.block = instr.target0;
+      frame.index = 0;
+      retire();
+      NotifyBlockEnter(thread);
+      return true;
+    case Opcode::kAssert:
+      if (reg(instr.operands[0]) == 0) {
+        RaiseFailure(thread, FailureType::kAssertViolation, instr.id,
+                     "assertion failed: " + instr.text);
+        return false;
+      }
+      break;
+    case Opcode::kThreadCreate: {
+      const Word arg = instr.operands.empty() ? 0 : reg(instr.operands[0]);
+      const ThreadId child = SpawnThread(instr.callee, {arg}, /*is_main=*/false);
+      set_reg(instr.dst, static_cast<Word>(child));
+      break;
+    }
+    case Opcode::kThreadJoin: {
+      const Word target = reg(instr.operands[0]);
+      if (target < 0 || static_cast<size_t>(target) >= threads_.size()) {
+        RaiseFailure(thread, FailureType::kSegFault, instr.id, "join of invalid thread id");
+        return false;
+      }
+      ThreadState& joinee = threads_[static_cast<size_t>(target)];
+      if (joinee.status != ThreadStatus::kExited) {
+        thread.status = ThreadStatus::kBlockedJoin;
+        thread.join_target = joinee.id;
+        // Re-execute the join when woken; keep the pc on this instruction.
+        --frame.index;
+        retire();
+        return true;
+      }
+      break;
+    }
+    case Opcode::kLock: {
+      const Addr addr = static_cast<Addr>(reg(instr.operands[0]));
+      const MemFault fault = memory_.Check(addr);
+      if (fault != MemFault::kOk) {
+        mem_fault(fault, addr);
+        return false;
+      }
+      Mutex& mutex = mutexes_[addr];
+      if (mutex.owner == kNoThread) {
+        mutex.owner = thread.id;
+      } else if (mutex.owner != thread.id) {
+        thread.status = ThreadStatus::kBlockedLock;
+        thread.lock_target = addr;
+        mutex.waiters.push_back(thread.id);
+        --frame.index;  // retry the acquire when woken
+        retire();
+        return true;
+      }
+      break;
+    }
+    case Opcode::kUnlock: {
+      const Addr addr = static_cast<Addr>(reg(instr.operands[0]));
+      const MemFault fault = memory_.Check(addr);
+      if (fault != MemFault::kOk) {
+        mem_fault(fault, addr);
+        return false;
+      }
+      auto it = mutexes_.find(addr);
+      if (it != mutexes_.end() && it->second.owner == thread.id) {
+        Mutex& mutex = it->second;
+        mutex.owner = kNoThread;
+        while (!mutex.waiters.empty()) {
+          const ThreadId waiter = mutex.waiters.front();
+          mutex.waiters.pop_front();
+          if (threads_[waiter].status == ThreadStatus::kBlockedLock) {
+            threads_[waiter].status = ThreadStatus::kRunnable;
+            threads_[waiter].lock_target = kNullAddr;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case Opcode::kInput: {
+      const size_t index = static_cast<size_t>(instr.imm);
+      set_reg(instr.dst,
+              index < workload_.inputs.size() ? workload_.inputs[index] : 0);
+      break;
+    }
+    case Opcode::kPrint:
+      result_.outputs.push_back(reg(instr.operands[0]));
+      break;
+    case Opcode::kNop:
+      break;
+  }
+
+  if (options_.hook != nullptr) {
+    options_.hook->AfterInstr(thread.id, instr.id, frame.regs);
+  }
+  retire();
+  return true;
+}
+
+ThreadId Vm::PickNext() {
+  std::vector<ThreadId> runnable;
+  for (const ThreadState& thread : threads_) {
+    if (thread.status == ThreadStatus::kRunnable) {
+      runnable.push_back(thread.id);
+    }
+  }
+  if (runnable.empty()) {
+    return kNoThread;
+  }
+  return runnable[rng_.NextBelow(runnable.size())];
+}
+
+RunResult Vm::Run() {
+  const FunctionId main_id = module_.FindFunction("main");
+  GIST_CHECK_NE(main_id, kNoFunction) << "module has no main()";
+  SpawnThread(main_id, {}, /*is_main=*/true);
+
+  ThreadId current = 0;
+  core_occupant_[threads_[0].core] = 0;
+  ForObservers([&](ExecutionObserver& o) {
+    o.OnContextSwitch(threads_[0].core, kNoThread, 0, threads_[0].stack.back().function,
+                      threads_[0].stack.back().block, threads_[0].stack.back().index);
+  });
+
+  uint64_t quantum = workload_.min_quantum +
+                     rng_.NextBelow(workload_.max_quantum - workload_.min_quantum + 1);
+
+  while (!done_) {
+    if (result_.stats.steps >= options_.max_steps) {
+      ThreadState& thread = threads_[current];
+      const InstrId last =
+          thread.stack.empty()
+              ? kNoInstr
+              : module_.function(thread.stack.back().function)
+                    .block(thread.stack.back().block)
+                    .instructions()[std::min<size_t>(thread.stack.back().index,
+                                                     module_.function(thread.stack.back().function)
+                                                             .block(thread.stack.back().block)
+                                                             .size() -
+                                                         1)]
+                    .id;
+      RaiseFailure(thread, FailureType::kHang, last, "step budget exhausted");
+      break;
+    }
+
+    ThreadState* thread = &threads_[current];
+    const bool need_switch =
+        thread->status != ThreadStatus::kRunnable || quantum == 0;
+    if (need_switch) {
+      const ThreadId next = PickNext();
+      if (next == kNoThread) {
+        bool any_blocked = false;
+        for (const ThreadState& t : threads_) {
+          if (t.status == ThreadStatus::kBlockedJoin || t.status == ThreadStatus::kBlockedLock) {
+            any_blocked = true;
+          }
+        }
+        if (any_blocked) {
+          ThreadState& blocked = threads_[current];
+          RaiseFailure(blocked, FailureType::kDeadlock, kNoInstr, "all live threads blocked");
+        }
+        break;  // every thread exited: normal termination
+      }
+      if (next != current) {
+        ++result_.stats.context_switches;
+        const CoreId core = threads_[next].core;
+        const ThreadId prev = core_occupant_[core];
+        core_occupant_[core] = next;
+        const Frame& next_frame = threads_[next].stack.back();
+        ForObservers([&](ExecutionObserver& o) {
+          o.OnContextSwitch(core, prev, next, next_frame.function, next_frame.block,
+                            next_frame.index);
+        });
+      }
+      current = next;
+      thread = &threads_[current];
+      quantum = workload_.min_quantum +
+                rng_.NextBelow(workload_.max_quantum - workload_.min_quantum + 1);
+    }
+
+    ++result_.stats.steps;
+    if (quantum > 0) {
+      --quantum;
+    }
+    if (!thread->started) {
+      thread->started = true;
+      NotifyBlockEnter(*thread);
+    }
+    if (!Step(*thread)) {
+      break;
+    }
+  }
+  return result_;
+}
+
+}  // namespace gist

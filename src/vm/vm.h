@@ -1,0 +1,132 @@
+// MiniIR virtual machine: a deterministic multithreaded interpreter.
+//
+// The VM plays the role of the production machines in the paper's evaluation:
+// it executes a module under a workload, exposes every retired instruction /
+// branch / memory access to ExecutionObservers (the simulated Intel PT,
+// debug registers, record/replay recorders, and the perf cost model), and
+// converts runtime faults into FailureReports.
+//
+// Threads are interleaved by a seeded preemptive scheduler; a given
+// (module, workload) pair always produces the same execution, which is what
+// makes the repository's experiments reproducible.
+
+#ifndef GIST_SRC_VM_VM_H_
+#define GIST_SRC_VM_VM_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/support/rng.h"
+#include "src/vm/failure.h"
+#include "src/vm/memory.h"
+#include "src/vm/observer.h"
+#include "src/vm/workload.h"
+
+namespace gist {
+
+struct VmOptions {
+  uint32_t num_cores = 4;
+  uint64_t max_steps = 2'000'000;
+  // Per-thread call-depth limit; exceeding it raises kStackOverflow, the
+  // analog of blowing the stack guard page.
+  uint32_t max_call_depth = 10'000;
+  std::vector<ExecutionObserver*> observers;
+  // Inline instrumentation with register access (watchpoint arming).
+  InstrumentationHook* hook = nullptr;
+};
+
+// Hard cap on concurrently created threads per run. The thread table is
+// preallocated to this size so references into it stay valid while a thread
+// spawns another (see Vm::Step).
+inline constexpr uint32_t kMaxThreads = 256;
+
+struct RunStats {
+  uint64_t steps = 0;
+  uint64_t mem_accesses = 0;
+  uint64_t branches = 0;
+  uint64_t context_switches = 0;
+  uint32_t threads_created = 0;
+};
+
+struct RunResult {
+  FailureReport failure;  // type == kNone on success
+  RunStats stats;
+  std::vector<Word> outputs;  // values produced by `print`
+
+  bool ok() const { return !failure.IsFailure(); }
+};
+
+class Vm {
+ public:
+  Vm(const Module& module, Workload workload, VmOptions options);
+
+  // Executes main() to completion (or failure). Call once per Vm instance.
+  RunResult Run();
+
+ private:
+  struct Frame {
+    FunctionId function;
+    BlockId block = 0;
+    uint32_t index = 0;
+    std::vector<Word> regs;
+    Reg ret_dst = kNoReg;        // caller register receiving our return value
+    InstrId call_site = kNoInstr;
+  };
+
+  enum class ThreadStatus : uint8_t { kRunnable, kBlockedJoin, kBlockedLock, kExited };
+
+  struct ThreadState {
+    ThreadId id;
+    CoreId core;
+    ThreadStatus status = ThreadStatus::kRunnable;
+    std::vector<Frame> stack;
+    ThreadId join_target = kNoThread;
+    Addr lock_target = kNullAddr;
+    // Set once the thread has been scheduled for the first time (its entry
+    // block's OnBlockEnter has fired).
+    bool started = false;
+  };
+
+  struct Mutex {
+    ThreadId owner = kNoThread;
+    std::deque<ThreadId> waiters;
+  };
+
+  ThreadId SpawnThread(FunctionId function, const std::vector<Word>& args, bool is_main);
+  // Runs one instruction of thread `tid`. Returns false when the run must end
+  // (failure recorded in result_).
+  bool Step(ThreadState& thread);
+  void ExitThread(ThreadState& thread);
+  // Selects the next thread to run; kNoThread if none are runnable.
+  ThreadId PickNext();
+  void RaiseFailure(ThreadState& thread, FailureType type, InstrId instr,
+                    const std::string& message);
+  void NotifyBlockEnter(ThreadState& thread);
+  std::vector<InstrId> StackTrace(const ThreadState& thread, InstrId failing) const;
+
+  // Observer fan-out helpers.
+  template <typename Fn>
+  void ForObservers(Fn&& fn) {
+    for (ExecutionObserver* observer : options_.observers) {
+      fn(*observer);
+    }
+  }
+
+  const Module& module_;
+  Workload workload_;
+  VmOptions options_;
+  Memory memory_;
+  Rng rng_;
+  std::vector<ThreadState> threads_;
+  std::map<Addr, Mutex> mutexes_;
+  std::vector<ThreadId> core_occupant_;  // per core, for context-switch events
+  RunResult result_;
+  uint64_t access_seq_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_VM_VM_H_

@@ -1,0 +1,29 @@
+// A workload: the program inputs plus the scheduling behaviour of one
+// production run. Identical workloads produce bit-identical executions.
+
+#ifndef GIST_SRC_VM_WORKLOAD_H_
+#define GIST_SRC_VM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ids.h"
+
+namespace gist {
+
+struct Workload {
+  // Values returned by `input N` instructions; out-of-range reads yield 0.
+  std::vector<Word> inputs;
+
+  // Seed for the preemptive scheduler; different seeds explore different
+  // thread interleavings.
+  uint64_t schedule_seed = 1;
+
+  // Scheduler quantum bounds (instructions between involuntary switches).
+  uint32_t min_quantum = 1;
+  uint32_t max_quantum = 12;
+};
+
+}  // namespace gist
+
+#endif  // GIST_SRC_VM_WORKLOAD_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/accuracy.h"
+#include "src/support/rng.h"
+
+namespace gist {
+namespace {
+
+TEST(KendallTauTest, IdenticalOrdersHaveZeroDistance) {
+  EXPECT_EQ(KendallTauDistance({1, 2, 3}, {1, 2, 3}), 0u);
+}
+
+TEST(KendallTauTest, SingleSwapIsOne) {
+  // The paper's own example: <A,B,C> vs <A,C,B> has tau = 1.
+  EXPECT_EQ(KendallTauDistance({1, 2, 3}, {1, 3, 2}), 1u);
+}
+
+TEST(KendallTauTest, FullReversalIsAllPairs) {
+  EXPECT_EQ(KendallTauDistance({1, 2, 3, 4}, {4, 3, 2, 1}), 6u);  // C(4,2)
+}
+
+TEST(KendallTauTest, IgnoresElementsMissingFromEitherList) {
+  // Only {1, 3} are common; they agree.
+  EXPECT_EQ(KendallTauDistance({1, 2, 3}, {1, 3, 9}), 0u);
+  // Common {1, 3} in opposite order.
+  EXPECT_EQ(KendallTauDistance({1, 2, 3}, {3, 1, 9}), 1u);
+}
+
+TEST(KendallTauTest, EmptyAndSingletonListsHaveZeroDistance) {
+  EXPECT_EQ(KendallTauDistance({}, {}), 0u);
+  EXPECT_EQ(KendallTauDistance({1}, {1}), 0u);
+  EXPECT_EQ(KendallTauDistance({1, 2}, {}), 0u);
+}
+
+TEST(KendallTauTest, SymmetricUnderExchange) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<InstrId> a;
+    for (InstrId i = 0; i < 8; ++i) {
+      a.push_back(i);
+    }
+    std::vector<InstrId> b = a;
+    // Random shuffles.
+    for (size_t i = a.size(); i > 1; --i) {
+      std::swap(a[i - 1], a[rng.NextBelow(i)]);
+      std::swap(b[i - 1], b[rng.NextBelow(i)]);
+    }
+    EXPECT_EQ(KendallTauDistance(a, b), KendallTauDistance(b, a));
+  }
+}
+
+TEST(KendallTauTest, BoundedByPairCount) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<InstrId> a{0, 1, 2, 3, 4, 5};
+    std::vector<InstrId> b = a;
+    for (size_t i = b.size(); i > 1; --i) {
+      std::swap(b[i - 1], b[rng.NextBelow(i)]);
+    }
+    EXPECT_LE(KendallTauDistance(a, b), 15u);  // C(6,2)
+  }
+}
+
+TEST(AccuracyTest, PerfectMatchIsHundredPercent) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2, 3};
+  ideal.access_order = {2, 3};
+  AccuracyResult result = MeasureAccuracyRaw({1, 2, 3}, {2, 3}, ideal);
+  EXPECT_DOUBLE_EQ(result.relevance, 100.0);
+  EXPECT_DOUBLE_EQ(result.ordering, 100.0);
+  EXPECT_DOUBLE_EQ(result.overall, 100.0);
+}
+
+TEST(AccuracyTest, RelevanceIsJaccard) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2, 3, 4};
+  // Sketch has {1, 2, 9}: intersection 2, union 5.
+  AccuracyResult result = MeasureAccuracyRaw({1, 2, 9}, {}, ideal);
+  EXPECT_DOUBLE_EQ(result.relevance, 100.0 * 2 / 5);
+}
+
+TEST(AccuracyTest, OrderingPenalizesInversions) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2, 3};
+  ideal.access_order = {1, 2, 3};
+  // Sketch got the order fully reversed: 3 discordant pairs of 3.
+  AccuracyResult result = MeasureAccuracyRaw({1, 2, 3}, {3, 2, 1}, ideal);
+  EXPECT_DOUBLE_EQ(result.ordering, 0.0);
+  EXPECT_DOUBLE_EQ(result.overall, 50.0);
+}
+
+TEST(AccuracyTest, OrderingPerfectWithFewerThanTwoCommonAccesses) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2};
+  ideal.access_order = {1};
+  AccuracyResult result = MeasureAccuracyRaw({1, 2}, {1}, ideal);
+  EXPECT_DOUBLE_EQ(result.ordering, 100.0);
+}
+
+TEST(AccuracyTest, ExtraneousAccessesOutsideIdealDoNotAffectOrdering) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2};
+  ideal.access_order = {1, 2};
+  // 9 is not in the ideal: it is filtered before the tau computation.
+  AccuracyResult with_noise = MeasureAccuracyRaw({1, 2, 9}, {1, 9, 2}, ideal);
+  EXPECT_DOUBLE_EQ(with_noise.ordering, 100.0);
+}
+
+TEST(AccuracyTest, EmptySketchScoresZeroRelevance) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2};
+  AccuracyResult result = MeasureAccuracyRaw({}, {}, ideal);
+  EXPECT_DOUBLE_EQ(result.relevance, 0.0);
+}
+
+TEST(AccuracyTest, OverallIsMeanOfComponents) {
+  IdealSketch ideal;
+  ideal.instrs = {1, 2, 3, 4};
+  ideal.access_order = {1, 2};
+  AccuracyResult result = MeasureAccuracyRaw({1, 2}, {2, 1}, ideal);
+  EXPECT_DOUBLE_EQ(result.overall, (result.relevance + result.ordering) / 2.0);
+}
+
+}  // namespace
+}  // namespace gist

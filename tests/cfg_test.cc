@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/cfg/cfg.h"
+#include "src/ir/parser.h"
+
+namespace gist {
+namespace {
+
+std::unique_ptr<Module> Diamond() {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  r0 = input 0
+  br r0, ^left, ^right
+left:
+  r1 = const 1
+  jmp ^merge
+right:
+  r2 = const 2
+  jmp ^merge
+merge:
+  ret
+}
+)");
+  EXPECT_TRUE(module.ok()) << module.error().message();
+  return std::move(*module);
+}
+
+TEST(CfgTest, DiamondEdges) {
+  auto module = Diamond();
+  const Function& f = module->function(0);
+  Cfg cfg(f);
+  const BlockId entry = f.FindBlock("entry");
+  const BlockId left = f.FindBlock("left");
+  const BlockId right = f.FindBlock("right");
+  const BlockId merge = f.FindBlock("merge");
+
+  EXPECT_EQ(cfg.succs(entry).size(), 2u);
+  EXPECT_EQ(cfg.succs(left), std::vector<BlockId>{merge});
+  EXPECT_EQ(cfg.succs(right), std::vector<BlockId>{merge});
+  EXPECT_TRUE(cfg.succs(merge).empty());
+  EXPECT_EQ(cfg.preds(merge).size(), 2u);
+  EXPECT_TRUE(cfg.preds(entry).empty());
+  EXPECT_EQ(cfg.exit_blocks(), std::vector<BlockId>{merge});
+}
+
+TEST(CfgTest, ReversePostorderStartsAtEntryEndsAtExit) {
+  auto module = Diamond();
+  Cfg cfg(module->function(0));
+  const auto& rpo = cfg.reverse_postorder();
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), 0u);
+  EXPECT_EQ(rpo.back(), module->function(0).FindBlock("merge"));
+}
+
+TEST(CfgTest, RpoOrdersPredecessorsFirstInAcyclicGraphs) {
+  auto module = Diamond();
+  Cfg cfg(module->function(0));
+  const auto& rpo = cfg.reverse_postorder();
+  std::vector<size_t> position(cfg.num_blocks());
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    position[rpo[i]] = i;
+  }
+  for (BlockId b = 0; b < cfg.num_blocks(); ++b) {
+    for (BlockId s : cfg.succs(b)) {
+      EXPECT_LT(position[b], position[s]);
+    }
+  }
+}
+
+TEST(CfgTest, UnreachableBlockExcludedFromRpo) {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  jmp ^exit
+orphan:
+  jmp ^exit
+exit:
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  const Function& f = (*module)->function(0);
+  Cfg cfg(f);
+  const BlockId orphan = f.FindBlock("orphan");
+  EXPECT_FALSE(cfg.IsReachable(orphan));
+  const auto& rpo = cfg.reverse_postorder();
+  EXPECT_EQ(std::count(rpo.begin(), rpo.end(), orphan), 0);
+}
+
+TEST(CfgTest, LoopHasBackEdge) {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  jmp ^head
+head:
+  r0 = input 0
+  br r0, ^body, ^exit
+body:
+  jmp ^head
+exit:
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  const Function& f = (*module)->function(0);
+  Cfg cfg(f);
+  const BlockId head = f.FindBlock("head");
+  const BlockId body = f.FindBlock("body");
+  EXPECT_EQ(cfg.succs(body), std::vector<BlockId>{head});
+  // head has two predecessors: entry and body.
+  EXPECT_EQ(cfg.preds(head).size(), 2u);
+}
+
+TEST(CfgTest, SelfLoopBranchDeduplicatesSuccessor) {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  r0 = input 0
+  br r0, ^entry, ^entry
+}
+)");
+  ASSERT_TRUE(module.ok());
+  Cfg cfg((*module)->function(0));
+  EXPECT_EQ(cfg.succs(0).size(), 1u);
+}
+
+TEST(CfgTest, MultipleExitBlocks) {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  r0 = input 0
+  br r0, ^a, ^b
+a:
+  ret
+b:
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  Cfg cfg((*module)->function(0));
+  EXPECT_EQ(cfg.exit_blocks().size(), 2u);
+}
+
+}  // namespace
+}  // namespace gist

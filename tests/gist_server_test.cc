@@ -1,0 +1,167 @@
+// GistServer unit tests: target registration, plan lifecycle across AsT
+// iterations, refinement-into-slice semantics, and option plumbing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/gist.h"
+#include "src/ir/parser.h"
+
+namespace gist {
+namespace {
+
+constexpr const char* kProgram = R"(
+global flag 1 0
+func setter(1) {
+entry:
+  r1 = addrof flag
+  store r1, r0
+  ret
+}
+func main() {
+entry:
+  r0 = const 1
+  r1 = spawn @setter(r0)
+  join r1
+  r2 = addrof flag
+  r3 = load r2
+  br r3, ^boom, ^fine
+boom:
+  r4 = const 0
+  r5 = load r4
+  ret
+fine:
+  ret
+}
+)";
+
+class GistServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseModule(kProgram);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    module_ = std::move(*parsed);
+    Vm vm(*module_, Workload{}, VmOptions{});
+    RunResult result = vm.Run();
+    ASSERT_FALSE(result.ok());
+    report_ = result.failure;
+  }
+
+  std::unique_ptr<Module> module_;
+  FailureReport report_;
+};
+
+TEST_F(GistServerTest, NoTargetBeforeReport) {
+  GistServer server(*module_);
+  EXPECT_FALSE(server.HasTarget());
+}
+
+TEST_F(GistServerTest, ReportEstablishesSliceAndPlan) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  ASSERT_TRUE(server.HasTarget());
+  EXPECT_GT(server.slice().instrs.size(), 0u);
+  EXPECT_EQ(server.slice().instrs[0], report_.failing_instr);
+  EXPECT_EQ(server.sigma(), kDefaultInitialSigma);
+  EXPECT_EQ(server.ast_iteration(), 0u);
+  EXPECT_GT(server.plan().site_count(), 0u);
+}
+
+TEST_F(GistServerTest, InitialSigmaOptionHonoured) {
+  GistOptions options;
+  options.initial_sigma = 6;
+  GistServer server(*module_, options);
+  server.ReportFailure(report_);
+  EXPECT_EQ(server.sigma(), 6u);
+  EXPECT_EQ(server.plan().window.size(), std::min<size_t>(6, server.slice().instrs.size()));
+}
+
+TEST_F(GistServerTest, AdvanceGrowsWindowUntilExhaustion) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  size_t previous = server.plan().window.size();
+  int guard = 0;
+  while (!server.ExhaustedSlice()) {
+    server.AdvanceAst();
+    EXPECT_GE(server.plan().window.size(), previous);
+    previous = server.plan().window.size();
+    ASSERT_LT(++guard, 32) << "AsT failed to exhaust a finite slice";
+  }
+  EXPECT_EQ(server.plan().window.size(), server.slice().instrs.size());
+}
+
+TEST_F(GistServerTest, LinearGrowthOptionHonoured) {
+  GistOptions options;
+  options.initial_sigma = 2;
+  options.ast_growth = AstGrowth::kLinear;
+  GistServer server(*module_, options);
+  server.ReportFailure(report_);
+  server.AdvanceAst();
+  EXPECT_EQ(server.sigma(), 4u);
+  server.AdvanceAst();
+  EXPECT_EQ(server.sigma(), 6u);  // +2 per step, not doubling
+}
+
+TEST_F(GistServerTest, RefinementAddsDiscoveredStatementsToPlans) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  while (!server.ExhaustedSlice()) {
+    server.AdvanceAst();
+  }
+  ASSERT_TRUE(server.discovered_instrs().empty());
+
+  // A monitored failing run traps setter's store (outside the static slice).
+  MonitoredRun run = RunMonitored(*module_, server.plan(), Workload{}, GistOptions{}, 1);
+  ASSERT_FALSE(run.result.ok());
+  server.AddTrace(std::move(run.trace));
+
+  ASSERT_FALSE(server.discovered_instrs().empty());
+  // Every discovered statement is now part of the plan's window...
+  for (InstrId id : server.discovered_instrs()) {
+    EXPECT_FALSE(server.slice().Contains(id));
+    EXPECT_TRUE(std::find(server.plan().window.begin(), server.plan().window.end(), id) !=
+                server.plan().window.end());
+  }
+  // ...and keeps its place after further AsT advances.
+  server.AdvanceAst();
+  for (InstrId id : server.discovered_instrs()) {
+    EXPECT_TRUE(std::find(server.plan().window.begin(), server.plan().window.end(), id) !=
+                server.plan().window.end());
+  }
+}
+
+TEST_F(GistServerTest, SuccessfulTracesAlwaysKept) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  RunTrace successful;
+  successful.failed = false;
+  server.AddTrace(std::move(successful));
+  EXPECT_EQ(server.trace_count(), 1u);
+  EXPECT_EQ(server.failure_recurrences(), 0u);
+}
+
+TEST_F(GistServerTest, ReportResetsState) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  MonitoredRun run = RunMonitored(*module_, server.plan(), Workload{}, GistOptions{}, 1);
+  server.AddTrace(std::move(run.trace));
+  server.AdvanceAst();
+  ASSERT_GT(server.trace_count(), 0u);
+
+  server.ReportFailure(report_);  // re-target
+  EXPECT_EQ(server.trace_count(), 0u);
+  EXPECT_EQ(server.failure_recurrences(), 0u);
+  EXPECT_EQ(server.ast_iteration(), 0u);
+  EXPECT_TRUE(server.discovered_instrs().empty());
+}
+
+TEST_F(GistServerTest, BuildSketchWithoutTracesErrors) {
+  GistServer server(*module_);
+  server.ReportFailure(report_);
+  Result<FailureSketch> sketch = server.BuildSketch();
+  EXPECT_FALSE(sketch.ok());
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+
+namespace gist {
+namespace {
+
+// Builds: main() { r = 1 + 2; print r; ret }
+std::unique_ptr<Module> TinyModule() {
+  auto module = std::make_unique<Module>();
+  IrBuilder b(*module);
+  b.StartFunction("main", 0);
+  const Reg one = b.Const(1);
+  const Reg two = b.Const(2);
+  const Reg sum = b.Add(one, two);
+  b.Print(sum);
+  b.Ret();
+  return module;
+}
+
+TEST(IrTest, BuilderProducesVerifiableModule) {
+  auto module = TinyModule();
+  EXPECT_TRUE(VerifyModule(*module).ok());
+  EXPECT_EQ(module->num_functions(), 1u);
+  EXPECT_EQ(module->num_instructions(), 5u);
+}
+
+TEST(IrTest, InstrIdsRoundTripThroughLocations) {
+  auto module = TinyModule();
+  for (InstrId id = 0; id < module->num_instructions(); ++id) {
+    EXPECT_EQ(module->instr(id).id, id);
+  }
+}
+
+TEST(IrTest, SourceLocAttachedByBuilder) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  b.Src(3, "x = 1;");
+  const Reg x = b.Const(1);
+  b.Ret(x);
+  const Instruction& instr = module.instr(0);
+  EXPECT_EQ(instr.loc.function, "main");
+  EXPECT_EQ(instr.loc.line, 3u);
+  EXPECT_EQ(instr.loc.text, "x = 1;");
+}
+
+TEST(IrTest, CountSourceLinesDeduplicates) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  b.Src(1, "a");
+  const Reg r1 = b.Const(1);
+  const Reg r2 = b.Const(2);
+  b.Src(2, "b");
+  const Reg r3 = b.Add(r1, r2);
+  b.Ret(r3);
+  EXPECT_EQ(module.CountSourceLines({0, 1, 2, 3}), 2u);
+}
+
+TEST(IrTest, TerminatorClassification) {
+  Instruction br;
+  br.op = Opcode::kBr;
+  Instruction ret;
+  ret.op = Opcode::kRet;
+  Instruction load;
+  load.op = Opcode::kLoad;
+  EXPECT_TRUE(br.IsTerminator());
+  EXPECT_TRUE(ret.IsTerminator());
+  EXPECT_FALSE(load.IsTerminator());
+  EXPECT_TRUE(load.IsMemoryAccess());
+  EXPECT_TRUE(load.IsSharedAccess());
+  EXPECT_FALSE(load.IsWriteAccess());
+}
+
+TEST(VerifierTest, RejectsEmptyBlock) {
+  Module module;
+  Function& f = module.CreateFunction("main", 0);
+  f.CreateBlock("entry");
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  b.Const(1);
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+TEST(VerifierTest, RejectsBadBranchTarget) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  const Reg c = b.Const(1);
+  // Manually corrupt a branch target.
+  b.Br(c, 0, 0);
+  Function& f = module.mutable_function(0);
+  f.mutable_block(0).mutable_instructions().back().target0 = 99;
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+TEST(VerifierTest, RejectsArgCountMismatch) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("callee", 2);
+  b.Ret();
+  b.StartFunction("main", 0);
+  b.CallVoid(0, {});  // callee expects 2 args
+  b.Ret();
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+TEST(VerifierTest, RejectsOutOfRangeRegister) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  const Reg c = b.Const(1);
+  b.Ret(c);
+  Function& f = module.mutable_function(0);
+  f.mutable_block(0).mutable_instructions()[0].dst = 1000;
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+TEST(IrTest, ModuleToStringMentionsStructure) {
+  Module module;
+  module.CreateGlobal("counter", 1, 0);
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  const Reg addr = b.AddrOfGlobal(0);
+  const Reg value = b.Load(addr);
+  b.Ret(value);
+  const std::string text = module.ToString();
+  EXPECT_NE(text.find("global counter"), std::string::npos);
+  EXPECT_NE(text.find("func main(0)"), std::string::npos);
+  EXPECT_NE(text.find("addrof counter"), std::string::npos);
+}
+
+TEST(IrTest, OpcodeNamesAreUnique) {
+  EXPECT_STREQ(OpcodeName(Opcode::kLoad), "load");
+  EXPECT_STREQ(OpcodeName(Opcode::kThreadCreate), "spawn");
+  EXPECT_STREQ(BinOpName(BinOp::kGe), "ge");
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/ir/module.h"
+#include "src/vm/memory.h"
+
+namespace gist {
+namespace {
+
+std::unique_ptr<Module> ModuleWithGlobals() {
+  auto module = std::make_unique<Module>();
+  module->CreateGlobal("a", 2, 5);
+  module->CreateGlobal("b", 3, -1);
+  return module;
+}
+
+TEST(MemoryTest, GlobalsInitialized) {
+  auto module = ModuleWithGlobals();
+  Memory memory(*module);
+  Word value = 0;
+  EXPECT_EQ(memory.Read(memory.GlobalAddr(0), &value), MemFault::kOk);
+  EXPECT_EQ(value, 5);
+  EXPECT_EQ(memory.Read(memory.GlobalAddr(0) + 1, &value), MemFault::kOk);
+  EXPECT_EQ(value, 5);
+  EXPECT_EQ(memory.Read(memory.GlobalAddr(1) + 2, &value), MemFault::kOk);
+  EXPECT_EQ(value, -1);
+}
+
+TEST(MemoryTest, GlobalsAreContiguousAndDistinct) {
+  auto module = ModuleWithGlobals();
+  Memory memory(*module);
+  EXPECT_EQ(memory.GlobalAddr(0), kGlobalsBase);
+  EXPECT_EQ(memory.GlobalAddr(1), kGlobalsBase + 2);
+}
+
+TEST(MemoryTest, NullAccessFaults) {
+  Module module;
+  Memory memory(module);
+  Word value;
+  EXPECT_EQ(memory.Read(kNullAddr, &value), MemFault::kNullDeref);
+  EXPECT_EQ(memory.Write(kNullAddr, 1), MemFault::kNullDeref);
+  EXPECT_EQ(memory.Check(kNullAddr), MemFault::kNullDeref);
+}
+
+TEST(MemoryTest, UnmappedAccessFaults) {
+  Module module;
+  Memory memory(module);
+  Word value;
+  EXPECT_EQ(memory.Read(kHeapBase + 123, &value), MemFault::kUnmapped);
+  EXPECT_EQ(memory.Write(0x50, 1), MemFault::kUnmapped);
+}
+
+TEST(MemoryTest, HeapLifecycle) {
+  Module module;
+  Memory memory(module);
+  const Addr block = memory.Alloc(4);
+  EXPECT_GE(block, kHeapBase);
+  Word value;
+  // Zero-initialized.
+  EXPECT_EQ(memory.Read(block + 3, &value), MemFault::kOk);
+  EXPECT_EQ(value, 0);
+  EXPECT_EQ(memory.Write(block + 3, 9), MemFault::kOk);
+  EXPECT_EQ(memory.Read(block + 3, &value), MemFault::kOk);
+  EXPECT_EQ(value, 9);
+  EXPECT_EQ(memory.Free(block), MemFault::kOk);
+  EXPECT_EQ(memory.Read(block + 3, &value), MemFault::kUseAfterFree);
+  EXPECT_EQ(memory.Free(block), MemFault::kDoubleFree);
+}
+
+TEST(MemoryTest, FreeOfInteriorPointerIsInvalid) {
+  Module module;
+  Memory memory(module);
+  const Addr block = memory.Alloc(4);
+  EXPECT_EQ(memory.Free(block + 1), MemFault::kInvalidFree);
+}
+
+TEST(MemoryTest, FreeOfGlobalIsInvalid) {
+  auto module = ModuleWithGlobals();
+  Memory memory(*module);
+  EXPECT_EQ(memory.Free(memory.GlobalAddr(0)), MemFault::kInvalidFree);
+}
+
+TEST(MemoryTest, AddressesNeverReused) {
+  Module module;
+  Memory memory(module);
+  const Addr first = memory.Alloc(2);
+  EXPECT_EQ(memory.Free(first), MemFault::kOk);
+  const Addr second = memory.Alloc(2);
+  EXPECT_NE(first, second);
+  // The stale pointer still faults precisely.
+  Word value;
+  EXPECT_EQ(memory.Read(first, &value), MemFault::kUseAfterFree);
+}
+
+TEST(MemoryTest, GuardWordBetweenBlocks) {
+  Module module;
+  Memory memory(module);
+  const Addr a = memory.Alloc(2);
+  const Addr b = memory.Alloc(2);
+  // One-past-the-end of block a must not alias block b.
+  EXPECT_NE(a + 2, b);
+  Word value;
+  EXPECT_EQ(memory.Read(a + 2, &value), MemFault::kUnmapped);
+}
+
+TEST(MemoryTest, FaultToFailureMapping) {
+  EXPECT_EQ(MemFaultToFailure(MemFault::kOk), FailureType::kNone);
+  EXPECT_EQ(MemFaultToFailure(MemFault::kNullDeref), FailureType::kSegFault);
+  EXPECT_EQ(MemFaultToFailure(MemFault::kUnmapped), FailureType::kSegFault);
+  EXPECT_EQ(MemFaultToFailure(MemFault::kUseAfterFree), FailureType::kUseAfterFree);
+  EXPECT_EQ(MemFaultToFailure(MemFault::kDoubleFree), FailureType::kDoubleFree);
+  EXPECT_EQ(MemFaultToFailure(MemFault::kInvalidFree), FailureType::kInvalidFree);
+}
+
+TEST(MemoryTest, BytesAllocatedAccumulates) {
+  Module module;
+  Memory memory(module);
+  memory.Alloc(3);
+  memory.Alloc(5);
+  EXPECT_EQ(memory.bytes_allocated(), 8 * sizeof(Word));
+}
+
+}  // namespace
+}  // namespace gist

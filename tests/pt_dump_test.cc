@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/pt/dump.h"
+#include "src/pt/tracer.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+std::unique_ptr<Module> TinyProgram() {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  r0 = input 0
+  br r0, ^a, ^b
+a:
+  jmp ^exit
+b:
+  jmp ^exit
+exit:
+  ret
+}
+)");
+  EXPECT_TRUE(module.ok());
+  return std::move(*module);
+}
+
+TEST(PtDumpTest, PacketKindsRendered) {
+  auto module = TinyProgram();
+  PtBuffer buffer(1024);
+  buffer.AppendPsb();
+  buffer.AppendPip(3);
+  buffer.AppendPge(PtIp{0, 0, 0});
+  buffer.AppendTnt(0b101, 3);
+  buffer.AppendTip(PtEndIp());
+  buffer.AppendPgd(PtIp{0, 3, 0});
+  const std::string dump = DumpPtStream(*module, buffer.bytes());
+  EXPECT_NE(dump.find("PSB"), std::string::npos);
+  EXPECT_NE(dump.find("PIP      tid=3"), std::string::npos);
+  EXPECT_NE(dump.find("TIP.PGE  ip=main:^entry:0"), std::string::npos);
+  EXPECT_NE(dump.find("TNT      TNT (3)"), std::string::npos);
+  EXPECT_NE(dump.find("<thread-end>"), std::string::npos);
+  EXPECT_NE(dump.find("TIP.PGD  ip=main:^exit:0"), std::string::npos);
+}
+
+TEST(PtDumpTest, MalformedStreamReported) {
+  auto module = TinyProgram();
+  std::vector<uint8_t> bogus{0xee, 0x01};
+  const std::string dump = DumpPtStream(*module, bogus);
+  EXPECT_NE(dump.find("malformed"), std::string::npos);
+}
+
+TEST(PtDumpTest, RealTraceDumpsAndDecodes) {
+  auto module = TinyProgram();
+  PtTracer tracer(1, kDefaultPtBufferBytes, /*always_on=*/true);
+  VmOptions options;
+  options.num_cores = 1;
+  options.observers = {&tracer};
+  Workload workload;
+  workload.inputs = {1};
+  Vm(*module, workload, options).Run();
+  tracer.FlushAllPending();
+
+  const std::string dump = DumpPtStream(*module, tracer.buffer(0).bytes());
+  EXPECT_NE(dump.find("TIP.PGE"), std::string::npos);
+  EXPECT_NE(dump.find("TNT"), std::string::npos);
+
+  auto decoded = DecodePtStream(*module, 0, tracer.buffer(0).bytes());
+  ASSERT_TRUE(decoded.ok());
+  const std::string trace_dump = DumpDecodedTrace(*module, *decoded);
+  EXPECT_NE(trace_dump.find("core 0"), std::string::npos);
+  EXPECT_NE(trace_dump.find("main:^a"), std::string::npos);  // taken side
+  EXPECT_EQ(trace_dump.find("main:^b"), std::string::npos);  // not-taken side absent
+}
+
+TEST(PtDumpTest, BadIpRenderedDefensively) {
+  auto module = TinyProgram();
+  PtPacket packet;
+  packet.kind = PtPacketKind::kTip;
+  packet.ip = PtIp{42, 0, 0};  // function out of range
+  EXPECT_NE(PtPacketToString(packet, *module).find("<bad f42>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/pt/packets.h"
+#include "src/support/rng.h"
+
+namespace gist {
+namespace {
+
+TEST(PtIpTest, PackUnpackRoundTrip) {
+  const PtIp ip{3, 17, 254};
+  EXPECT_EQ(UnpackPtIp(PackPtIp(ip)), ip);
+}
+
+TEST(PtIpTest, EndIpRoundTrip) {
+  EXPECT_TRUE(IsPtEndIp(UnpackPtIp(PackPtIp(PtEndIp()))));
+}
+
+TEST(PtIpTest, RandomRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    PtIp ip;
+    ip.function = static_cast<FunctionId>(rng.NextBelow(1 << 20));
+    ip.block = static_cast<BlockId>(rng.NextBelow(1 << 20));
+    ip.index = static_cast<uint32_t>(rng.NextBelow(1 << 14));
+    EXPECT_EQ(UnpackPtIp(PackPtIp(ip)), ip);
+  }
+}
+
+TEST(PtBufferTest, EncodeDecodeAllPacketKinds) {
+  PtBuffer buffer(4096);
+  buffer.AppendPsb();
+  buffer.AppendPip(42);
+  buffer.AppendPge(PtIp{1, 2, 0});
+  buffer.AppendTnt(0b101, 3);
+  buffer.AppendFup(PtIp{9, 8, 7});
+  buffer.AppendTip(PtIp{4, 5, 6});
+  buffer.AppendPgd(PtIp{1, 3, 2});
+
+  size_t offset = 0;
+  auto next = [&]() {
+    auto packet = ReadPtPacket(buffer.bytes(), &offset);
+    EXPECT_TRUE(packet.ok()) << packet.error().message();
+    return *packet;
+  };
+
+  EXPECT_EQ(next().kind, PtPacketKind::kPsb);
+  PtPacket pip = next();
+  EXPECT_EQ(pip.kind, PtPacketKind::kPip);
+  EXPECT_EQ(pip.tid, 42u);
+  PtPacket pge = next();
+  EXPECT_EQ(pge.kind, PtPacketKind::kPge);
+  EXPECT_EQ(pge.ip, (PtIp{1, 2, 0}));
+  PtPacket tnt = next();
+  EXPECT_EQ(tnt.kind, PtPacketKind::kTnt);
+  EXPECT_EQ(tnt.tnt_count, 3);
+  EXPECT_EQ(tnt.tnt_bits, 0b101);
+  PtPacket fup = next();
+  EXPECT_EQ(fup.kind, PtPacketKind::kFup);
+  EXPECT_EQ(fup.ip, (PtIp{9, 8, 7}));
+  PtPacket tip = next();
+  EXPECT_EQ(tip.kind, PtPacketKind::kTip);
+  EXPECT_EQ(tip.ip, (PtIp{4, 5, 6}));
+  PtPacket pgd = next();
+  EXPECT_EQ(pgd.kind, PtPacketKind::kPgd);
+  EXPECT_EQ(pgd.ip, (PtIp{1, 3, 2}));
+  EXPECT_EQ(offset, buffer.bytes().size());
+}
+
+TEST(PtBufferTest, TntBitsMaskedToCount) {
+  PtBuffer buffer(64);
+  buffer.AppendTnt(0xff, 2);
+  size_t offset = 0;
+  auto packet = ReadPtPacket(buffer.bytes(), &offset);
+  ASSERT_TRUE(packet.ok());
+  EXPECT_EQ(packet->tnt_bits, 0b11);
+}
+
+TEST(PtBufferTest, OverflowDropsButKeepsAccounting) {
+  PtBuffer buffer(20);  // room for PSB (16) + little else
+  buffer.AppendPsb();
+  buffer.AppendPge(PtIp{0, 0, 0});  // 9 bytes: overflows
+  buffer.AppendTnt(1, 1);           // dropped
+  EXPECT_TRUE(buffer.overflowed());
+  EXPECT_EQ(buffer.bytes_generated(), 16u + 9u + 2u);
+  // Stream ends with an OVF marker.
+  size_t offset = 0;
+  auto psb = ReadPtPacket(buffer.bytes(), &offset);
+  ASSERT_TRUE(psb.ok());
+  EXPECT_EQ(psb->kind, PtPacketKind::kPsb);
+  auto ovf = ReadPtPacket(buffer.bytes(), &offset);
+  ASSERT_TRUE(ovf.ok());
+  EXPECT_EQ(ovf->kind, PtPacketKind::kOvf);
+}
+
+TEST(PtBufferTest, ClearResets) {
+  PtBuffer buffer(8);
+  buffer.AppendTnt(1, 1);
+  buffer.AppendPge(PtIp{0, 0, 0});  // overflow (2 + 9 > 8)
+  EXPECT_TRUE(buffer.overflowed());
+  buffer.Clear();
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_TRUE(buffer.bytes().empty());
+  EXPECT_EQ(buffer.bytes_generated(), 0u);
+}
+
+TEST(PtBufferTest, TruncatedStreamsRejected) {
+  PtBuffer buffer(64);
+  buffer.AppendPge(PtIp{1, 2, 3});
+  std::vector<uint8_t> truncated(buffer.bytes().begin(), buffer.bytes().begin() + 4);
+  size_t offset = 0;
+  auto packet = ReadPtPacket(truncated, &offset);
+  EXPECT_FALSE(packet.ok());
+}
+
+TEST(PtBufferTest, UnknownHeaderRejected) {
+  std::vector<uint8_t> bogus{0xee};
+  size_t offset = 0;
+  auto packet = ReadPtPacket(bogus, &offset);
+  EXPECT_FALSE(packet.ok());
+}
+
+TEST(PtBufferTest, LongTntRoundTrip) {
+  PtBuffer buffer(64);
+  const uint64_t bits = 0x3fff12345678ULL & ((uint64_t{1} << 47) - 1);
+  buffer.AppendLongTnt(bits, 47);
+  size_t offset = 0;
+  auto packet = ReadPtPacket(buffer.bytes(), &offset);
+  ASSERT_TRUE(packet.ok()) << packet.error().message();
+  EXPECT_EQ(packet->kind, PtPacketKind::kTnt);
+  EXPECT_EQ(packet->tnt_count, 47);
+  EXPECT_EQ(packet->tnt_bits, bits);
+  EXPECT_EQ(offset, 8u);
+}
+
+TEST(PtBufferTest, LongTntMasksBeyondCount) {
+  PtBuffer buffer(64);
+  buffer.AppendLongTnt(~uint64_t{0}, 10);
+  size_t offset = 0;
+  auto packet = ReadPtPacket(buffer.bytes(), &offset);
+  ASSERT_TRUE(packet.ok());
+  EXPECT_EQ(packet->tnt_bits, (uint64_t{1} << 10) - 1);
+}
+
+TEST(PtBufferTest, LongTntDensityBeatsShortPackets) {
+  // 47 outcomes in 8 bytes (~0.17 B/branch) vs 6-in-2 for short packets
+  // (~0.33 B/branch): the long encoding is what gets real PT near its
+  // ~0.5 bit/instruction figure.
+  PtBuffer long_buffer(4096);
+  long_buffer.AppendLongTnt(0x155555555555ULL, 47);
+  PtBuffer short_buffer(4096);
+  for (int i = 0; i < 8; ++i) {
+    short_buffer.AppendTnt(0b10101, 6);
+  }
+  EXPECT_LT(static_cast<double>(long_buffer.bytes().size()) / 47,
+            static_cast<double>(short_buffer.bytes().size()) / 48);
+}
+
+TEST(PtBufferTest, CompressionDensity) {
+  // 6 branch outcomes cost 2 bytes: ~2.7 bits/branch, in the same order of
+  // magnitude as real PT's sub-byte-per-branch encoding.
+  PtBuffer buffer(4096);
+  for (int i = 0; i < 10; ++i) {
+    buffer.AppendTnt(0b10101, 6);
+  }
+  EXPECT_EQ(buffer.bytes().size(), 20u);  // 60 branches in 20 bytes
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/core/renderer.h"
+#include "src/ir/builder.h"
+
+namespace gist {
+namespace {
+
+// Builds a module with annotated source and a hand-assembled sketch.
+class RendererTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IrBuilder b(module_);
+    b.StartFunction("main", 0);
+    b.Src(1, "int x = compute();");
+    const Reg x = b.Const(5);
+    first_ = b.module().num_instructions() - 1;
+    b.Src(2, "use(x);");
+    b.Print(x);
+    second_ = b.module().num_instructions() - 1;
+    b.Ret();
+
+    sketch_.title = "demo";
+    sketch_.failure_type = FailureType::kAssertViolation;
+    sketch_.failing_instr = second_;
+    sketch_.threads = {0, 1};
+
+    SketchStatement s1;
+    s1.instr = first_;
+    s1.tid = 0;
+    s1.step = 1;
+    s1.value = 5;
+    s1.highlighted = true;
+    SketchStatement s2;
+    s2.instr = second_;
+    s2.tid = 1;
+    s2.step = 2;
+    s2.is_failure_point = true;
+    s2.discovered_at_runtime = true;
+    sketch_.statements = {s1, s2};
+    sketch_.failing_runs_used = 3;
+    sketch_.successful_runs_used = 17;
+  }
+
+  Module module_;
+  FailureSketch sketch_;
+  InstrId first_ = kNoInstr;
+  InstrId second_ = kNoInstr;
+};
+
+TEST_F(RendererTest, HeaderContainsTitleTypeAndRunCounts) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("assertion violation"), std::string::npos);
+  EXPECT_NE(out.find("3 failing"), std::string::npos);
+  EXPECT_NE(out.find("17 successful"), std::string::npos);
+}
+
+TEST_F(RendererTest, ThreadColumnsInHeader) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  EXPECT_NE(out.find("Thread T0"), std::string::npos);
+  EXPECT_NE(out.find("Thread T1"), std::string::npos);
+}
+
+TEST_F(RendererTest, SourceTextShownPerStatement) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  EXPECT_NE(out.find("int x = compute();"), std::string::npos);
+  EXPECT_NE(out.find("use(x);"), std::string::npos);
+}
+
+TEST_F(RendererTest, MarkersRendered) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  EXPECT_NE(out.find("[*]"), std::string::npos);      // highlighted predictor
+  EXPECT_NE(out.find("+ "), std::string::npos);       // discovered at runtime
+  EXPECT_NE(out.find("{=5}"), std::string::npos);     // observed value
+  EXPECT_NE(out.find("<== FAILURE"), std::string::npos);
+}
+
+TEST_F(RendererTest, SecondThreadColumnIndented) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  // The failure line (thread T1) must start further right than T0's line.
+  const size_t line1 = out.find("int x = compute();");
+  const size_t line2 = out.find("use(x);");
+  ASSERT_NE(line1, std::string::npos);
+  ASSERT_NE(line2, std::string::npos);
+  const size_t col1 = line1 - out.rfind('\n', line1) - 1;
+  const size_t col2 = line2 - out.rfind('\n', line2) - 1;
+  EXPECT_GT(col2, col1);
+}
+
+TEST_F(RendererTest, IdealMarksExtraneousStatements) {
+  IdealSketch ideal;
+  ideal.instrs = {second_};  // first_ is extraneous
+  RenderOptions options;
+  options.ideal = &ideal;
+  const std::string out = RenderFailureSketch(module_, sketch_, options);
+  EXPECT_NE(out.find("·"), std::string::npos);
+}
+
+TEST_F(RendererTest, NoIdealNoGrayMarkers) {
+  const std::string out = RenderFailureSketch(module_, sketch_);
+  EXPECT_EQ(out.find("·"), std::string::npos);
+}
+
+TEST_F(RendererTest, FallsBackToIrTextWithoutSourceAnnotation) {
+  Module bare;
+  IrBuilder b(bare);
+  b.StartFunction("main", 0);
+  const Reg r = b.Const(1);
+  (void)r;
+  b.Ret();
+  FailureSketch sketch;
+  sketch.title = "bare";
+  sketch.threads = {0};
+  SketchStatement s;
+  s.instr = 0;
+  s.tid = 0;
+  s.step = 1;
+  sketch.statements = {s};
+  const std::string out = RenderFailureSketch(bare, sketch);
+  EXPECT_NE(out.find("const 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/transform/rewriter.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+constexpr const char* kProgram = R"(
+global counter 1 0
+func bump(1) {
+entry:
+  r1 = addrof counter
+  r2 = load r1
+  r3 = add r2, r0
+  store r1, r3
+  ret r3
+}
+func main() {
+entry:
+  r0 = const 5
+  r1 = call @bump(r0)
+  r2 = const 2
+  r3 = call @bump(r2)
+  print r3
+  ret
+}
+)";
+
+TEST(RewriterTest, IdentityCloneIsEquivalent) {
+  auto module = ParseModule(kProgram);
+  ASSERT_TRUE(module.ok());
+  RewriteResult clone = RewriteModule(**module, RewriteHooks{});
+  ASSERT_TRUE(VerifyModule(*clone.module).ok());
+  // Same structure.
+  EXPECT_EQ(clone.module->num_functions(), (*module)->num_functions());
+  EXPECT_EQ(clone.module->num_globals(), (*module)->num_globals());
+  EXPECT_EQ(clone.module->num_instructions(), (*module)->num_instructions());
+  // Same behaviour.
+  RunResult original = Vm(**module, Workload{}, VmOptions{}).Run();
+  RunResult cloned = Vm(*clone.module, Workload{}, VmOptions{}).Run();
+  EXPECT_EQ(original.outputs, cloned.outputs);
+  // Identity clone maps every id to itself (no injections shift positions).
+  for (const auto& [old_id, new_id] : clone.id_map) {
+    EXPECT_EQ(old_id, new_id);
+  }
+}
+
+TEST(RewriterTest, IdMapCoversEveryInstruction) {
+  auto module = ParseModule(kProgram);
+  ASSERT_TRUE(module.ok());
+  RewriteResult clone = RewriteModule(**module, RewriteHooks{});
+  EXPECT_EQ(clone.id_map.size(), (*module)->num_instructions());
+}
+
+TEST(RewriterTest, InjectionBeforeSpecificInstruction) {
+  auto module = ParseModule(kProgram);
+  ASSERT_TRUE(module.ok());
+  // Inject `print 99` before every ret in main.
+  const FunctionId main_id = (*module)->FindFunction("main");
+  RewriteHooks hooks;
+  hooks.before = [&](const Instruction& instr, IrBuilder& builder) {
+    if (instr.op == Opcode::kRet && (*module)->location(instr.id).function == main_id) {
+      const Reg v = builder.Const(99);
+      builder.Print(v);
+    }
+  };
+  RewriteResult clone = RewriteModule(**module, hooks);
+  ASSERT_TRUE(VerifyModule(*clone.module).ok());
+  RunResult result = Vm(*clone.module, Workload{}, VmOptions{}).Run();
+  ASSERT_EQ(result.outputs.size(), 2u);
+  EXPECT_EQ(result.outputs[1], 99);
+}
+
+TEST(RewriterTest, InjectionAfterInstruction) {
+  auto module = ParseModule(kProgram);
+  ASSERT_TRUE(module.ok());
+  // Print 7 right after every store.
+  RewriteHooks hooks;
+  hooks.after = [&](const Instruction& instr, IrBuilder& builder) {
+    if (instr.op == Opcode::kStore) {
+      const Reg v = builder.Const(7);
+      builder.Print(v);
+    }
+  };
+  RewriteResult clone = RewriteModule(**module, hooks);
+  ASSERT_TRUE(VerifyModule(*clone.module).ok());
+  RunResult result = Vm(*clone.module, Workload{}, VmOptions{}).Run();
+  // Two bump calls -> two injected prints + the original final print.
+  ASSERT_EQ(result.outputs.size(), 3u);
+  EXPECT_EQ(result.outputs[0], 7);
+  EXPECT_EQ(result.outputs[1], 7);
+}
+
+TEST(RewriterTest, SetupAddsGlobals) {
+  auto module = ParseModule(kProgram);
+  ASSERT_TRUE(module.ok());
+  GlobalId added = 0;
+  RewriteResult clone = RewriteModule(**module, RewriteHooks{}, [&](Module& m) {
+    added = m.CreateGlobal("extra", 2, 9);
+  });
+  EXPECT_EQ(clone.module->num_globals(), (*module)->num_globals() + 1);
+  EXPECT_EQ(clone.module->global(added).name, "extra");
+}
+
+TEST(RewriterTest, SourceLocationsPreserved) {
+  Module module;
+  IrBuilder b(module);
+  b.StartFunction("main", 0);
+  b.Src(42, "the answer;");
+  const Reg r = b.Const(1);
+  (void)r;
+  b.Ret();
+  RewriteResult clone = RewriteModule(module, RewriteHooks{});
+  EXPECT_EQ(clone.module->instr(0).loc.line, 42u);
+  EXPECT_EQ(clone.module->instr(0).loc.text, "the answer;");
+}
+
+TEST(RewriterTest, ThreadedProgramSurvivesCloning) {
+  auto module = ParseModule(R"(
+global cell 1 0
+func w(1) {
+entry:
+  r1 = addrof cell
+  store r1, r0
+  ret
+}
+func main() {
+entry:
+  r0 = const 3
+  r1 = spawn @w(r0)
+  join r1
+  r2 = addrof cell
+  r3 = load r2
+  print r3
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  RewriteResult clone = RewriteModule(**module, RewriteHooks{});
+  ASSERT_TRUE(VerifyModule(*clone.module).ok());
+  RunResult result = Vm(*clone.module, Workload{}, VmOptions{}).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 3);
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,193 @@
+// Property tests for the VM scheduler: determinism, seed sensitivity, and
+// observer event-stream consistency.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/ir/parser.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+constexpr const char* kRacyProgram = R"(
+global cell 1 0
+func w(1) {
+entry:
+  r1 = const 0
+  jmp ^head
+head:
+  r2 = const 20
+  r3 = lt r1, r2
+  br r3, ^body, ^exit
+body:
+  r4 = addrof cell
+  r5 = load r4
+  r6 = add r5, r0
+  store r4, r6
+  r7 = const 1
+  r1 = add r1, r7
+  jmp ^head
+exit:
+  ret
+}
+func main() {
+entry:
+  r0 = const 1
+  r1 = spawn @w(r0)
+  r2 = const 2
+  r3 = spawn @w(r2)
+  join r1
+  join r3
+  r4 = addrof cell
+  r5 = load r4
+  print r5
+  ret
+}
+)";
+
+// Records the full observable event stream of a run.
+class EventLog : public ExecutionObserver {
+ public:
+  void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next, FunctionId, BlockId,
+                       uint32_t) override {
+    events_.push_back(0x1000000ull + core * 65536 + prev * 256 + next);
+  }
+  void OnBlockEnter(ThreadId tid, CoreId, FunctionId function, BlockId block) override {
+    events_.push_back(0x2000000ull + tid * 65536 + function * 256 + block);
+  }
+  void OnBranch(ThreadId tid, CoreId, InstrId instr, bool taken) override {
+    events_.push_back(0x3000000ull + tid * 65536 + instr * 2 + (taken ? 1 : 0));
+  }
+  void OnMemAccess(const MemAccessEvent& event) override {
+    events_.push_back(0x4000000ull + event.tid * 65536 + event.instr * 2 +
+                      (event.is_write ? 1 : 0));
+    seqs_.push_back(event.seq);
+  }
+  void OnInstrRetired(ThreadId tid, CoreId, InstrId instr) override {
+    events_.push_back(0x5000000ull + tid * 65536 + instr);
+  }
+  void OnThreadStart(ThreadId tid) override { events_.push_back(0x6000000ull + tid); }
+  void OnThreadExit(ThreadId tid) override { events_.push_back(0x7000000ull + tid); }
+
+  const std::vector<uint64_t>& events() const { return events_; }
+  const std::vector<uint64_t>& seqs() const { return seqs_; }
+
+ private:
+  std::vector<uint64_t> events_;
+  std::vector<uint64_t> seqs_;
+};
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, IdenticalSeedsProduceIdenticalEventStreams) {
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+  Workload workload;
+  workload.schedule_seed = GetParam();
+
+  EventLog log1;
+  VmOptions options1;
+  options1.observers = {&log1};
+  RunResult r1 = Vm(**module, workload, options1).Run();
+
+  EventLog log2;
+  VmOptions options2;
+  options2.observers = {&log2};
+  RunResult r2 = Vm(**module, workload, options2).Run();
+
+  EXPECT_EQ(r1.outputs, r2.outputs);
+  EXPECT_EQ(log1.events(), log2.events());
+}
+
+TEST_P(SeedSweep, MemAccessSequenceNumbersAreGloballyOrdered) {
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+  Workload workload;
+  workload.schedule_seed = GetParam();
+  EventLog log;
+  VmOptions options;
+  options.observers = {&log};
+  Vm(**module, workload, options).Run();
+  ASSERT_FALSE(log.seqs().empty());
+  for (size_t i = 1; i < log.seqs().size(); ++i) {
+    EXPECT_EQ(log.seqs()[i], log.seqs()[i - 1] + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(SchedulerTest, DifferentSeedsProduceDifferentInterleavings) {
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+  std::set<std::vector<uint64_t>> streams;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Workload workload;
+    workload.schedule_seed = seed;
+    EventLog log;
+    VmOptions options;
+    options.observers = {&log};
+    Vm(**module, workload, options).Run();
+    streams.insert(log.events());
+  }
+  // At least two distinct interleavings among six seeds.
+  EXPECT_GE(streams.size(), 2u);
+}
+
+TEST(SchedulerTest, RacyProgramShowsVaryingResults) {
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+  std::set<Word> totals;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Workload workload;
+    workload.schedule_seed = seed;
+    RunResult result = Vm(**module, workload, VmOptions{}).Run();
+    ASSERT_TRUE(result.ok());
+    totals.insert(result.outputs[0]);
+  }
+  // Lost updates should make at least one seed deviate from 60.
+  EXPECT_GE(totals.size(), 2u);
+}
+
+TEST(SchedulerTest, QuantumBoundsRespected) {
+  // With min=max=1 every instruction is a potential switch point; the run
+  // still terminates and produces a legal result.
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+  Workload workload;
+  workload.schedule_seed = 4;
+  workload.min_quantum = 1;
+  workload.max_quantum = 1;
+  RunResult result = Vm(**module, workload, VmOptions{}).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.stats.context_switches, 0u);
+}
+
+TEST(SchedulerTest, CoreAssignmentRoundRobin) {
+  auto module = ParseModule(kRacyProgram);
+  ASSERT_TRUE(module.ok());
+
+  class CoreTracker : public ExecutionObserver {
+   public:
+    void OnInstrRetired(ThreadId tid, CoreId core, InstrId) override {
+      cores_[tid] = core;
+    }
+    std::map<ThreadId, CoreId> cores_;
+  };
+
+  CoreTracker tracker;
+  VmOptions options;
+  options.num_cores = 2;
+  options.observers = {&tracker};
+  Workload workload;
+  Vm(**module, workload, options).Run();
+  ASSERT_EQ(tracker.cores_.size(), 3u);  // main + 2 workers
+  EXPECT_EQ(tracker.cores_[0], 0u);
+  EXPECT_EQ(tracker.cores_[1], 1u);
+  EXPECT_EQ(tracker.cores_[2], 0u);
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,223 @@
+// Failure-sketch construction tests: refinement semantics (execution
+// filtering + data-flow discovery), layout invariants, value annotation,
+// predictor highlighting, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/gist.h"
+#include "src/core/renderer.h"
+#include "src/ir/parser.h"
+
+namespace gist {
+namespace {
+
+// One thread writes a global the failing thread reads; the failing branch
+// side contains dead code that must be filtered out of the sketch.
+constexpr const char* kProgram = R"(
+global flag 1 0
+func setter(1) {
+entry:
+  r1 = addrof flag
+  store r1, r0
+  ret
+}
+func main() {
+entry:
+  r0 = const 1
+  r1 = spawn @setter(r0)
+  join r1
+  r2 = addrof flag
+  r3 = load r2
+  br r3, ^boom, ^fine
+boom:
+  r4 = const 0
+  r5 = load r4            ; segfault
+  ret
+fine:
+  r6 = const 7
+  print r6
+  ret
+}
+)";
+
+class SketchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseModule(kProgram);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+    module_ = std::move(*parsed);
+
+    // This program fails deterministically (setter joins before the read).
+    Vm vm(*module_, Workload{}, VmOptions{});
+    RunResult result = vm.Run();
+    ASSERT_FALSE(result.ok());
+    report_ = result.failure;
+
+    server_ = std::make_unique<GistServer>(*module_);
+    server_->ReportFailure(report_);
+    // Grow the window to cover the whole (small) slice.
+    while (!server_->ExhaustedSlice()) {
+      server_->AdvanceAst();
+    }
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      Workload workload;
+      workload.schedule_seed = seed;
+      MonitoredRun run = RunMonitored(*module_, server_->plan(), workload, GistOptions{}, seed);
+      server_->AddTrace(std::move(run.trace));
+    }
+  }
+
+  InstrId FindInstr(const std::string& function, Opcode op, int occurrence = 0) {
+    const FunctionId f = module_->FindFunction(function);
+    int seen = 0;
+    for (BlockId b = 0; b < module_->function(f).num_blocks(); ++b) {
+      for (const Instruction& instr : module_->function(f).block(b).instructions()) {
+        if (instr.op == op && seen++ == occurrence) {
+          return instr.id;
+        }
+      }
+    }
+    return kNoInstr;
+  }
+
+  std::unique_ptr<Module> module_;
+  FailureReport report_;
+  std::unique_ptr<GistServer> server_;
+};
+
+TEST_F(SketchTest, BuildSucceedsWithFailingTraces) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok()) << sketch.error().message();
+  EXPECT_GT(sketch->statements.size(), 0u);
+  EXPECT_EQ(sketch->failure_type, FailureType::kSegFault);
+}
+
+TEST_F(SketchTest, FailurePointIsLastStep) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_FALSE(sketch->statements.empty());
+  const SketchStatement& last = sketch->statements.back();
+  EXPECT_TRUE(last.is_failure_point);
+  EXPECT_EQ(last.instr, report_.failing_instr);
+  // Steps are dense and 1-based.
+  for (size_t i = 0; i < sketch->statements.size(); ++i) {
+    EXPECT_EQ(sketch->statements[i].step, i + 1);
+  }
+}
+
+TEST_F(SketchTest, DeadBranchSideFilteredOut) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  // The `fine` side never executes in failing runs: its statements are in
+  // the static slice (path-insensitive) but control-flow refinement removes
+  // them.
+  const InstrId print_instr = FindInstr("main", Opcode::kPrint);
+  const InstrId fine_const = FindInstr("main", Opcode::kConst, 2);  // const 7
+  EXPECT_FALSE(sketch->Contains(print_instr));
+  EXPECT_FALSE(sketch->Contains(fine_const));
+}
+
+TEST_F(SketchTest, DataFlowDiscoversTheRemoteStore) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  // setter's store is invisible to the alias-free slicer but the watchpoint
+  // on `flag` catches it; it must be in the sketch, marked as discovered.
+  const InstrId store = FindInstr("setter", Opcode::kStore);
+  ASSERT_TRUE(sketch->Contains(store));
+  EXPECT_FALSE(server_->slice().Contains(store));
+  bool discovered = false;
+  for (const SketchStatement& statement : sketch->statements) {
+    if (statement.instr == store) {
+      discovered = statement.discovered_at_runtime;
+    }
+  }
+  EXPECT_TRUE(discovered);
+}
+
+TEST_F(SketchTest, WatchedStatementsCarryValues) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  const InstrId load = FindInstr("main", Opcode::kLoad, 0);  // load of flag
+  bool found = false;
+  for (const SketchStatement& statement : sketch->statements) {
+    if (statement.instr == load) {
+      found = true;
+      ASSERT_TRUE(statement.value.has_value());
+      EXPECT_EQ(*statement.value, 1);  // the setter stored 1
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SketchTest, StoreBeforeLoadInStepOrder) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  const InstrId store = FindInstr("setter", Opcode::kStore);
+  const InstrId load = FindInstr("main", Opcode::kLoad, 0);
+  size_t store_step = 0;
+  size_t load_step = 0;
+  for (const SketchStatement& statement : sketch->statements) {
+    if (statement.instr == store) {
+      store_step = statement.step;
+    }
+    if (statement.instr == load) {
+      load_step = statement.step;
+    }
+  }
+  ASSERT_GT(store_step, 0u);
+  ASSERT_GT(load_step, 0u);
+  EXPECT_LT(store_step, load_step) << "watchpoint total order must place the store first";
+}
+
+TEST_F(SketchTest, ThreadsColumnsCoverBothThreads) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_GE(sketch->threads.size(), 2u);
+}
+
+TEST_F(SketchTest, TopValuePredictorHighlighted) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_TRUE(sketch->best_value.has_value());
+  const InstrId predicted = sketch->best_value->predictor.a;
+  bool highlighted = false;
+  for (const SketchStatement& statement : sketch->statements) {
+    if (statement.instr == predicted && statement.highlighted) {
+      highlighted = true;
+    }
+  }
+  EXPECT_TRUE(highlighted);
+}
+
+TEST_F(SketchTest, SharedAccessOrderListsWatchedInstrsInStepOrder) {
+  Result<FailureSketch> sketch = server_->BuildSketch();
+  ASSERT_TRUE(sketch.ok());
+  const std::vector<InstrId> order = sketch->SharedAccessOrder(*module_);
+  EXPECT_FALSE(order.empty());
+  // Must be a subset of the sketch's statements.
+  for (InstrId id : order) {
+    EXPECT_TRUE(sketch->Contains(id));
+    EXPECT_TRUE(module_->instr(id).IsSharedAccess());
+  }
+}
+
+TEST(SketchErrorsTest, NoFailingRunIsAnError) {
+  auto module = ParseModule("func main() {\nentry:\n  ret\n}\n");
+  ASSERT_TRUE(module.ok());
+  RunTrace successful;
+  successful.failed = false;
+  Result<FailureSketch> sketch = BuildFailureSketch(**module, {}, {successful});
+  EXPECT_FALSE(sketch.ok());
+}
+
+TEST(SketchErrorsTest, EmptyTraceListIsAnError) {
+  auto module = ParseModule("func main() {\nentry:\n  ret\n}\n");
+  ASSERT_TRUE(module.ok());
+  Result<FailureSketch> sketch = BuildFailureSketch(**module, {}, {});
+  EXPECT_FALSE(sketch.ok());
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/slicer.h"
+#include "src/ir/parser.h"
+
+namespace gist {
+namespace {
+
+struct Program {
+  std::unique_ptr<Module> module;
+  std::unique_ptr<Ticfg> ticfg;
+};
+
+Program Load(const char* text) {
+  auto module = ParseModule(text);
+  EXPECT_TRUE(module.ok()) << module.error().message();
+  Program program;
+  program.module = std::move(*module);
+  program.ticfg = std::make_unique<Ticfg>(*program.module);
+  return program;
+}
+
+// Finds the unique instruction with the given opcode in a function.
+InstrId FindInstr(const Module& module, const std::string& function, Opcode op,
+                  int occurrence = 0) {
+  const FunctionId f = module.FindFunction(function);
+  EXPECT_NE(f, kNoFunction);
+  int seen = 0;
+  for (BlockId b = 0; b < module.function(f).num_blocks(); ++b) {
+    for (const Instruction& instr : module.function(f).block(b).instructions()) {
+      if (instr.op == op && seen++ == occurrence) {
+        return instr.id;
+      }
+    }
+  }
+  ADD_FAILURE() << "instruction not found";
+  return kNoInstr;
+}
+
+TEST(SlicerTest, FailureIsFirstInSlice) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r0 = const 0
+  r1 = load r0
+  ret
+}
+)");
+  const InstrId load = FindInstr(*p.module, "main", Opcode::kLoad);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, load);
+  ASSERT_FALSE(slice.instrs.empty());
+  EXPECT_EQ(slice.instrs[0], load);
+  EXPECT_EQ(slice.failure, load);
+}
+
+TEST(SlicerTest, FollowsRegisterDataFlow) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r0 = const 7
+  r1 = const 3
+  r2 = add r0, r1
+  r3 = const 99     ; unrelated
+  assert r2, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  // const 7, const 3, add, assert are in; const 99 is not.
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kBinOp)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 0)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 1)));
+  EXPECT_FALSE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 2)));
+}
+
+TEST(SlicerTest, FlowSensitiveKillsShadowedDefs) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r0 = const 1    ; dead: shadowed before the use
+  r0 = const 2
+  assert r0, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  EXPECT_FALSE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 0)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 1)));
+}
+
+TEST(SlicerTest, PathInsensitiveKeepsBothBranchDefs) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r9 = input 0
+  br r9, ^a, ^b
+a:
+  r0 = const 1
+  jmp ^merge
+b:
+  r0 = const 2
+  jmp ^merge
+merge:
+  assert r0, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 0)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 1)));
+}
+
+TEST(SlicerTest, IncludesControlDependencies) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r9 = input 0
+  br r9, ^danger, ^safe
+danger:
+  r0 = const 0
+  r1 = load r0
+  jmp ^exit
+safe:
+  jmp ^exit
+exit:
+  ret
+}
+)");
+  const InstrId load = FindInstr(*p.module, "main", Opcode::kLoad);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, load);
+  // The branch controls whether the load executes; the branch and its
+  // condition's def (input) must be in the slice.
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kBr)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kInput)));
+}
+
+TEST(SlicerTest, InterproceduralReturnValues) {
+  Program p = Load(R"(
+func source() {
+entry:
+  r0 = const 13
+  ret r0
+}
+func main() {
+entry:
+  r0 = call @source()
+  assert r0, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  // getRetValues: the callee's ret and the const feeding it are in the slice.
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "source", Opcode::kRet)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "source", Opcode::kConst)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kCall)));
+}
+
+TEST(SlicerTest, InterproceduralArguments) {
+  Program p = Load(R"(
+func sink(1) {
+entry:
+  r1 = load r0
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  call @sink(r0)
+  ret
+}
+)");
+  const InstrId load = FindInstr(*p.module, "sink", Opcode::kLoad);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, load);
+  // getArgValues: the call site and the argument's def are in the slice.
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kCall)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst)));
+}
+
+TEST(SlicerTest, CrossesThreadCreationEdges) {
+  Program p = Load(R"(
+global queue 1 0
+func cons(1) {
+entry:
+  r1 = load r0
+  unlock r1
+  ret
+}
+func main() {
+entry:
+  r0 = const 2
+  r1 = alloc r0
+  r2 = spawn @cons(r1)
+  join r2
+  ret
+}
+)");
+  const InstrId unlock = FindInstr(*p.module, "cons", Opcode::kUnlock);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, unlock);
+  // The thread argument flows from main's alloc through the spawn.
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kThreadCreate)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kAlloc)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "cons", Opcode::kLoad)));
+}
+
+TEST(SlicerTest, NoAliasAnalysisStoresNotChasedThroughMemory) {
+  // The store that produces the loaded value is NOT in the static slice: Gist
+  // deliberately omits alias analysis and recovers such statements at runtime
+  // via watchpoints (paper §3.2.3).
+  Program p = Load(R"(
+global cell 1 0
+func main() {
+entry:
+  r0 = addrof cell
+  r1 = const 42
+  store r0, r1
+  r2 = addrof cell
+  r3 = load r2
+  assert r3, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kLoad)));
+  EXPECT_FALSE(slice.Contains(FindInstr(*p.module, "main", Opcode::kStore)));
+  // const 42 only feeds the store, so it must be absent too.
+  EXPECT_FALSE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 0)));
+}
+
+TEST(SlicerTest, ConservativeAliasVariantPullsInStores) {
+  // The ablation slicer connects loads to every store; the production slicer
+  // must stay strictly leaner on the same program.
+  Program p = Load(R"(
+global cell 1 0
+global other 1 0
+func main() {
+entry:
+  r0 = addrof other
+  r1 = const 42
+  store r0, r1
+  r2 = addrof cell
+  r3 = load r2
+  assert r3, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice lean = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  StaticSlice fat = ComputeBackwardSliceWithAliases(*p.ticfg, assert_instr);
+  const InstrId store = FindInstr(*p.module, "main", Opcode::kStore);
+  EXPECT_FALSE(lean.Contains(store));
+  EXPECT_TRUE(fat.Contains(store));
+  EXPECT_GT(fat.instrs.size(), lean.instrs.size());
+  // The fat slice is a superset of the lean one.
+  for (InstrId id : lean.instrs) {
+    EXPECT_TRUE(fat.Contains(id));
+  }
+}
+
+TEST(SlicerTest, SliceMembersMatchOrderVector) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r0 = const 7
+  r1 = const 3
+  r2 = add r0, r1
+  assert r2, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  EXPECT_EQ(slice.members.size(), slice.instrs.size());
+  for (InstrId id : slice.instrs) {
+    EXPECT_TRUE(slice.Contains(id));
+  }
+}
+
+TEST(SlicerTest, LoopCarriedDependence) {
+  Program p = Load(R"(
+func main() {
+entry:
+  r0 = const 0
+  jmp ^head
+head:
+  r1 = const 10
+  r2 = lt r0, r1
+  br r2, ^body, ^exit
+body:
+  r3 = const 1
+  r0 = add r0, r3
+  jmp ^head
+exit:
+  assert r0, "x"
+  ret
+}
+)");
+  const InstrId assert_instr = FindInstr(*p.module, "main", Opcode::kAssert);
+  StaticSlice slice = ComputeBackwardSlice(*p.ticfg, assert_instr);
+  // Both the init and the loop-carried update of r0 are in the slice, plus
+  // the loop branch (control dependence of the update).
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kConst, 0)));
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kBinOp, 1)));  // the add
+  EXPECT_TRUE(slice.Contains(FindInstr(*p.module, "main", Opcode::kBr)));
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/core/statistics.h"
+
+namespace gist {
+namespace {
+
+Predictor BranchPredictor(InstrId instr, bool taken) {
+  Predictor predictor;
+  predictor.kind = PredictorKind::kBranch;
+  predictor.a = instr;
+  predictor.taken = taken;
+  return predictor;
+}
+
+Predictor ValuePredictor(InstrId instr, Word value) {
+  Predictor predictor;
+  predictor.kind = PredictorKind::kValue;
+  predictor.a = instr;
+  predictor.value = value;
+  return predictor;
+}
+
+Predictor PatternPredictor(PredictorKind kind, InstrId a, InstrId b, InstrId c = kNoInstr) {
+  Predictor predictor;
+  predictor.kind = kind;
+  predictor.a = a;
+  predictor.b = b;
+  predictor.c = c;
+  return predictor;
+}
+
+TEST(FMeasureTest, PerfectPredictor) {
+  EXPECT_DOUBLE_EQ(FMeasure(1.0, 1.0, 0.5), 1.0);
+}
+
+TEST(FMeasureTest, ZeroWhenNoRecall) {
+  EXPECT_DOUBLE_EQ(FMeasure(1.0, 0.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(FMeasure(0.0, 0.0, 0.5), 0.0);
+}
+
+TEST(FMeasureTest, BetaHalfFavoursPrecision) {
+  // Same P/R values swapped: the precision-heavy one must score higher.
+  const double precise = FMeasure(0.9, 0.5, 0.5);
+  const double sensitive = FMeasure(0.5, 0.9, 0.5);
+  EXPECT_GT(precise, sensitive);
+}
+
+TEST(FMeasureTest, MonotonicInPrecision) {
+  double last = 0.0;
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    const double f = FMeasure(p, 0.7, 0.5);
+    EXPECT_GT(f, last);
+    last = f;
+  }
+}
+
+TEST(PredictorStatsTest, PerfectDiscriminatorRanksFirst) {
+  PredictorStats stats;
+  const Predictor good = PatternPredictor(PredictorKind::kRWR, 1, 2, 3);
+  const Predictor noisy = BranchPredictor(7, true);
+  // good appears in every failing run only; noisy appears everywhere.
+  for (int i = 0; i < 5; ++i) {
+    stats.RecordRun({good, noisy}, /*failed=*/true);
+    stats.RecordRun({noisy}, /*failed=*/false);
+  }
+  auto ranked = stats.Ranked();
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].predictor, good);
+  EXPECT_DOUBLE_EQ(ranked[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].f_measure, 1.0);
+  EXPECT_LT(ranked[1].f_measure, 1.0);
+}
+
+TEST(PredictorStatsTest, PrecisionAndRecallDefinitions) {
+  PredictorStats stats;
+  const Predictor predictor = ValuePredictor(4, 0);
+  stats.RecordRun({predictor}, true);   // failing, present
+  stats.RecordRun({predictor}, false);  // successful, present
+  stats.RecordRun({}, true);            // failing, absent
+  auto ranked = stats.Ranked();
+  ASSERT_EQ(ranked.size(), 1u);
+  // P = 1 failing-with / 2 runs-with; R = 1 failing-with / 2 failing runs.
+  EXPECT_DOUBLE_EQ(ranked[0].precision, 0.5);
+  EXPECT_DOUBLE_EQ(ranked[0].recall, 0.5);
+}
+
+TEST(PredictorStatsTest, BestPerFamily) {
+  PredictorStats stats;
+  const Predictor branch = BranchPredictor(1, true);
+  const Predictor value = ValuePredictor(2, 0);
+  const Predictor pattern = PatternPredictor(PredictorKind::kWW, 3, 4);
+  stats.RecordRun({branch, value, pattern}, true);
+  stats.RecordRun({branch}, false);
+  ASSERT_TRUE(stats.BestBranch().has_value());
+  ASSERT_TRUE(stats.BestValue().has_value());
+  ASSERT_TRUE(stats.BestConcurrency().has_value());
+  EXPECT_EQ(stats.BestBranch()->predictor, branch);
+  EXPECT_EQ(stats.BestValue()->predictor, value);
+  EXPECT_EQ(stats.BestConcurrency()->predictor, pattern);
+  // The branch also appears in a successful run: lower precision.
+  EXPECT_LT(stats.BestBranch()->f_measure, stats.BestValue()->f_measure);
+}
+
+TEST(PredictorStatsTest, NoFamilyObserved) {
+  PredictorStats stats;
+  stats.RecordRun({BranchPredictor(1, false)}, true);
+  EXPECT_TRUE(stats.BestBranch().has_value());
+  EXPECT_FALSE(stats.BestValue().has_value());
+  EXPECT_FALSE(stats.BestConcurrency().has_value());
+}
+
+TEST(PredictorStatsTest, RankingDeterministicOnTies) {
+  PredictorStats stats;
+  const Predictor a = ValuePredictor(1, 10);
+  const Predictor b = ValuePredictor(2, 20);
+  stats.RecordRun({a, b}, true);
+  auto first = stats.Ranked();
+  auto second = stats.Ranked();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].predictor, second[0].predictor);
+  EXPECT_EQ(first[1].predictor, second[1].predictor);
+}
+
+TEST(PredictorStatsTest, RunCountsTracked) {
+  PredictorStats stats;
+  stats.RecordRun({}, true);
+  stats.RecordRun({}, false);
+  stats.RecordRun({}, false);
+  EXPECT_EQ(stats.failing_runs(), 1u);
+  EXPECT_EQ(stats.successful_runs(), 2u);
+}
+
+}  // namespace
+}  // namespace gist

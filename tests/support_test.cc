@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/logging.h"
+#include "src/support/result.h"
+#include "src/support/rng.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Error("boom");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message(), "boom");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(Status(Error("x")).ok());
+}
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesForAllLevels) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence everything below error
+  GIST_LOG(kDebug) << "not shown " << 1;
+  GIST_LOG(kInfo) << "not shown " << 2.5;
+  GIST_LOG(kWarning) << "not shown " << "three";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t value = rng.NextInRange(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.NextChance(1, 1));
+    EXPECT_FALSE(rng.NextChance(0, 10));
+  }
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent_again(42);
+  parent_again.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    if (child.NextU64() != parent.NextU64()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(StrTest, SplitNonEmpty) {
+  auto pieces = SplitNonEmpty("a,,b, c,", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], " c");
+}
+
+TEST(StrTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace("\r\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("global x", "global "));
+  EXPECT_FALSE(StartsWith("glob", "global"));
+}
+
+TEST(StrTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrTest, HashBytesStable) {
+  const uint64_t h1 = HashBytes("abc", 3);
+  const uint64_t h2 = HashBytes("abc", 3);
+  const uint64_t h3 = HashBytes("abd", 3);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(StrTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcde", 4), "abcde");
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/cfg/ticfg.h"
+#include "src/ir/parser.h"
+
+namespace gist {
+namespace {
+
+constexpr const char* kThreadedProgram = R"(
+global cell 1 0
+func helper(1) {
+entry:
+  ret r0
+}
+func worker(1) {
+entry:
+  r1 = call @helper(r0)
+  r2 = addrof cell
+  store r2, r1
+  ret
+}
+func main() {
+entry:
+  r0 = const 5
+  r1 = spawn @worker(r0)
+  r2 = call @helper(r0)
+  join r1
+  ret
+}
+)";
+
+TEST(TicfgTest, NodeNumberingRoundTrips) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  for (FunctionId f = 0; f < (*module)->num_functions(); ++f) {
+    for (BlockId b = 0; b < (*module)->function(f).num_blocks(); ++b) {
+      const uint32_t node = ticfg.NodeId(f, b);
+      EXPECT_EQ(ticfg.node_function(node), f);
+      EXPECT_EQ(ticfg.node_block(node), b);
+    }
+  }
+}
+
+TEST(TicfgTest, CallEdgesPresent) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  const FunctionId helper = (*module)->FindFunction("helper");
+  const FunctionId worker = (*module)->FindFunction("worker");
+  const FunctionId main_fn = (*module)->FindFunction("main");
+
+  // helper is called from worker and main.
+  EXPECT_EQ(ticfg.call_sites(helper).size(), 2u);
+  // worker is only spawned.
+  EXPECT_TRUE(ticfg.call_sites(worker).empty());
+  ASSERT_EQ(ticfg.spawn_sites(worker).size(), 1u);
+  EXPECT_TRUE(ticfg.spawn_sites(main_fn).empty());
+
+  // There is a call edge main-entry -> helper-entry.
+  bool found = false;
+  for (const TicfgEdge& edge : ticfg.succs(ticfg.NodeId(main_fn, 0))) {
+    if (edge.kind == TicfgEdgeKind::kCall && edge.to == ticfg.NodeId(helper, 0)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TicfgTest, SpawnEdgeConnectsToThreadRoutine) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  const FunctionId worker = (*module)->FindFunction("worker");
+  const FunctionId main_fn = (*module)->FindFunction("main");
+  bool found = false;
+  for (const TicfgEdge& edge : ticfg.succs(ticfg.NodeId(main_fn, 0))) {
+    if (edge.kind == TicfgEdgeKind::kSpawn && edge.to == ticfg.NodeId(worker, 0)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TicfgTest, JoinEdgeConnectsRoutineExitToJoinSite) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  const FunctionId worker = (*module)->FindFunction("worker");
+  const FunctionId main_fn = (*module)->FindFunction("main");
+  ASSERT_EQ(ticfg.join_sites().size(), 1u);
+  bool found = false;
+  for (const TicfgEdge& edge : ticfg.succs(ticfg.NodeId(worker, 0))) {
+    if (edge.kind == TicfgEdgeKind::kJoin && edge.to == ticfg.NodeId(main_fn, 0)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TicfgTest, ReturnEdgesMirrorCallEdges) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  const FunctionId helper = (*module)->FindFunction("helper");
+  const FunctionId main_fn = (*module)->FindFunction("main");
+  bool found = false;
+  for (const TicfgEdge& edge : ticfg.succs(ticfg.NodeId(helper, 0))) {
+    if (edge.kind == TicfgEdgeKind::kReturn && edge.to == ticfg.NodeId(main_fn, 0)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(ticfg.return_instrs(helper).size(), 1u);
+}
+
+TEST(TicfgTest, PerFunctionAnalysesAvailable) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  for (FunctionId f = 0; f < (*module)->num_functions(); ++f) {
+    EXPECT_EQ(ticfg.cfg(f).num_blocks(), (*module)->function(f).num_blocks());
+    EXPECT_FALSE(ticfg.dominators(f).is_postdom());
+    EXPECT_TRUE(ticfg.post_dominators(f).is_postdom());
+  }
+}
+
+TEST(TicfgTest, EdgeSymmetry) {
+  auto module = ParseModule(kThreadedProgram);
+  ASSERT_TRUE(module.ok());
+  Ticfg ticfg(**module);
+  // Every successor edge has a matching predecessor edge.
+  for (uint32_t node = 0; node < ticfg.num_nodes(); ++node) {
+    for (const TicfgEdge& edge : ticfg.succs(node)) {
+      bool mirrored = false;
+      for (const TicfgEdge& back : ticfg.preds(edge.to)) {
+        if (back.to == node && back.kind == edge.kind) {
+          mirrored = true;
+        }
+      }
+      EXPECT_TRUE(mirrored) << "node " << node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gist

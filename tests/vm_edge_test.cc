@@ -1,0 +1,341 @@
+// VM edge cases: reentrant locks, foreign unlocks, self-joins, out-of-range
+// inputs, single-core scheduling, deep call chains, and register isolation
+// between threads and frames.
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/parser.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+RunResult RunProgram(const char* text, Workload workload = {}, VmOptions options = {}) {
+  auto module = ParseModule(text);
+  EXPECT_TRUE(module.ok()) << module.error().message();
+  Vm vm(**module, std::move(workload), options);
+  return vm.Run();
+}
+
+TEST(VmEdgeTest, ReentrantLockByOwnerDoesNotDeadlock) {
+  RunResult result = RunProgram(R"(
+global mu 1 0
+func main() {
+entry:
+  r0 = addrof mu
+  lock r0
+  lock r0
+  unlock r0
+  r1 = const 1
+  print r1
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  EXPECT_EQ(result.outputs[0], 1);
+}
+
+TEST(VmEdgeTest, UnlockByNonOwnerIsTolerated) {
+  // POSIX leaves this undefined; the VM treats it as a no-op so buggy
+  // programs keep running (the bug shows up as a failure elsewhere).
+  RunResult result = RunProgram(R"(
+global mu 1 0
+func intruder(1) {
+entry:
+  r1 = addrof mu
+  unlock r1
+  ret
+}
+func main() {
+entry:
+  r0 = addrof mu
+  lock r0
+  r1 = const 0
+  r2 = spawn @intruder(r1)
+  join r2
+  unlock r0
+  ret
+}
+)");
+  EXPECT_TRUE(result.ok()) << result.failure.message;
+}
+
+TEST(VmEdgeTest, JoinAlreadyExitedThreadReturnsImmediately) {
+  RunResult result = RunProgram(R"(
+func quick(1) {
+entry:
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @quick(r0)
+  join r1
+  join r1
+  ret
+}
+)");
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(VmEdgeTest, JoinInvalidThreadIdFaults) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 99
+  join r0
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kSegFault);
+}
+
+TEST(VmEdgeTest, OutOfRangeInputReadsZero) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = input 7
+  print r0
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 0);
+}
+
+TEST(VmEdgeTest, SingleCoreStillInterleaves) {
+  VmOptions options;
+  options.num_cores = 1;
+  RunResult result = RunProgram(R"(
+global cell 1 0
+func w(1) {
+entry:
+  r1 = addrof cell
+  r2 = load r1
+  r3 = add r2, r0
+  store r1, r3
+  ret
+}
+func main() {
+entry:
+  r0 = const 4
+  r1 = spawn @w(r0)
+  r2 = const 5
+  r3 = spawn @w(r2)
+  join r1
+  join r3
+  r4 = addrof cell
+  r5 = load r4
+  print r5
+  ret
+}
+)", Workload{}, options);
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  // Lost update possible but both spawns executed.
+  EXPECT_GE(result.outputs[0], 4);
+  EXPECT_LE(result.outputs[0], 9);
+}
+
+TEST(VmEdgeTest, DeepCallChainWorks) {
+  // 200-deep recursion: frames are heap-allocated vectors; no stack overflow.
+  RunResult result = RunProgram(R"(
+func down(1) {
+entry:
+  r1 = const 0
+  r2 = eq r0, r1
+  br r2, ^base, ^rec
+base:
+  ret r0
+rec:
+  r3 = const 1
+  r4 = sub r0, r3
+  r5 = call @down(r4)
+  ret r5
+}
+func main() {
+entry:
+  r0 = const 200
+  r1 = call @down(r0)
+  print r1
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 0);
+}
+
+TEST(VmEdgeTest, RegistersAreIsolatedBetweenThreads) {
+  // Both threads use r1 heavily; values must not leak across.
+  RunResult result = RunProgram(R"(
+global out 2 0
+func w(1) {
+entry:
+  r1 = mul r0, r0
+  r2 = addrof out
+  r3 = gep r2, r0
+  store r3, r1
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @w(r0)
+  r2 = const 1
+  r3 = spawn @w(r2)
+  join r1
+  join r3
+  r4 = addrof out
+  r5 = load r4
+  print r5
+  r6 = const 1
+  r7 = gep r4, r6
+  r8 = load r7
+  print r8
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  EXPECT_EQ(result.outputs[0], 0);  // 0*0 at out[0]
+  EXPECT_EQ(result.outputs[1], 1);  // 1*1 at out[1]
+}
+
+TEST(VmEdgeTest, RegistersAreIsolatedBetweenFrames) {
+  RunResult result = RunProgram(R"(
+func callee(1) {
+entry:
+  r1 = const 777
+  ret r1
+}
+func main() {
+entry:
+  r0 = const 5
+  r1 = const 11
+  r2 = call @callee(r0)
+  print r1
+  print r2
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 11);   // caller's r1 untouched by callee's r1
+  EXPECT_EQ(result.outputs[1], 777);
+}
+
+TEST(VmEdgeTest, ThreadLimitEnforced) {
+  // Spawning beyond kMaxThreads must abort via GIST_CHECK (programmer error,
+  // not a modeled failure) — death test.
+  auto module = ParseModule(R"(
+func w(1) {
+entry:
+  r1 = const 0
+  jmp ^spin
+spin:
+  jmp ^spin
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = const 0
+  jmp ^head
+head:
+  r2 = const 300
+  r3 = lt r1, r2
+  br r3, ^body, ^exit
+body:
+  r4 = spawn @w(r0)
+  r5 = const 1
+  r1 = add r1, r5
+  jmp ^head
+exit:
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  EXPECT_DEATH(
+      {
+        Vm vm(**module, Workload{}, VmOptions{});
+        vm.Run();
+      },
+      "thread limit");
+}
+
+TEST(VmEdgeTest, StackOverflowDetected) {
+  auto module = ParseModule(R"(
+func forever(1) {
+entry:
+  r1 = call @forever(r0)
+  ret r1
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = call @forever(r0)
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  VmOptions options;
+  options.max_call_depth = 64;
+  Vm vm(**module, Workload{}, options);
+  RunResult result = vm.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kStackOverflow);
+  // The stack trace is bounded by the depth limit (plus the failing instr).
+  EXPECT_LE(result.failure.stack_trace.size(), 65u);
+}
+
+TEST(VmEdgeTest, HangInWorkerThreadReported) {
+  auto module = ParseModule(R"(
+func spin(1) {
+entry:
+  jmp ^entry
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @spin(r0)
+  join r1
+  ret
+}
+)");
+  ASSERT_TRUE(module.ok());
+  VmOptions options;
+  options.max_steps = 5'000;
+  Vm vm(**module, Workload{}, options);
+  RunResult result = vm.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kHang);
+}
+
+TEST(VmEdgeTest, MaxStepsZeroMeansImmediateHang) {
+  auto module = ParseModule("func main() {\nentry:\n  ret\n}\n");
+  ASSERT_TRUE(module.ok());
+  VmOptions options;
+  options.max_steps = 0;
+  Vm vm(**module, Workload{}, options);
+  RunResult result = vm.Run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kHang);
+}
+
+TEST(VmEdgeTest, NegativeAllocSizeClamped) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const -5
+  r1 = alloc r0
+  r2 = const 3
+  store r1, r2
+  r3 = load r1
+  print r3
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  EXPECT_EQ(result.outputs[0], 3);
+}
+
+}  // namespace
+}  // namespace gist

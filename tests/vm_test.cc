@@ -1,0 +1,524 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/parser.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+RunResult RunProgram(const char* text, Workload workload = {}) {
+  auto module = ParseModule(text);
+  EXPECT_TRUE(module.ok()) << module.error().message();
+  Vm vm(**module, std::move(workload), VmOptions{});
+  return vm.Run();
+}
+
+TEST(VmTest, ArithmeticAndPrint) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 6
+  r1 = const 7
+  r2 = mul r0, r1
+  print r2
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0], 42);
+}
+
+TEST(VmTest, BranchSelectsSide) {
+  const char* program = R"(
+func main() {
+entry:
+  r0 = input 0
+  br r0, ^then, ^else
+then:
+  r1 = const 1
+  print r1
+  jmp ^exit
+else:
+  r2 = const 2
+  print r2
+  jmp ^exit
+exit:
+  ret
+}
+)";
+  Workload truthy;
+  truthy.inputs = {1};
+  EXPECT_EQ(RunProgram(program, truthy).outputs[0], 1);
+  Workload falsy;
+  falsy.inputs = {0};
+  EXPECT_EQ(RunProgram(program, falsy).outputs[0], 2);
+}
+
+TEST(VmTest, LoopComputesSum) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 0      ; sum
+  r1 = const 0      ; i
+  r2 = const 10
+  jmp ^head
+head:
+  r3 = lt r1, r2
+  br r3, ^body, ^exit
+body:
+  r0 = add r0, r1
+  r4 = const 1
+  r1 = add r1, r4
+  jmp ^head
+exit:
+  print r0
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 45);
+}
+
+TEST(VmTest, CallsPassArgsAndReturnValues) {
+  RunResult result = RunProgram(R"(
+func square(1) {
+entry:
+  r1 = mul r0, r0
+  ret r1
+}
+func main() {
+entry:
+  r0 = const 9
+  r1 = call @square(r0)
+  print r1
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 81);
+}
+
+TEST(VmTest, RecursionWorks) {
+  RunResult result = RunProgram(R"(
+func fact(1) {
+entry:
+  r1 = const 2
+  r2 = lt r0, r1
+  br r2, ^base, ^rec
+base:
+  r3 = const 1
+  ret r3
+rec:
+  r4 = const 1
+  r5 = sub r0, r4
+  r6 = call @fact(r5)
+  r7 = mul r0, r6
+  ret r7
+}
+func main() {
+entry:
+  r0 = const 6
+  r1 = call @fact(r0)
+  print r1
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 720);
+}
+
+TEST(VmTest, HeapAllocLoadStore) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 4
+  r1 = alloc r0
+  r2 = const 2
+  r3 = gep r1, r2
+  r4 = const 99
+  store r3, r4
+  r5 = load r3
+  print r5
+  free r1
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.outputs[0], 99);
+}
+
+TEST(VmTest, NullDerefIsSegfault) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 0
+  r1 = load r0
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kSegFault);
+  EXPECT_EQ(result.failure.failing_instr, 1u);
+}
+
+TEST(VmTest, UseAfterFreeDetected) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 2
+  r1 = alloc r0
+  free r1
+  r2 = load r1
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kUseAfterFree);
+}
+
+TEST(VmTest, DoubleFreeDetected) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 2
+  r1 = alloc r0
+  free r1
+  free r1
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kDoubleFree);
+}
+
+TEST(VmTest, AssertViolationDetected) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 0
+  assert r0, "should not be zero"
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kAssertViolation);
+  EXPECT_NE(result.failure.message.find("should not be zero"), std::string::npos);
+}
+
+TEST(VmTest, DivisionByZeroFaults) {
+  RunResult result = RunProgram(R"(
+func main() {
+entry:
+  r0 = const 5
+  r1 = const 0
+  r2 = div r0, r1
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kArithmeticFault);
+}
+
+TEST(VmTest, ThreadsJoinAndShareMemory) {
+  RunResult result = RunProgram(R"(
+global cell 1 0
+func writer(1) {
+entry:
+  r1 = addrof cell
+  store r1, r0
+  ret
+}
+func main() {
+entry:
+  r0 = const 77
+  r1 = spawn @writer(r0)
+  join r1
+  r2 = addrof cell
+  r3 = load r2
+  print r3
+  ret
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.failure.message;
+  EXPECT_EQ(result.outputs[0], 77);
+  EXPECT_EQ(result.stats.threads_created, 2u);
+}
+
+TEST(VmTest, LocksGiveMutualExclusion) {
+  // Two threads each do 200 locked increments; with the lock the total is
+  // always exact regardless of seed.
+  const char* program = R"(
+global counter 1 0
+global mu 1 0
+func worker(1) {
+entry:
+  r1 = const 0
+  jmp ^head
+head:
+  r2 = const 200
+  r3 = lt r1, r2
+  br r3, ^body, ^exit
+body:
+  r4 = addrof mu
+  lock r4
+  r5 = addrof counter
+  r6 = load r5
+  r7 = const 1
+  r8 = add r6, r7
+  store r5, r8
+  unlock r4
+  r1 = add r1, r7
+  jmp ^head
+exit:
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @worker(r0)
+  r2 = spawn @worker(r0)
+  join r1
+  join r2
+  r3 = addrof counter
+  r4 = load r3
+  print r4
+  ret
+}
+)";
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Workload workload;
+    workload.schedule_seed = seed;
+    RunResult result = RunProgram(program, workload);
+    ASSERT_TRUE(result.ok()) << result.failure.message;
+    EXPECT_EQ(result.outputs[0], 400) << "seed " << seed;
+  }
+}
+
+TEST(VmTest, UnsynchronizedCountersLoseUpdatesForSomeSeed) {
+  // The same program without locks must exhibit a lost update for at least
+  // one seed: that is the data race Gist exists to diagnose.
+  const char* program = R"(
+global counter 1 0
+func worker(1) {
+entry:
+  r1 = const 0
+  jmp ^head
+head:
+  r2 = const 50
+  r3 = lt r1, r2
+  br r3, ^body, ^exit
+body:
+  r5 = addrof counter
+  r6 = load r5
+  r7 = const 1
+  r8 = add r6, r7
+  store r5, r8
+  r1 = add r1, r7
+  jmp ^head
+exit:
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @worker(r0)
+  r2 = spawn @worker(r0)
+  join r1
+  join r2
+  r3 = addrof counter
+  r4 = load r3
+  print r4
+  ret
+}
+)";
+  bool lost_update = false;
+  for (uint64_t seed = 1; seed <= 20 && !lost_update; ++seed) {
+    Workload workload;
+    workload.schedule_seed = seed;
+    RunResult result = RunProgram(program, workload);
+    ASSERT_TRUE(result.ok());
+    if (result.outputs[0] < 100) {
+      lost_update = true;
+    }
+  }
+  EXPECT_TRUE(lost_update);
+}
+
+TEST(VmTest, DeadlockDetected) {
+  RunResult result = RunProgram(R"(
+global a 1 0
+global b 1 0
+func t2(1) {
+entry:
+  r1 = addrof b
+  lock r1
+  r2 = addrof a
+  lock r2
+  unlock r2
+  unlock r1
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = addrof a
+  lock r1
+  r2 = spawn @t2(r0)
+  r3 = addrof b
+  lock r3
+  unlock r3
+  unlock r1
+  join r2
+  ret
+}
+)", [] {
+    Workload w;
+    // A seed that actually interleaves the two acquisitions.
+    w.schedule_seed = 2;
+    w.min_quantum = 1;
+    w.max_quantum = 2;
+    return w;
+  }());
+  // Either the schedule avoided the deadlock (ok) or it deadlocked; with the
+  // tight quantum above, some seed in this range must deadlock.
+  if (!result.ok()) {
+    EXPECT_EQ(result.failure.type, FailureType::kDeadlock);
+    return;
+  }
+  bool deadlocked = false;
+  for (uint64_t seed = 1; seed <= 30 && !deadlocked; ++seed) {
+    Workload w;
+    w.schedule_seed = seed;
+    w.min_quantum = 1;
+    w.max_quantum = 2;
+    RunResult r = RunProgram(R"(
+global a 1 0
+global b 1 0
+func t2(1) {
+entry:
+  r1 = addrof b
+  lock r1
+  r2 = addrof a
+  lock r2
+  unlock r2
+  unlock r1
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = addrof a
+  lock r1
+  r2 = spawn @t2(r0)
+  r3 = addrof b
+  lock r3
+  unlock r3
+  unlock r1
+  join r2
+  ret
+}
+)", w);
+    deadlocked = !r.ok() && r.failure.type == FailureType::kDeadlock;
+  }
+  EXPECT_TRUE(deadlocked);
+}
+
+TEST(VmTest, HangDetectedOnInfiniteLoop) {
+  auto module = ParseModule(R"(
+func main() {
+entry:
+  jmp ^entry
+}
+)");
+  ASSERT_TRUE(module.ok());
+  VmOptions options;
+  options.max_steps = 10'000;
+  Vm vm(**module, Workload{}, options);
+  RunResult result = vm.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kHang);
+}
+
+TEST(VmTest, StackTraceListsCallSites) {
+  RunResult result = RunProgram(R"(
+func inner(1) {
+entry:
+  r1 = load r0
+  ret r1
+}
+func outer(1) {
+entry:
+  r1 = call @inner(r0)
+  ret r1
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = call @outer(r0)
+  ret
+}
+)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failure.type, FailureType::kSegFault);
+  // main's call -> outer's call -> faulting load.
+  ASSERT_EQ(result.failure.stack_trace.size(), 3u);
+  EXPECT_EQ(result.failure.stack_trace.back(), result.failure.failing_instr);
+}
+
+TEST(VmTest, FailureMatchHashStableAcrossSeeds) {
+  const char* program = R"(
+func main() {
+entry:
+  r0 = const 0
+  r1 = load r0
+  ret
+}
+)";
+  Workload w1;
+  w1.schedule_seed = 1;
+  Workload w2;
+  w2.schedule_seed = 99;
+  const RunResult r1 = RunProgram(program, w1);
+  const RunResult r2 = RunProgram(program, w2);
+  ASSERT_FALSE(r1.ok());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r1.failure.MatchHash(), r2.failure.MatchHash());
+}
+
+TEST(VmTest, DeterministicForSameWorkload) {
+  const char* program = R"(
+global cell 1 0
+func w(1) {
+entry:
+  r1 = addrof cell
+  r2 = load r1
+  r3 = const 1
+  r4 = add r2, r3
+  store r1, r4
+  ret
+}
+func main() {
+entry:
+  r0 = const 0
+  r1 = spawn @w(r0)
+  r2 = spawn @w(r0)
+  join r1
+  join r2
+  r3 = addrof cell
+  r4 = load r3
+  print r4
+  ret
+}
+)";
+  Workload workload;
+  workload.schedule_seed = 1234;
+  const RunResult a = RunProgram(program, workload);
+  const RunResult b = RunProgram(program, workload);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.context_switches, b.stats.context_switches);
+}
+
+}  // namespace
+}  // namespace gist

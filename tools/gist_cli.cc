@@ -1,0 +1,437 @@
+// gist — command-line driver for the failure-sketching library.
+//
+// Usage:
+//   gist run <program.gir> [--seed N] [--inputs a,b,c]
+//       Execute a MiniIR program once and report the outcome. Without
+//       --inputs, each run draws small random inputs from its seed (so
+//       seed sweeps exercise input-dependent bugs too).
+//   gist slice <program.gir> [--seed N] [--inputs a,b,c]
+//       Find a failing run (sweeping seeds when the given one passes), then
+//       print the failure report and the static backward slice.
+//   gist trace <program.gir> [--seed N] [--inputs a,b,c]
+//       Run under full Intel PT tracing; dump per-core packet streams and
+//       the decoded visits.
+//   gist diagnose <program.gir> [--runs N] [--inputs a,b,c]
+//       Full Gist loop over seeds 1..N as the production fleet; print the
+//       failure sketch.
+//   gist apps
+//       List the bundled bug reproductions.
+//   gist diagnose-app <name> [--fleet-seed N]
+//       Run the cooperative fleet on a bundled bug and print its sketch.
+//   gist fix-app <name> [--fleet-seed N]
+//       Diagnose a bundled bug, synthesize a fix from its sketch, and
+//       validate the fix against production workloads.
+//   gist dump-app <name>
+//       Print a bundled bug's MiniIR module as parseable text (pipe it to a
+//       .gir file to experiment with the generic commands).
+//
+// Programs are MiniIR text files (see src/ir/parser.h for the grammar).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/apps/app.h"
+#include "src/coop/fleet.h"
+#include "src/core/gist.h"
+#include "src/ir/parser.h"
+#include "src/pt/dump.h"
+#include "src/pt/tracer.h"
+#include "src/support/rng.h"
+#include "src/support/str.h"
+#include "src/transform/fix_synthesis.h"
+
+namespace gist {
+namespace {
+
+struct CliOptions {
+  std::string path;
+  uint64_t seed = 1;
+  uint64_t runs = 500;
+  uint64_t fleet_seed = 1;
+  std::vector<Word> inputs;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gist <run|slice|trace|diagnose> <program.gir> "
+               "[--seed N] [--runs N] [--inputs a,b,c]\n"
+               "       gist apps\n"
+               "       gist diagnose-app <name> [--fleet-seed N]\n"
+               "       gist fix-app <name> [--fleet-seed N]\n"
+               "       gist dump-app <name>\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](uint64_t* out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (arg == "--seed") {
+      if (!next_value(&options->seed)) {
+        return false;
+      }
+    } else if (arg == "--runs") {
+      if (!next_value(&options->runs)) {
+        return false;
+      }
+    } else if (arg == "--fleet-seed") {
+      if (!next_value(&options->fleet_seed)) {
+        return false;
+      }
+    } else if (arg == "--inputs") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      for (std::string_view piece : SplitNonEmpty(argv[++i], ',')) {
+        options->inputs.push_back(std::strtoll(std::string(piece).c_str(), nullptr, 10));
+      }
+    } else if (options->path.empty()) {
+      options->path = std::string(arg);
+    } else {
+      return false;
+    }
+  }
+  return !options->path.empty();
+}
+
+Result<std::unique_ptr<Module>> LoadProgram(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Error("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return ParseModule(text.str());
+}
+
+Workload MakeWorkload(const CliOptions& options, uint64_t seed) {
+  Workload workload;
+  workload.schedule_seed = seed;
+  if (!options.inputs.empty()) {
+    workload.inputs = options.inputs;
+  } else {
+    // No --inputs given: each run draws small random inputs from its seed so
+    // input-dependent bugs manifest across the sweep.
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int i = 0; i < 4; ++i) {
+      workload.inputs.push_back(static_cast<Word>(rng.NextBelow(4)));
+    }
+  }
+  return workload;
+}
+
+void PrintOutcome(const RunResult& result) {
+  if (result.ok()) {
+    std::printf("exit: ok (%llu steps", static_cast<unsigned long long>(result.stats.steps));
+    if (!result.outputs.empty()) {
+      std::printf("; output:");
+      for (Word value : result.outputs) {
+        std::printf(" %lld", static_cast<long long>(value));
+      }
+    }
+    std::printf(")\n");
+  } else {
+    std::printf("exit: FAILURE — %s\n", result.failure.message.c_str());
+  }
+}
+
+int CmdRun(const CliOptions& options) {
+  auto module = LoadProgram(options.path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.error().message().c_str());
+    return 1;
+  }
+  Vm vm(**module, MakeWorkload(options, options.seed), VmOptions{});
+  PrintOutcome(vm.Run());
+  return 0;
+}
+
+// Sweeps seeds from options.seed until the program fails; false if it never does.
+bool FindFailure(const Module& module, const CliOptions& options, FailureReport* report,
+                 uint64_t* failing_seed) {
+  for (uint64_t seed = options.seed; seed < options.seed + options.runs; ++seed) {
+    Vm vm(module, MakeWorkload(options, seed), VmOptions{});
+    RunResult result = vm.Run();
+    if (!result.ok() && result.failure.failing_instr != kNoInstr) {
+      *report = result.failure;
+      *failing_seed = seed;
+      return true;
+    }
+  }
+  return false;
+}
+
+int CmdSlice(const CliOptions& options) {
+  auto module = LoadProgram(options.path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.error().message().c_str());
+    return 1;
+  }
+  FailureReport report;
+  uint64_t failing_seed = 0;
+  if (!FindFailure(**module, options, &report, &failing_seed)) {
+    std::printf("no failure in %llu runs\n", static_cast<unsigned long long>(options.runs));
+    return 1;
+  }
+  std::printf("failure at seed %llu: %s\n", static_cast<unsigned long long>(failing_seed),
+              report.message.c_str());
+
+  Ticfg ticfg(**module);
+  StaticSlice slice = ComputeBackwardSlice(ticfg, report.failing_instr);
+  std::printf("static backward slice (%zu statements, failure first):\n", slice.instrs.size());
+  for (InstrId id : slice.instrs) {
+    const Instruction& instr = (*module)->instr(id);
+    std::printf("  [%4u] %-18s %s\n", id, instr.loc.function.c_str(),
+                instr.loc.text.empty() ? InstructionToString(instr).c_str()
+                                       : instr.loc.text.c_str());
+  }
+
+  // The instrumentation Gist would ship for the initial AsT window.
+  GistServer server(**module);
+  server.ReportFailure(report);
+  const InstrumentationPlan& plan = server.plan();
+  std::printf("\ninstrumentation plan for the initial window (sigma=%u):\n", server.sigma());
+  std::printf("  PT start blocks:");
+  for (const auto& [function, block] : plan.pt_start_blocks) {
+    std::printf(" %s:^%s", (*module)->function(function).name().c_str(),
+                (*module)->function(function).block(block).label().c_str());
+  }
+  std::printf("\n  PT stop after:");
+  for (InstrId id : plan.pt_stop_instrs) {
+    std::printf(" [%u]", id);
+  }
+  std::printf("\n  watched accesses:");
+  for (InstrId id : plan.watch_instrs) {
+    std::printf(" [%u]", id);
+  }
+  std::printf("\n  static watch addresses: %zu; dynamic arm sites: %zu\n",
+              plan.static_watch_addrs.size(), plan.arm_after.size() + plan.arm_before.size());
+  return 0;
+}
+
+int CmdTrace(const CliOptions& options) {
+  auto module = LoadProgram(options.path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.error().message().c_str());
+    return 1;
+  }
+  PtTracer tracer(4, kDefaultPtBufferBytes, /*always_on=*/true);
+  VmOptions vm_options;
+  vm_options.observers = {&tracer};
+  Vm vm(**module, MakeWorkload(options, options.seed), vm_options);
+  PrintOutcome(vm.Run());
+  tracer.FlushAllPending();
+
+  for (CoreId core = 0; core < tracer.num_cores(); ++core) {
+    const auto& bytes = tracer.buffer(core).bytes();
+    if (bytes.empty()) {
+      continue;
+    }
+    std::printf("\n=== core %u: %zu packet bytes ===\n", core, bytes.size());
+    std::printf("%s", DumpPtStream(**module, bytes).c_str());
+    Result<DecodedCoreTrace> decoded = DecodePtStream(**module, core, bytes);
+    if (decoded.ok()) {
+      std::printf("%s", DumpDecodedTrace(**module, *decoded).c_str());
+    } else {
+      std::printf("decode error: %s\n", decoded.error().message().c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdDiagnose(const CliOptions& options) {
+  auto module = LoadProgram(options.path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.error().message().c_str());
+    return 1;
+  }
+  FailureReport report;
+  uint64_t failing_seed = 0;
+  if (!FindFailure(**module, options, &report, &failing_seed)) {
+    std::printf("no failure in %llu runs\n", static_cast<unsigned long long>(options.runs));
+    return 1;
+  }
+
+  GistOptions gist_options;
+  gist_options.title = options.path;
+  GistServer server(**module, gist_options);
+  server.ReportFailure(report);
+
+  // Run the production fleet until the window stops growing, then print.
+  for (;;) {
+    for (uint64_t seed = options.seed; seed < options.seed + options.runs; ++seed) {
+      MonitoredRun run =
+          RunMonitored(**module, server.plan(), MakeWorkload(options, seed), gist_options, seed);
+      server.AddTrace(std::move(run.trace));
+    }
+    if (server.ExhaustedSlice()) {
+      break;
+    }
+    server.AdvanceAst();
+  }
+
+  Result<FailureSketch> sketch = server.BuildSketch();
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "no sketch: %s\n", sketch.error().message().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderFailureSketch(**module, *sketch).c_str());
+  return 0;
+}
+
+int CmdApps() {
+  for (const auto& app : MakeAllApps()) {
+    const BugInfo& info = app->info();
+    std::printf("%-14s %s %s, bug %s — %s\n", info.name.c_str(), info.software.c_str(),
+                info.version.c_str(), info.bug_id.c_str(), info.kind.c_str());
+  }
+  return 0;
+}
+
+int CmdDiagnoseApp(const CliOptions& options) {
+  auto app = MakeAppByName(options.path);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s' (try `gist apps`)\n", options.path.c_str());
+    return 1;
+  }
+  FleetOptions fleet_options;
+  fleet_options.fleet_seed = options.fleet_seed;
+  fleet_options.gist.title = app->info().name;
+  Fleet fleet(app->module(),
+              [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
+  const std::vector<InstrId>& root_cause = app->root_cause_instrs();
+  FleetResult result = fleet.Run([&](const FailureSketch& sketch) {
+    for (InstrId id : root_cause) {
+      if (!sketch.Contains(id)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!result.first_failure_found) {
+    std::printf("the bug never manifested\n");
+    return 1;
+  }
+  std::printf("%u failure recurrences, final sigma %u, root cause %s\n\n",
+              result.failure_recurrences, result.sigma_final,
+              result.root_cause_found ? "FOUND" : "not isolated");
+  RenderOptions render;
+  render.ideal = &app->ideal_sketch();
+  std::printf("%s", RenderFailureSketch(app->module(), result.sketch, render).c_str());
+  return result.root_cause_found ? 0 : 1;
+}
+
+int CmdDumpApp(const CliOptions& options) {
+  auto app = MakeAppByName(options.path);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s' (try `gist apps`)\n", options.path.c_str());
+    return 1;
+  }
+  std::printf("; %s — %s %s, bug %s (%s)\n", app->info().name.c_str(),
+              app->info().software.c_str(), app->info().version.c_str(),
+              app->info().bug_id.c_str(), app->info().kind.c_str());
+  std::printf("%s", app->module().ToString().c_str());
+  return 0;
+}
+
+int CmdFixApp(const CliOptions& options) {
+  auto app = MakeAppByName(options.path);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s' (try `gist apps`)\n", options.path.c_str());
+    return 1;
+  }
+  FleetOptions fleet_options;
+  fleet_options.fleet_seed = options.fleet_seed;
+  Fleet fleet(app->module(),
+              [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
+  const std::vector<InstrId>& root_cause = app->root_cause_instrs();
+  FleetResult result = fleet.Run([&](const FailureSketch& sketch) {
+    for (InstrId id : root_cause) {
+      if (!sketch.Contains(id)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!result.root_cause_found) {
+    std::printf("diagnosis incomplete; cannot synthesize a fix\n");
+    return 1;
+  }
+  Result<SynthesizedFix> fix = SynthesizeFix(app->module(), result.sketch);
+  if (!fix.ok()) {
+    std::printf("no fix synthesized: %s\n", fix.error().message().c_str());
+    return 1;
+  }
+  std::printf("synthesized: %s\n", fix->description.c_str());
+
+  const uint64_t target_hash = result.first_failure.MatchHash();
+  Rng rng(4321);
+  int before = 0;
+  int after = 0;
+  constexpr int kValidationRuns = 400;
+  for (int i = 0; i < kValidationRuns; ++i) {
+    Workload workload = app->MakeWorkload(static_cast<uint64_t>(i), rng);
+    {
+      Vm vm(app->module(), workload, VmOptions{});
+      RunResult run = vm.Run();
+      before += !run.ok() && run.failure.MatchHash() == target_hash;
+    }
+    {
+      Vm vm(*fix->module, workload, VmOptions{});
+      RunResult run = vm.Run();
+      after += !run.ok() && run.failure.MatchHash() == target_hash;
+    }
+  }
+  std::printf("target-failure recurrences across %d workloads: %d before fix, %d after fix\n",
+              kValidationRuns, before, after);
+  return after == 0 && before > 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string_view command = argv[1];
+  if (command == "apps") {
+    return CmdApps();
+  }
+  CliOptions options;
+  if (!ParseArgs(argc, argv, 2, &options)) {
+    return Usage();
+  }
+  if (command == "run") {
+    return CmdRun(options);
+  }
+  if (command == "slice") {
+    return CmdSlice(options);
+  }
+  if (command == "trace") {
+    return CmdTrace(options);
+  }
+  if (command == "diagnose") {
+    return CmdDiagnose(options);
+  }
+  if (command == "diagnose-app") {
+    return CmdDiagnoseApp(options);
+  }
+  if (command == "fix-app") {
+    return CmdFixApp(options);
+  }
+  if (command == "dump-app") {
+    return CmdDumpApp(options);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gist
+
+int main(int argc, char** argv) { return gist::Main(argc, argv); }
