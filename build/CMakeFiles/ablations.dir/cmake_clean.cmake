@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablations.dir/bench/ablations.cc.o"
+  "CMakeFiles/ablations.dir/bench/ablations.cc.o.d"
+  "CMakeFiles/ablations.dir/bench/bench_util.cc.o"
+  "CMakeFiles/ablations.dir/bench/bench_util.cc.o.d"
+  "bench/ablations"
+  "bench/ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

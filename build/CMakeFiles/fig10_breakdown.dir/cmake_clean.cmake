@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_breakdown.dir/bench/bench_util.cc.o"
+  "CMakeFiles/fig10_breakdown.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/fig10_breakdown.dir/bench/fig10_breakdown.cc.o"
+  "CMakeFiles/fig10_breakdown.dir/bench/fig10_breakdown.cc.o.d"
+  "bench/fig10_breakdown"
+  "bench/fig10_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

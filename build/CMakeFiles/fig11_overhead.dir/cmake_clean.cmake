@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overhead.dir/bench/bench_util.cc.o"
+  "CMakeFiles/fig11_overhead.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/fig11_overhead.dir/bench/fig11_overhead.cc.o"
+  "CMakeFiles/fig11_overhead.dir/bench/fig11_overhead.cc.o.d"
+  "bench/fig11_overhead"
+  "bench/fig11_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sigma_tradeoff.dir/bench/bench_util.cc.o"
+  "CMakeFiles/fig12_sigma_tradeoff.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/fig12_sigma_tradeoff.dir/bench/fig12_sigma_tradeoff.cc.o"
+  "CMakeFiles/fig12_sigma_tradeoff.dir/bench/fig12_sigma_tradeoff.cc.o.d"
+  "bench/fig12_sigma_tradeoff"
+  "bench/fig12_sigma_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sigma_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

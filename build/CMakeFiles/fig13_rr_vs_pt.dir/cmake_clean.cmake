@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rr_vs_pt.dir/bench/bench_util.cc.o"
+  "CMakeFiles/fig13_rr_vs_pt.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/fig13_rr_vs_pt.dir/bench/fig13_rr_vs_pt.cc.o"
+  "CMakeFiles/fig13_rr_vs_pt.dir/bench/fig13_rr_vs_pt.cc.o.d"
+  "bench/fig13_rr_vs_pt"
+  "bench/fig13_rr_vs_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rr_vs_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

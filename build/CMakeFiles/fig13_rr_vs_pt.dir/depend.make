@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_rr_vs_pt.
+# This may be replaced when dependencies are built.

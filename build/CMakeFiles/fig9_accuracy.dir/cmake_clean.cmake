@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy.dir/bench/bench_util.cc.o"
+  "CMakeFiles/fig9_accuracy.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/fig9_accuracy.dir/bench/fig9_accuracy.cc.o"
+  "CMakeFiles/fig9_accuracy.dir/bench/fig9_accuracy.cc.o.d"
+  "bench/fig9_accuracy"
+  "bench/fig9_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

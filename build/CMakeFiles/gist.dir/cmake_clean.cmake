@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist.dir/tools/gist_cli.cc.o"
+  "CMakeFiles/gist.dir/tools/gist_cli.cc.o.d"
+  "gist"
+  "gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "CMakeFiles/table1_sketches.dir/bench/bench_util.cc.o" "gcc" "CMakeFiles/table1_sketches.dir/bench/bench_util.cc.o.d"
+  "/root/repo/bench/table1_sketches.cc" "CMakeFiles/table1_sketches.dir/bench/table1_sketches.cc.o" "gcc" "CMakeFiles/table1_sketches.dir/bench/table1_sketches.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gist_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/gist_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/coop/CMakeFiles/gist_coop.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gist_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/gist_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gist_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gist_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

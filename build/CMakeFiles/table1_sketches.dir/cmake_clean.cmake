@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sketches.dir/bench/bench_util.cc.o"
+  "CMakeFiles/table1_sketches.dir/bench/bench_util.cc.o.d"
+  "CMakeFiles/table1_sketches.dir/bench/table1_sketches.cc.o"
+  "CMakeFiles/table1_sketches.dir/bench/table1_sketches.cc.o.d"
+  "bench/table1_sketches"
+  "bench/table1_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

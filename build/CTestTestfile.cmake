@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_apps "/root/repo/build/gist" "apps")
+set_tests_properties(cli_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;34;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cli_diagnose_app "/root/repo/build/gist" "diagnose-app" "sqlite" "--fleet-seed" "3")
+set_tests_properties(cli_diagnose_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;35;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cli_fix_app "/root/repo/build/gist" "fix-app" "memcached" "--fleet-seed" "5")
+set_tests_properties(cli_fix_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cli_run_program "/root/repo/build/gist" "run" "/root/repo/examples/programs/bank_race.gir" "--seed" "3")
+set_tests_properties(cli_run_program PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cli_diagnose_program "/root/repo/build/gist" "diagnose" "/root/repo/examples/programs/config_null.gir" "--runs" "64")
+set_tests_properties(cli_diagnose_program PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;39;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("examples")

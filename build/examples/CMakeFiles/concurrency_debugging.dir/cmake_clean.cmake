@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_debugging.dir/concurrency_debugging.cc.o"
+  "CMakeFiles/concurrency_debugging.dir/concurrency_debugging.cc.o.d"
+  "concurrency_debugging"
+  "concurrency_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

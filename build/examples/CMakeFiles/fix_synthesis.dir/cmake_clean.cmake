@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_synthesis.dir/fix_synthesis.cc.o"
+  "CMakeFiles/fix_synthesis.dir/fix_synthesis.cc.o.d"
+  "fix_synthesis"
+  "fix_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_debugging.dir/fleet_debugging.cc.o"
+  "CMakeFiles/fleet_debugging.dir/fleet_debugging.cc.o.d"
+  "fleet_debugging"
+  "fleet_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_bug.dir/sequential_bug.cc.o"
+  "CMakeFiles/sequential_bug.dir/sequential_bug.cc.o.d"
+  "sequential_bug"
+  "sequential_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

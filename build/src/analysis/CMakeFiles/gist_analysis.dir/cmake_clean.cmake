@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_analysis.dir/slicer.cc.o"
+  "CMakeFiles/gist_analysis.dir/slicer.cc.o.d"
+  "libgist_analysis.a"
+  "libgist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

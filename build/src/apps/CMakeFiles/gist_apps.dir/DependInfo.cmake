@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apache1.cc" "src/apps/CMakeFiles/gist_apps.dir/apache1.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/apache1.cc.o.d"
+  "/root/repo/src/apps/apache2.cc" "src/apps/CMakeFiles/gist_apps.dir/apache2.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/apache2.cc.o.d"
+  "/root/repo/src/apps/apache3.cc" "src/apps/CMakeFiles/gist_apps.dir/apache3.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/apache3.cc.o.d"
+  "/root/repo/src/apps/apache4.cc" "src/apps/CMakeFiles/gist_apps.dir/apache4.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/apache4.cc.o.d"
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/gist_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/cppcheck1.cc" "src/apps/CMakeFiles/gist_apps.dir/cppcheck1.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/cppcheck1.cc.o.d"
+  "/root/repo/src/apps/cppcheck2.cc" "src/apps/CMakeFiles/gist_apps.dir/cppcheck2.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/cppcheck2.cc.o.d"
+  "/root/repo/src/apps/curl.cc" "src/apps/CMakeFiles/gist_apps.dir/curl.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/curl.cc.o.d"
+  "/root/repo/src/apps/memcached.cc" "src/apps/CMakeFiles/gist_apps.dir/memcached.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/memcached.cc.o.d"
+  "/root/repo/src/apps/pbzip2.cc" "src/apps/CMakeFiles/gist_apps.dir/pbzip2.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/pbzip2.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/gist_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sqlite.cc" "src/apps/CMakeFiles/gist_apps.dir/sqlite.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/sqlite.cc.o.d"
+  "/root/repo/src/apps/transmission.cc" "src/apps/CMakeFiles/gist_apps.dir/transmission.cc.o" "gcc" "src/apps/CMakeFiles/gist_apps.dir/transmission.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coop/CMakeFiles/gist_coop.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gist_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/gist_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gist_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gist_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

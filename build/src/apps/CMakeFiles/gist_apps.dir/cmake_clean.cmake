@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_apps.dir/apache1.cc.o"
+  "CMakeFiles/gist_apps.dir/apache1.cc.o.d"
+  "CMakeFiles/gist_apps.dir/apache2.cc.o"
+  "CMakeFiles/gist_apps.dir/apache2.cc.o.d"
+  "CMakeFiles/gist_apps.dir/apache3.cc.o"
+  "CMakeFiles/gist_apps.dir/apache3.cc.o.d"
+  "CMakeFiles/gist_apps.dir/apache4.cc.o"
+  "CMakeFiles/gist_apps.dir/apache4.cc.o.d"
+  "CMakeFiles/gist_apps.dir/app_util.cc.o"
+  "CMakeFiles/gist_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/gist_apps.dir/cppcheck1.cc.o"
+  "CMakeFiles/gist_apps.dir/cppcheck1.cc.o.d"
+  "CMakeFiles/gist_apps.dir/cppcheck2.cc.o"
+  "CMakeFiles/gist_apps.dir/cppcheck2.cc.o.d"
+  "CMakeFiles/gist_apps.dir/curl.cc.o"
+  "CMakeFiles/gist_apps.dir/curl.cc.o.d"
+  "CMakeFiles/gist_apps.dir/memcached.cc.o"
+  "CMakeFiles/gist_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/gist_apps.dir/pbzip2.cc.o"
+  "CMakeFiles/gist_apps.dir/pbzip2.cc.o.d"
+  "CMakeFiles/gist_apps.dir/registry.cc.o"
+  "CMakeFiles/gist_apps.dir/registry.cc.o.d"
+  "CMakeFiles/gist_apps.dir/sqlite.cc.o"
+  "CMakeFiles/gist_apps.dir/sqlite.cc.o.d"
+  "CMakeFiles/gist_apps.dir/transmission.cc.o"
+  "CMakeFiles/gist_apps.dir/transmission.cc.o.d"
+  "libgist_apps.a"
+  "libgist_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_cfg.dir/cfg.cc.o"
+  "CMakeFiles/gist_cfg.dir/cfg.cc.o.d"
+  "CMakeFiles/gist_cfg.dir/dominators.cc.o"
+  "CMakeFiles/gist_cfg.dir/dominators.cc.o.d"
+  "CMakeFiles/gist_cfg.dir/ticfg.cc.o"
+  "CMakeFiles/gist_cfg.dir/ticfg.cc.o.d"
+  "libgist_cfg.a"
+  "libgist_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_coop.dir/fleet.cc.o"
+  "CMakeFiles/gist_coop.dir/fleet.cc.o.d"
+  "CMakeFiles/gist_coop.dir/privacy.cc.o"
+  "CMakeFiles/gist_coop.dir/privacy.cc.o.d"
+  "CMakeFiles/gist_coop.dir/wire.cc.o"
+  "CMakeFiles/gist_coop.dir/wire.cc.o.d"
+  "libgist_coop.a"
+  "libgist_coop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cc" "src/core/CMakeFiles/gist_core.dir/accuracy.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/accuracy.cc.o.d"
+  "/root/repo/src/core/client_runtime.cc" "src/core/CMakeFiles/gist_core.dir/client_runtime.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/client_runtime.cc.o.d"
+  "/root/repo/src/core/gist.cc" "src/core/CMakeFiles/gist_core.dir/gist.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/gist.cc.o.d"
+  "/root/repo/src/core/instrumentation.cc" "src/core/CMakeFiles/gist_core.dir/instrumentation.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/instrumentation.cc.o.d"
+  "/root/repo/src/core/predictors.cc" "src/core/CMakeFiles/gist_core.dir/predictors.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/predictors.cc.o.d"
+  "/root/repo/src/core/renderer.cc" "src/core/CMakeFiles/gist_core.dir/renderer.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/renderer.cc.o.d"
+  "/root/repo/src/core/sketch.cc" "src/core/CMakeFiles/gist_core.dir/sketch.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/sketch.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/gist_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/gist_core.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/gist_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gist_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gist_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gist_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

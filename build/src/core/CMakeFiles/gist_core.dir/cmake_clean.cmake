@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_core.dir/accuracy.cc.o"
+  "CMakeFiles/gist_core.dir/accuracy.cc.o.d"
+  "CMakeFiles/gist_core.dir/client_runtime.cc.o"
+  "CMakeFiles/gist_core.dir/client_runtime.cc.o.d"
+  "CMakeFiles/gist_core.dir/gist.cc.o"
+  "CMakeFiles/gist_core.dir/gist.cc.o.d"
+  "CMakeFiles/gist_core.dir/instrumentation.cc.o"
+  "CMakeFiles/gist_core.dir/instrumentation.cc.o.d"
+  "CMakeFiles/gist_core.dir/predictors.cc.o"
+  "CMakeFiles/gist_core.dir/predictors.cc.o.d"
+  "CMakeFiles/gist_core.dir/renderer.cc.o"
+  "CMakeFiles/gist_core.dir/renderer.cc.o.d"
+  "CMakeFiles/gist_core.dir/sketch.cc.o"
+  "CMakeFiles/gist_core.dir/sketch.cc.o.d"
+  "CMakeFiles/gist_core.dir/statistics.cc.o"
+  "CMakeFiles/gist_core.dir/statistics.cc.o.d"
+  "libgist_core.a"
+  "libgist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_hw.dir/perf_model.cc.o"
+  "CMakeFiles/gist_hw.dir/perf_model.cc.o.d"
+  "CMakeFiles/gist_hw.dir/watchpoints.cc.o"
+  "CMakeFiles/gist_hw.dir/watchpoints.cc.o.d"
+  "libgist_hw.a"
+  "libgist_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

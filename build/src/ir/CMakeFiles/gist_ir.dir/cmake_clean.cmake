@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_ir.dir/builder.cc.o"
+  "CMakeFiles/gist_ir.dir/builder.cc.o.d"
+  "CMakeFiles/gist_ir.dir/function.cc.o"
+  "CMakeFiles/gist_ir.dir/function.cc.o.d"
+  "CMakeFiles/gist_ir.dir/instruction.cc.o"
+  "CMakeFiles/gist_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/gist_ir.dir/module.cc.o"
+  "CMakeFiles/gist_ir.dir/module.cc.o.d"
+  "CMakeFiles/gist_ir.dir/parser.cc.o"
+  "CMakeFiles/gist_ir.dir/parser.cc.o.d"
+  "CMakeFiles/gist_ir.dir/verifier.cc.o"
+  "CMakeFiles/gist_ir.dir/verifier.cc.o.d"
+  "libgist_ir.a"
+  "libgist_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

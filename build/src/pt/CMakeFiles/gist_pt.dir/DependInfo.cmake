@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/decoder.cc" "src/pt/CMakeFiles/gist_pt.dir/decoder.cc.o" "gcc" "src/pt/CMakeFiles/gist_pt.dir/decoder.cc.o.d"
+  "/root/repo/src/pt/dump.cc" "src/pt/CMakeFiles/gist_pt.dir/dump.cc.o" "gcc" "src/pt/CMakeFiles/gist_pt.dir/dump.cc.o.d"
+  "/root/repo/src/pt/packets.cc" "src/pt/CMakeFiles/gist_pt.dir/packets.cc.o" "gcc" "src/pt/CMakeFiles/gist_pt.dir/packets.cc.o.d"
+  "/root/repo/src/pt/tracer.cc" "src/pt/CMakeFiles/gist_pt.dir/tracer.cc.o" "gcc" "src/pt/CMakeFiles/gist_pt.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gist_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_pt.dir/decoder.cc.o"
+  "CMakeFiles/gist_pt.dir/decoder.cc.o.d"
+  "CMakeFiles/gist_pt.dir/dump.cc.o"
+  "CMakeFiles/gist_pt.dir/dump.cc.o.d"
+  "CMakeFiles/gist_pt.dir/packets.cc.o"
+  "CMakeFiles/gist_pt.dir/packets.cc.o.d"
+  "CMakeFiles/gist_pt.dir/tracer.cc.o"
+  "CMakeFiles/gist_pt.dir/tracer.cc.o.d"
+  "libgist_pt.a"
+  "libgist_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

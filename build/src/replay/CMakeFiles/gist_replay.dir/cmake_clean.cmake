@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_replay.dir/recorder.cc.o"
+  "CMakeFiles/gist_replay.dir/recorder.cc.o.d"
+  "libgist_replay.a"
+  "libgist_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_support.dir/check.cc.o"
+  "CMakeFiles/gist_support.dir/check.cc.o.d"
+  "CMakeFiles/gist_support.dir/logging.cc.o"
+  "CMakeFiles/gist_support.dir/logging.cc.o.d"
+  "CMakeFiles/gist_support.dir/rng.cc.o"
+  "CMakeFiles/gist_support.dir/rng.cc.o.d"
+  "CMakeFiles/gist_support.dir/str.cc.o"
+  "CMakeFiles/gist_support.dir/str.cc.o.d"
+  "libgist_support.a"
+  "libgist_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

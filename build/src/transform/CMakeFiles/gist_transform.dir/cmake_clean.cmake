@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_transform.dir/fix_synthesis.cc.o"
+  "CMakeFiles/gist_transform.dir/fix_synthesis.cc.o.d"
+  "CMakeFiles/gist_transform.dir/rewriter.cc.o"
+  "CMakeFiles/gist_transform.dir/rewriter.cc.o.d"
+  "libgist_transform.a"
+  "libgist_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

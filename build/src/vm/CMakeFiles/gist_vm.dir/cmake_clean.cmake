@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_vm.dir/failure.cc.o"
+  "CMakeFiles/gist_vm.dir/failure.cc.o.d"
+  "CMakeFiles/gist_vm.dir/memory.cc.o"
+  "CMakeFiles/gist_vm.dir/memory.cc.o.d"
+  "CMakeFiles/gist_vm.dir/vm.cc.o"
+  "CMakeFiles/gist_vm.dir/vm.cc.o.d"
+  "libgist_vm.a"
+  "libgist_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_synthesis_test.dir/fix_synthesis_test.cc.o"
+  "CMakeFiles/fix_synthesis_test.dir/fix_synthesis_test.cc.o.d"
+  "fix_synthesis_test"
+  "fix_synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_pipeline_test.dir/gist_pipeline_test.cc.o"
+  "CMakeFiles/gist_pipeline_test.dir/gist_pipeline_test.cc.o.d"
+  "gist_pipeline_test"
+  "gist_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

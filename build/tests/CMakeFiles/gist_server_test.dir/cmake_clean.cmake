@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_server_test.dir/gist_server_test.cc.o"
+  "CMakeFiles/gist_server_test.dir/gist_server_test.cc.o.d"
+  "gist_server_test"
+  "gist_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

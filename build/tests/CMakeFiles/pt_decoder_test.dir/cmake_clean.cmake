@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_decoder_test.dir/pt_decoder_test.cc.o"
+  "CMakeFiles/pt_decoder_test.dir/pt_decoder_test.cc.o.d"
+  "pt_decoder_test"
+  "pt_decoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_dump_test.dir/pt_dump_test.cc.o"
+  "CMakeFiles/pt_dump_test.dir/pt_dump_test.cc.o.d"
+  "pt_dump_test"
+  "pt_dump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

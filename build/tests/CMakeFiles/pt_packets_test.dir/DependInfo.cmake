@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pt_packets_test.cc" "tests/CMakeFiles/pt_packets_test.dir/pt_packets_test.cc.o" "gcc" "tests/CMakeFiles/pt_packets_test.dir/pt_packets_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pt/CMakeFiles/gist_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gist_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

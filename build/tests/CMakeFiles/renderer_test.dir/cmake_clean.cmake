@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renderer_test.dir/renderer_test.cc.o"
+  "CMakeFiles/renderer_test.dir/renderer_test.cc.o.d"
+  "renderer_test"
+  "renderer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

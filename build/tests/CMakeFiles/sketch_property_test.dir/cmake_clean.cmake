@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_property_test.dir/sketch_property_test.cc.o"
+  "CMakeFiles/sketch_property_test.dir/sketch_property_test.cc.o.d"
+  "sketch_property_test"
+  "sketch_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

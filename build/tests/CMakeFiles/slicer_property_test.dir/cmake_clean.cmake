@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicer_property_test.dir/slicer_property_test.cc.o"
+  "CMakeFiles/slicer_property_test.dir/slicer_property_test.cc.o.d"
+  "slicer_property_test"
+  "slicer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticfg_test.dir/ticfg_test.cc.o"
+  "CMakeFiles/ticfg_test.dir/ticfg_test.cc.o.d"
+  "ticfg_test"
+  "ticfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_edge_test.dir/vm_edge_test.cc.o"
+  "CMakeFiles/vm_edge_test.dir/vm_edge_test.cc.o.d"
+  "vm_edge_test"
+  "vm_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
