@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 
 #include "src/analysis/slicer.h"
 #include "src/core/instrumentation.h"
@@ -15,6 +17,20 @@ FleetOptions DefaultBenchFleetOptions() {
   options.max_iterations = 8;
   options.fleet_seed = 2015;  // SOSP'15
   return options;
+}
+
+uint32_t ParseJobsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      return static_cast<uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    constexpr std::string_view kPrefix = "--jobs=";
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      return static_cast<uint32_t>(std::strtoul(arg.data() + kPrefix.size(), nullptr, 10));
+    }
+  }
+  return 1;
 }
 
 std::string FormatMinSec(double seconds) {

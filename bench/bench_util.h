@@ -34,6 +34,12 @@ struct AppFleetOutcome {
 // are comparable between tables).
 FleetOptions DefaultBenchFleetOptions();
 
+// Parses `--jobs N` / `--jobs=N` from the bench command line (0 = all
+// hardware threads). Returns 1 — fully sequential, the historical behavior —
+// when the flag is absent. Results are identical for every value; only
+// wall-clock changes.
+uint32_t ParseJobsFlag(int argc, char** argv);
+
 // Runs `name`'s bug through the full loop and measures everything. The
 // root-cause check is the app's own ground truth.
 AppFleetOutcome RunAppFleet(const std::string& name, const FleetOptions& options);

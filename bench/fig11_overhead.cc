@@ -3,12 +3,19 @@
 // (Intel PT) and data-flow (watchpoints) cost. Uses production-scale
 // workloads (the work-scale input) so fixed toggling costs amortize as they
 // do on real servers.
+//
+// Monitored runs are pure functions of (module, plan, workload), so each
+// sigma's app×run grid fans out onto a ThreadPool (--jobs N) and accumulates
+// in index order — the printed numbers are identical for every job count.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 
 namespace gist {
 namespace {
@@ -22,6 +29,7 @@ constexpr int kRunsPerPoint = 8;
 constexpr Word kProductionScale = 20000;  // ~160k busy-loop instructions
 
 struct OverheadSample {
+  uint32_t sigma = 0;
   double total = 0.0;
   double control_flow = 0.0;
   double data_flow = 0.0;
@@ -43,9 +51,100 @@ bool FindFailure(const BugApp& app, FailureReport* report) {
   return false;
 }
 
-int Main() {
-  SetLogLevel(LogLevel::kWarning);
+std::vector<OverheadSample> RunSweep(ThreadPool& pool, double* seconds) {
   const CostModel cost_model;
+  const auto start = std::chrono::steady_clock::now();
+
+  // One failure report per app, shared by every sigma point.
+  std::vector<std::unique_ptr<BugApp>> apps;
+  std::vector<FailureReport> reports;
+  for (const char* name : kApps) {
+    auto app = MakeAppByName(name);
+    FailureReport report;
+    if (!FindFailure(*app, &report)) {
+      continue;
+    }
+    apps.push_back(std::move(app));
+    reports.push_back(report);
+  }
+
+  std::vector<OverheadSample> samples;
+  for (uint32_t sigma : kSigmas) {
+    GistOptions gist_options;
+    gist_options.initial_sigma = sigma;
+
+    // Plan per app, then flatten the app×run grid into one task list.
+    struct Task {
+      const BugApp* app = nullptr;
+      const GistServer* server = nullptr;
+      Workload workload;
+    };
+    std::vector<std::unique_ptr<GistServer>> servers;
+    std::vector<Task> tasks;
+    for (size_t a = 0; a < apps.size(); ++a) {
+      auto server = std::make_unique<GistServer>(apps[a]->module(), gist_options);
+      server->ReportFailure(reports[a]);
+      Rng rng(4242);
+      for (int i = 0; i < kRunsPerPoint; ++i) {
+        Task task;
+        task.app = apps[a].get();
+        task.server = server.get();
+        task.workload = apps[a]->MakeWorkload(static_cast<uint64_t>(i), rng);
+        if (task.workload.inputs.size() > kWorkScaleInput) {
+          task.workload.inputs[kWorkScaleInput] = kProductionScale;
+        }
+        tasks.push_back(std::move(task));
+      }
+      servers.push_back(std::move(server));
+    }
+
+    std::vector<MonitoredRun> runs(tasks.size());
+    pool.ParallelFor(tasks.size(), [&](uint64_t k) {
+      const Task& task = tasks[k];
+      runs[k] = RunMonitored(task.app->module(), task.server->plan(), task.workload,
+                             gist_options, k, 10'000'000);
+    });
+
+    OverheadSample sample;
+    sample.sigma = sigma;
+    for (const MonitoredRun& run : runs) {
+      if (run.trace.baseline_instructions == 0) {
+        continue;
+      }
+      TracingActivity control_only = run.trace.activity;
+      control_only.watch_traps = 0;
+      control_only.watch_arms = 0;
+      TracingActivity data_only = run.trace.activity;
+      data_only.pt_bytes = 0;
+      data_only.pt_toggles = 0;
+      sample.total += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
+                                                run.trace.activity);
+      sample.control_flow +=
+          GistClientOverheadPercent(cost_model, run.trace.baseline_instructions, control_only);
+      sample.data_flow +=
+          GistClientOverheadPercent(cost_model, run.trace.baseline_instructions, data_only);
+      ++sample.count;
+    }
+    if (sample.count > 0) {
+      samples.push_back(sample);
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  *seconds = std::chrono::duration<double>(end - start).count();
+  return samples;
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  uint32_t jobs = ParseJobsFlag(argc, argv);
+  if (jobs == 0) {
+    jobs = ThreadPool::HardwareThreads();
+  }
+  ThreadPool pool(jobs);
+
+  double elapsed = 0.0;
+  const std::vector<OverheadSample> samples = RunSweep(pool, &elapsed);
 
   std::printf("Fig. 11: Gist runtime overhead vs tracked slice size sigma\n");
   std::printf("(averaged over all 11 programs, %d production-scale runs each)\n\n",
@@ -54,62 +153,42 @@ int Main() {
   std::printf("%s\n", std::string(54, '-').c_str());
 
   double sigma2_total = 0.0;
-  for (uint32_t sigma : kSigmas) {
-    OverheadSample sample;
-    for (const char* name : kApps) {
-      auto app = MakeAppByName(name);
-      FailureReport report;
-      if (!FindFailure(*app, &report)) {
-        continue;
-      }
-      GistOptions gist_options;
-      gist_options.initial_sigma = sigma;
-      GistServer server(app->module(), gist_options);
-      server.ReportFailure(report);
-
-      Rng rng(4242);
-      for (int i = 0; i < kRunsPerPoint; ++i) {
-        Workload workload = app->MakeWorkload(static_cast<uint64_t>(i), rng);
-        if (workload.inputs.size() > kWorkScaleInput) {
-          workload.inputs[kWorkScaleInput] = kProductionScale;
-        }
-        MonitoredRun run = RunMonitored(app->module(), server.plan(), workload, gist_options,
-                                        static_cast<uint64_t>(i), 10'000'000);
-        if (run.trace.baseline_instructions == 0) {
-          continue;
-        }
-        TracingActivity control_only = run.trace.activity;
-        control_only.watch_traps = 0;
-        control_only.watch_arms = 0;
-        TracingActivity data_only = run.trace.activity;
-        data_only.pt_bytes = 0;
-        data_only.pt_toggles = 0;
-        sample.total += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
-                                                  run.trace.activity);
-        sample.control_flow += GistClientOverheadPercent(
-            cost_model, run.trace.baseline_instructions, control_only);
-        sample.data_flow += GistClientOverheadPercent(cost_model,
-                                                      run.trace.baseline_instructions, data_only);
-        ++sample.count;
-      }
-    }
-    if (sample.count == 0) {
-      continue;
-    }
+  for (const OverheadSample& sample : samples) {
     const double total = sample.total / sample.count;
-    if (sigma == 2) {
+    if (sample.sigma == 2) {
       sigma2_total = total;
     }
-    std::printf("%-8u %11.2f%% %15.2f%% %13.2f%%\n", sigma, total,
+    std::printf("%-8u %11.2f%% %15.2f%% %13.2f%%\n", sample.sigma, total,
                 sample.control_flow / sample.count, sample.data_flow / sample.count);
   }
   std::printf("%s\n", std::string(54, '-').c_str());
   std::printf("\nAverage overhead at sigma=2: %.2f%% (paper: 3.74%%).\n", sigma2_total);
   std::printf("Overhead grows monotonically with the tracked slice size (paper Fig. 11).\n");
+  std::printf("Sweep wall-clock: %.2fs with --jobs=%u.\n", elapsed, jobs);
+
+  if (jobs > 1) {
+    ThreadPool baseline(1);
+    double sequential_elapsed = 0.0;
+    const std::vector<OverheadSample> sequential = RunSweep(baseline, &sequential_elapsed);
+    bool identical = sequential.size() == samples.size();
+    for (size_t i = 0; identical && i < samples.size(); ++i) {
+      identical = sequential[i].sigma == samples[i].sigma &&
+                  sequential[i].total == samples[i].total &&
+                  sequential[i].control_flow == samples[i].control_flow &&
+                  sequential[i].data_flow == samples[i].data_flow &&
+                  sequential[i].count == samples[i].count;
+    }
+    std::printf("Sequential baseline (--jobs=1): %.2fs — speedup %.2fx, results %s.\n",
+                sequential_elapsed, sequential_elapsed / elapsed,
+                identical ? "bit-identical" : "DIVERGED (engine bug!)");
+    if (!identical) {
+      return 1;
+    }
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace gist
 
-int main() { return gist::Main(); }
+int main(int argc, char** argv) { return gist::Main(argc, argv); }

@@ -4,12 +4,15 @@
 // computation time, and the offline analysis time. Also prints the three
 // example failure sketches the paper shows in full (Figs. 1, 7, 8).
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/renderer.h"
 #include "src/support/logging.h"
 #include "src/support/str.h"
+#include "src/support/thread_pool.h"
 
 namespace gist {
 namespace {
@@ -23,8 +26,30 @@ bool RendersFigure(const std::string& name) {
   return name == "pbzip2" || name == "curl" || name == "apache-3";
 }
 
-int Main() {
+// Runs every app's fleet with `jobs` workers; returns the outcomes and the
+// wall-clock the sweep took.
+std::vector<AppFleetOutcome> RunAllFleets(uint32_t jobs, double* seconds) {
+  FleetOptions options = DefaultBenchFleetOptions();
+  options.jobs = jobs;
+  std::vector<AppFleetOutcome> outcomes;
+  const auto start = std::chrono::steady_clock::now();
+  for (const char* name : kApps) {
+    outcomes.push_back(RunAppFleet(name, options));
+  }
+  const auto end = std::chrono::steady_clock::now();
+  *seconds = std::chrono::duration<double>(end - start).count();
+  return outcomes;
+}
+
+int Main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+  uint32_t jobs = ParseJobsFlag(argc, argv);
+  if (jobs == 0) {
+    jobs = ThreadPool::HardwareThreads();
+  }
+
+  double elapsed = 0.0;
+  std::vector<AppFleetOutcome> outcomes = RunAllFleets(jobs, &elapsed);
   std::printf("Table 1: bugs used to evaluate Gist (reproduction)\n");
   std::printf(
       "%-13s %-13s %-9s %-8s | %-18s %-18s %-18s %-6s %-10s %-10s\n", "Bug", "Software",
@@ -37,8 +62,7 @@ int Main() {
   std::string figures;
   uint64_t total_runs = 0;
   int diagnosed = 0;
-  for (const char* name : kApps) {
-    AppFleetOutcome outcome = RunAppFleet(name, DefaultBenchFleetOptions());
+  for (const AppFleetOutcome& outcome : outcomes) {
     const BugInfo& info = outcome.app->info();
     for (const FleetIterationStats& it : outcome.fleet.iterations) {
       total_runs += it.failing_runs + it.successful_runs;
@@ -66,6 +90,29 @@ int Main() {
   std::printf("%s\n", std::string(140, '-').c_str());
   std::printf("Diagnosed %d/11 bugs; %llu monitored production runs in total.\n", diagnosed,
               static_cast<unsigned long long>(total_runs));
+  std::printf("Fleet sweep wall-clock: %.2fs with --jobs=%u.\n", elapsed, jobs);
+
+  // The execution engine's promise is parallel speedup at identical results:
+  // with more than one worker, run the sequential baseline too and compare
+  // both, numbers and wall-clock.
+  if (jobs > 1) {
+    double sequential_elapsed = 0.0;
+    std::vector<AppFleetOutcome> sequential = RunAllFleets(1, &sequential_elapsed);
+    bool identical = true;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      identical = identical &&
+                  sequential[i].fleet.failure_recurrences ==
+                      outcomes[i].fleet.failure_recurrences &&
+                  sequential[i].fleet.root_cause_found == outcomes[i].fleet.root_cause_found &&
+                  sequential[i].fleet.sim_seconds == outcomes[i].fleet.sim_seconds;
+    }
+    std::printf("Sequential baseline (--jobs=1): %.2fs — speedup %.2fx, results %s.\n",
+                sequential_elapsed, sequential_elapsed / elapsed,
+                identical ? "bit-identical" : "DIVERGED (engine bug!)");
+    if (!identical) {
+      return 1;
+    }
+  }
   std::printf("Legend: [*] top-ranked failure predictor (paper's dotted boxes), '·' extraneous\n"
               "vs the ideal sketch (paper's gray prefix), '+' discovered by data-flow\n"
               "refinement (absent from the alias-free static slice), {=v} observed value.\n");
@@ -76,4 +123,4 @@ int Main() {
 }  // namespace
 }  // namespace gist
 
-int main() { return gist::Main(); }
+int main(int argc, char** argv) { return gist::Main(argc, argv); }

@@ -8,6 +8,22 @@
 #include "src/support/logging.h"
 
 namespace gist {
+namespace {
+
+// Salt separating the pacing stream from the workload stream: a generator
+// may consume any amount of randomness without perturbing the simulated
+// production spacing of later runs.
+constexpr uint64_t kPacingSalt = 0x70616365'70616365ULL;  // "pacepace"
+
+// Runs speculated past an early-exit point are discarded unmerged, so batch
+// sizing only trades wasted work against parallelism. Sequential fleets use
+// batch 1 (zero speculation, exactly the pre-engine behavior); parallel
+// fleets keep every worker busy for two rounds per merge.
+uint32_t BatchSize(const ThreadPool& pool) {
+  return pool.size() == 1 ? 1 : pool.size() * 2;
+}
+
+}  // namespace
 
 Fleet::Fleet(const Module& module, WorkloadGenerator generator, FleetOptions options)
     : module_(module),
@@ -15,58 +31,56 @@ Fleet::Fleet(const Module& module, WorkloadGenerator generator, FleetOptions opt
       options_(std::move(options)),
       server_(module, options_.gist) {}
 
-InstrumentationPlan Fleet::PlanForClient(uint64_t client_index) const {
-  const InstrumentationPlan& plan = server_.plan();
-  const uint32_t slots = options_.gist.watchpoint_slots;
-  if (plan.watch_instrs.size() <= slots) {
-    return plan;
-  }
-  // Cooperative rotation: this client watches a contiguous window of
-  // kNumWatchpointSlots accesses, offset by its index, so the fleet covers
-  // the full set collectively (§3.2.3).
-  std::vector<InstrId> all(plan.watch_instrs.begin(), plan.watch_instrs.end());
-  std::sort(all.begin(), all.end());
-  std::unordered_set<InstrId> mine;
-  for (uint32_t k = 0; k < slots; ++k) {
-    mine.insert(all[(client_index * slots + k) % all.size()]);
-  }
-  InstrumentationPlan restricted = plan;
-  restricted.watch_instrs = mine;
-  auto filter = [&](std::map<InstrId, std::vector<WatchArmSite>>& sites) {
-    for (auto it = sites.begin(); it != sites.end();) {
-      auto& list = it->second;
-      list.erase(std::remove_if(list.begin(), list.end(),
-                                [&](const WatchArmSite& site) {
-                                  return mine.count(site.target_access) == 0;
-                                }),
-                 list.end());
-      it = list.empty() ? sites.erase(it) : std::next(it);
+Workload Fleet::WorkloadFor(uint64_t run_index) const {
+  Rng rng(DeriveSeed(options_.fleet_seed, run_index));
+  return generator_(run_index, rng);
+}
+
+double Fleet::PacingSecondsFor(uint64_t run_index) const {
+  Rng rng(DeriveSeed(options_.fleet_seed ^ kPacingSalt, run_index));
+  return options_.mean_run_spacing_seconds * rng.NextDouble() * 2.0;
+}
+
+void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* next_run_index) {
+  const uint32_t batch_size = BatchSize(pool);
+  uint64_t base = 0;
+  while (base < options_.max_first_failure_runs && !result->first_failure_found) {
+    const uint32_t batch = static_cast<uint32_t>(
+        std::min<uint64_t>(batch_size, options_.max_first_failure_runs - base));
+    std::vector<FailureReport> failures(batch);
+    pool.ParallelFor(batch, [&](uint64_t k) {
+      const Workload workload = WorkloadFor(base + k);
+      VmOptions vm_options;
+      vm_options.num_cores = options_.gist.num_cores;
+      vm_options.max_steps = options_.max_steps_per_run;
+      Vm vm(module_, workload, vm_options);
+      const RunResult run = vm.Run();
+      if (!run.ok() && run.failure.failing_instr != kNoInstr) {
+        failures[k] = run.failure;
+      }
+    });
+    // Deterministic winner: the earliest failing run index, regardless of
+    // which probe finished first. Later speculated probes are discarded.
+    for (uint32_t k = 0; k < batch; ++k) {
+      if (failures[k].failing_instr != kNoInstr) {
+        result->first_failure_found = true;
+        result->first_failure = failures[k];
+        *next_run_index = base + k + 1;
+        break;
+      }
     }
-  };
-  filter(restricted.arm_after);
-  filter(restricted.arm_before);
-  return restricted;
+    base += batch;
+  }
 }
 
 FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   FleetResult result;
-  Rng rng(options_.fleet_seed);
+  ThreadPool pool(options_.jobs);
+  const uint32_t batch_size = BatchSize(pool);
 
   // --- Phase 1: wait for the first failure in unmonitored production -------
   uint64_t run_index = 0;
-  for (uint32_t i = 0; i < options_.max_first_failure_runs; ++i) {
-    const Workload workload = generator_(run_index++, rng);
-    VmOptions vm_options;
-    vm_options.num_cores = options_.gist.num_cores;
-    vm_options.max_steps = options_.max_steps_per_run;
-    Vm vm(module_, workload, vm_options);
-    const RunResult run = vm.Run();
-    if (!run.ok() && run.failure.failing_instr != kNoInstr) {
-      result.first_failure_found = true;
-      result.first_failure = run.failure;
-      break;
-    }
-  }
+  FindFirstFailure(pool, &result, &run_index);
   if (!result.first_failure_found) {
     GIST_LOG(kWarning) << "fleet: no failure observed in production budget";
     return result;
@@ -84,57 +98,95 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     stats.sigma = server_.sigma();
     const uint32_t recurrences_at_start = server_.failure_recurrences();
 
-    for (uint32_t i = 0; i < options_.runs_per_iteration; ++i) {
-      const Workload workload = generator_(run_index++, rng);
-      const InstrumentationPlan client_plan = PlanForClient(i);
-      MonitoredRun run = RunMonitored(module_, client_plan, workload, options_.gist,
-                                      run_index, options_.max_steps_per_run);
-      // Simulated production pacing + the run itself.
-      result.sim_seconds += options_.mean_run_spacing_seconds * rng.NextDouble() * 2.0;
-      result.sim_seconds +=
-          static_cast<double>(run.trace.baseline_instructions) / (options_.clock_ghz * 1e9);
-      if (run.trace.baseline_instructions > 0) {
-        overhead_sum += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
-                                                  run.trace.activity);
-        ++overhead_samples;
-      }
-      if (run.result.ok()) {
-        ++stats.successful_runs;
-      } else {
-        ++stats.failing_runs;
-      }
-      const uint32_t recurrences_before = server_.failure_recurrences();
-      // The trace travels from client to server over the wire format,
-      // exactly as a deployed fleet would ship it — anonymized first when
-      // the deployment demands it.
-      if (options_.anonymize_traces) {
-        AnonymizeRunTrace(&run.trace);
-      }
-      Result<RunTrace> shipped = DeserializeRunTrace(SerializeRunTrace(run.trace));
-      GIST_CHECK(shipped.ok()) << shipped.error().message();
-      server_.AddTrace(std::move(*shipped));
+    // Freeze: one immutable snapshot of (plan + watchpoint rotation).
+    // Clients only ever see snapshots; when refinement below replans the
+    // server mid-iteration, the merge loop discards the runs speculated
+    // under the stale snapshot and re-freezes, so every consumed run
+    // executed under the plan produced by all runs merged before it —
+    // exactly the sequential contract, whatever the worker count.
+    PlanSnapshot snapshot = server_.Snapshot();
 
-      // A new recurrence of the target failure arrived: rebuild the sketch
-      // and let the "developer" judge it. This is what Table 1 counts — the
-      // number of failure recurrences consumed until the sketch is good.
-      if (server_.failure_recurrences() > recurrences_before) {
-        Result<FailureSketch> sketch = server_.BuildSketch();
-        if (sketch.ok()) {
-          result.sketch = *sketch;
-          if (root_cause_check(*sketch)) {
-            stats.root_cause_found = true;
-            break;
+    bool iteration_done = false;
+    uint32_t client = 0;  // index within the iteration; selects the rotation
+    while (client < options_.runs_per_iteration && !iteration_done) {
+      if (snapshot.version() != server_.plan_version()) {
+        snapshot = server_.Snapshot();
+      }
+      const uint32_t batch =
+          std::min(batch_size, options_.runs_per_iteration - client);
+
+      // Fan out: monitored runs are pure functions of (module, snapshot,
+      // run_index), so the pool may execute them in any order.
+      std::vector<MonitoredRun> runs(batch);
+      pool.ParallelFor(batch, [&](uint64_t k) {
+        const uint64_t index = run_index + k;
+        runs[k] = RunMonitored(module_, snapshot, client + k, WorkloadFor(index), options_.gist,
+                               index + 1, options_.max_steps_per_run);
+      });
+
+      // Merge: traces enter the server in run-index order on this thread,
+      // with exactly the sequential loop's early-exit checks after each one.
+      // Runs speculated past the exit point are discarded before they touch
+      // any accounting, so the consumed prefix — and with it the whole
+      // FleetResult — is independent of batch size and worker count.
+      uint32_t consumed = 0;
+      for (uint32_t k = 0;
+           k < batch && !iteration_done && snapshot.version() == server_.plan_version(); ++k) {
+        MonitoredRun& run = runs[k];
+        const uint64_t index = run_index + k;
+        ++consumed;
+
+        // Simulated production pacing + the run itself.
+        result.sim_seconds += PacingSecondsFor(index);
+        result.sim_seconds +=
+            static_cast<double>(run.trace.baseline_instructions) / (options_.clock_ghz * 1e9);
+        if (run.trace.baseline_instructions > 0) {
+          overhead_sum += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
+                                                    run.trace.activity);
+          ++overhead_samples;
+        }
+        if (run.result.ok()) {
+          ++stats.successful_runs;
+        } else {
+          ++stats.failing_runs;
+        }
+        const uint32_t recurrences_before = server_.failure_recurrences();
+        // The trace travels from client to server over the wire format,
+        // exactly as a deployed fleet would ship it — anonymized first when
+        // the deployment demands it.
+        if (options_.anonymize_traces) {
+          AnonymizeRunTrace(&run.trace);
+        }
+        Result<RunTrace> shipped = DeserializeRunTrace(SerializeRunTrace(run.trace));
+        GIST_CHECK(shipped.ok()) << shipped.error().message();
+        server_.AddTrace(std::move(*shipped));
+
+        // A new recurrence of the target failure arrived: rebuild the sketch
+        // and let the "developer" judge it. This is what Table 1 counts —
+        // the number of failure recurrences consumed until the sketch is
+        // good.
+        if (server_.failure_recurrences() > recurrences_before) {
+          Result<FailureSketch> sketch = server_.BuildSketch();
+          if (sketch.ok()) {
+            result.sketch = *sketch;
+            if (root_cause_check(*sketch)) {
+              stats.root_cause_found = true;
+              iteration_done = true;
+              continue;
+            }
           }
         }
-      }
 
-      // Enough data at this σ: grow the window rather than re-observing.
-      const uint32_t iteration_matching =
-          server_.failure_recurrences() - recurrences_at_start;
-      if (iteration_matching >= options_.min_matching_failures &&
-          stats.successful_runs >= options_.min_successful_runs) {
-        break;
+        // Enough data at this σ: grow the window rather than re-observing.
+        const uint32_t iteration_matching =
+            server_.failure_recurrences() - recurrences_at_start;
+        if (iteration_matching >= options_.min_matching_failures &&
+            stats.successful_runs >= options_.min_successful_runs) {
+          iteration_done = true;
+        }
       }
+      run_index += consumed;
+      client += consumed;
     }
 
     stats.avg_overhead_percent =

@@ -9,8 +9,17 @@
 //   3. a developer-supplied root-cause check decides whether to stop or to
 //      double σ and keep monitoring.
 //
+// Execution engine (DESIGN.md, "Execution engine"): each iteration freezes
+// the server's plan into an immutable PlanSnapshot, fans monitored runs out
+// onto a ThreadPool (`FleetOptions::jobs` workers), and merges the resulting
+// RunTraces back into the server in run-index order on the coordinator
+// thread. Every production run draws its workload from its own generator,
+// seeded by DeriveSeed(fleet_seed, run_index), so a fleet's FleetResult is
+// bit-identical no matter how many workers execute it — parallelism is a
+// pure throughput knob.
+//
 // When the monitored slice needs more watchpoints than the 4 available, the
-// fleet rotates watch subsets across clients (the cooperative strategy of
+// snapshot rotates watch subsets across clients (the cooperative strategy of
 // §3.2.3) so all addresses are covered collectively.
 //
 // Latency accounting mirrors Table 1: the simulated wall-clock to the final
@@ -25,11 +34,14 @@
 
 #include "src/core/gist.h"
 #include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 
 namespace gist {
 
-// Produces the workload of production run `run_index` (deterministic per
-// fleet seed: the generator derives everything from `rng`).
+// Produces the workload of production run `run_index`. The fleet hands every
+// run a private generator seeded by DeriveSeed(fleet_seed, run_index);
+// generators must consume randomness only from `rng` so runs stay
+// independent of execution order.
 using WorkloadGenerator = std::function<Workload(uint64_t run_index, Rng& rng)>;
 
 // Developer stand-in: does this sketch expose the root cause?
@@ -57,6 +69,9 @@ struct FleetOptions {
   double clock_ghz = 2.4;                 // converts instruction counts to time
   double mean_run_spacing_seconds = 2.0;  // production pacing between runs
   uint64_t max_steps_per_run = 2'000'000;
+  // Worker threads executing monitored runs (0 = hardware concurrency).
+  // Results are identical for every value; only wall-clock changes.
+  uint32_t jobs = 1;
 };
 
 struct FleetIterationStats {
@@ -95,8 +110,18 @@ class Fleet {
   const GistServer& server() const { return server_; }
 
  private:
-  // Restricts `plan` to the client's rotating share of watchpoints.
-  InstrumentationPlan PlanForClient(uint64_t client_index) const;
+  // Phase 1: uninstrumented production until the target failure first
+  // manifests. Probes run in parallel; the earliest failing run index wins
+  // deterministically. Returns the next unconsumed run index via
+  // `next_run_index`.
+  void FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* next_run_index);
+
+  // The workload of production run `run_index` (its private rng stream).
+  Workload WorkloadFor(uint64_t run_index) const;
+
+  // Simulated production spacing before run `run_index`, drawn from a pacing
+  // stream independent of the workload stream.
+  double PacingSecondsFor(uint64_t run_index) const;
 
   const Module& module_;
   WorkloadGenerator generator_;

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/core/instrumentation.h"
+#include "src/core/plan_snapshot.h"
 #include "src/core/run_trace.h"
 #include "src/hw/watchpoints.h"
 #include "src/pt/tracer.h"
@@ -24,6 +25,13 @@ class ClientRuntime : public ExecutionObserver, public InstrumentationHook {
   ClientRuntime(const Module& module, const InstrumentationPlan& plan, uint32_t num_cores,
                 size_t pt_buffer_bytes = kDefaultPtBufferBytes,
                 uint32_t watchpoint_slots = kNumWatchpointSlots);
+
+  // Frozen-snapshot flavor: runs client `client_index`'s rotation of the
+  // snapshot's plan. The runtime only ever reads the snapshot, so many
+  // runtimes (one per concurrent run) may share one. The snapshot must
+  // outlive the runtime.
+  ClientRuntime(const Module& module, const PlanSnapshot& snapshot, uint64_t client_index,
+                uint32_t num_cores, size_t pt_buffer_bytes = kDefaultPtBufferBytes);
 
   // Collects the run's traces; call after the VM run completes. `run_id`
   // tags the trace; the run result supplies the outcome.

@@ -27,6 +27,7 @@ void GistServer::Replan() {
     }
   }
   plan_ = PlanInstrumentation(ticfg_, window);
+  ++plan_version_;
 }
 
 void GistServer::AddTrace(RunTrace trace) {
@@ -75,6 +76,22 @@ MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           uint64_t max_steps) {
   ClientRuntime runtime(module, plan, options.num_cores, options.pt_buffer_bytes,
                         options.watchpoint_slots);
+  VmOptions vm_options;
+  vm_options.num_cores = options.num_cores;
+  vm_options.max_steps = max_steps;
+  vm_options.observers = {&runtime};
+  vm_options.hook = &runtime;
+  Vm vm(module, workload, vm_options);
+  MonitoredRun run{vm.Run(), RunTrace{}};
+  run.trace = runtime.TakeTrace(run_id, run.result);
+  return run;
+}
+
+MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
+                          uint64_t client_index, const Workload& workload,
+                          const GistOptions& options, uint64_t run_id, uint64_t max_steps) {
+  ClientRuntime runtime(module, snapshot, client_index, options.num_cores,
+                        options.pt_buffer_bytes);
   VmOptions vm_options;
   vm_options.num_cores = options.num_cores;
   vm_options.max_steps = max_steps;

@@ -23,6 +23,7 @@
 #include "src/core/ast_controller.h"
 #include "src/core/client_runtime.h"
 #include "src/core/instrumentation.h"
+#include "src/core/plan_snapshot.h"
 #include "src/core/renderer.h"
 #include "src/core/sketch.h"
 
@@ -59,6 +60,21 @@ class GistServer {
   const InstrumentationPlan& plan() const {
     GIST_CHECK(has_target_);
     return plan_;
+  }
+  // Counts replans since the target was reported: any refinement discovery or
+  // AsT advance bumps it. Snapshots carry the version they froze, so a
+  // coordinator can tell whether refinement outpaced in-flight runs.
+  uint64_t plan_version() const {
+    GIST_CHECK(has_target_);
+    return plan_version_;
+  }
+  // Freezes the current plan (and the §3.2.3 cooperative watchpoint
+  // rotation) into an immutable snapshot. This is the only server state the
+  // execution engine hands to monitored runs; the server itself stays on the
+  // coordinator thread.
+  PlanSnapshot Snapshot() const {
+    GIST_CHECK(has_target_);
+    return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma());
   }
   uint32_t sigma() const {
     GIST_CHECK(has_target_);
@@ -108,6 +124,7 @@ class GistServer {
   StaticSlice slice_;
   std::unique_ptr<AstController> ast_;
   InstrumentationPlan plan_;
+  uint64_t plan_version_ = 0;
   std::vector<RunTrace> traces_;
   std::vector<InstrId> discovered_;
   uint32_t failure_recurrences_ = 0;
@@ -123,6 +140,14 @@ struct MonitoredRun {
 MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           const Workload& workload, const GistOptions& options = {},
                           uint64_t run_id = 0, uint64_t max_steps = 2'000'000);
+
+// Snapshot flavor: the run executes client `client_index`'s rotation of the
+// frozen plan. Touches no server state, so calls may run concurrently (one
+// per thread) as long as the snapshot outlives them.
+MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
+                          uint64_t client_index, const Workload& workload,
+                          const GistOptions& options = {}, uint64_t run_id = 0,
+                          uint64_t max_steps = 2'000'000);
 
 }  // namespace gist
 

@@ -73,6 +73,49 @@ bool InstrStrictlyDominates(const Ticfg& ticfg, const InstrLocation& d, const In
 
 }  // namespace
 
+std::optional<Addr> StaticAccessAddr(const Module& module, InstrId access) {
+  const Instruction& instr = module.instr(access);
+  if (!instr.IsSharedAccess()) {
+    return std::nullopt;
+  }
+  const InstrLocation& loc = module.location(access);
+  const Function& function = module.function(loc.function);
+  const Reg addr_reg = instr.operands[0];
+
+  // Backward reaching-def search for the address operand, across blocks.
+  // Every reaching definition must fold to the same global address for the
+  // access to count as static — a merge of distinct addresses (or any
+  // dynamic definition) is reported as dynamic.
+  Cfg cfg(function);
+  std::optional<Addr> resolved;
+  std::set<BlockId> visited;
+  std::vector<std::pair<BlockId, int64_t>> stack;
+  stack.push_back({loc.block, static_cast<int64_t>(loc.index) - 1});
+  bool first = true;
+  while (!stack.empty()) {
+    auto [block_id, from] = stack.back();
+    stack.pop_back();
+    if (!first && !visited.insert(block_id).second) {
+      continue;
+    }
+    first = false;
+    const BasicBlock& block = function.block(block_id);
+    const Instruction* def = FindDefInBlock(block, from, addr_reg);
+    if (def != nullptr) {
+      std::optional<Addr> addr = ResolveStaticAddr(module, block, *def, 0);
+      if (!addr.has_value() || (resolved.has_value() && *resolved != *addr)) {
+        return std::nullopt;
+      }
+      resolved = addr;
+      continue;
+    }
+    for (BlockId pred : cfg.preds(block_id)) {
+      stack.push_back({pred, static_cast<int64_t>(function.block(pred).size()) - 1});
+    }
+  }
+  return resolved;
+}
+
 InstrumentationPlan PlanInstrumentation(const Ticfg& ticfg, const std::vector<InstrId>& window) {
   const Module& module = ticfg.module();
   InstrumentationPlan plan;

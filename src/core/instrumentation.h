@@ -18,6 +18,7 @@
 #define GIST_SRC_CORE_INSTRUMENTATION_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_set>
 #include <utility>
@@ -70,6 +71,14 @@ struct InstrumentationPlan {
 // Builds the plan for the given slice window (the first σ statements of the
 // static slice).
 InstrumentationPlan PlanInstrumentation(const Ticfg& ticfg, const std::vector<InstrId>& window);
+
+// Resolves the address a shared-memory access touches when its address
+// operand constant-folds to a global (addrof-global chains with constant
+// offsets, via a backward reaching-def search over the access's function).
+// nullopt for dynamic addresses (heap, parameter-carried), for merges of
+// distinct addresses, and for non-access instructions. Fix synthesis uses
+// this to find every access to the racy variable.
+std::optional<Addr> StaticAccessAddr(const Module& module, InstrId access);
 
 }  // namespace gist
 

@@ -1,0 +1,53 @@
+#include "src/core/plan_snapshot.h"
+
+#include <algorithm>
+
+namespace gist {
+namespace {
+
+// Drops arm sites whose target access the restricted plan does not watch.
+void FilterArmSites(const std::unordered_set<InstrId>& mine,
+                    std::map<InstrId, std::vector<WatchArmSite>>* sites) {
+  for (auto it = sites->begin(); it != sites->end();) {
+    std::vector<WatchArmSite>& list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const WatchArmSite& site) {
+                                return mine.count(site.target_access) == 0;
+                              }),
+               list.end());
+    it = list.empty() ? sites->erase(it) : std::next(it);
+  }
+}
+
+}  // namespace
+
+PlanSnapshot::PlanSnapshot(InstrumentationPlan plan, uint32_t watchpoint_slots, uint64_t version,
+                           uint32_t sigma)
+    : plan_(std::move(plan)), slots_(watchpoint_slots), version_(version), sigma_(sigma) {
+  if (plan_.watch_instrs.size() <= slots_) {
+    return;  // every client can watch the whole set; no rotation
+  }
+  std::vector<InstrId> all(plan_.watch_instrs.begin(), plan_.watch_instrs.end());
+  std::sort(all.begin(), all.end());
+  rotations_.reserve(all.size());
+  for (size_t offset = 0; offset < all.size(); ++offset) {
+    std::unordered_set<InstrId> mine;
+    for (uint32_t k = 0; k < slots_; ++k) {
+      mine.insert(all[(offset + k) % all.size()]);
+    }
+    InstrumentationPlan restricted = plan_;
+    restricted.watch_instrs = mine;
+    FilterArmSites(mine, &restricted.arm_after);
+    FilterArmSites(mine, &restricted.arm_before);
+    rotations_.push_back(std::move(restricted));
+  }
+}
+
+const InstrumentationPlan& PlanSnapshot::ForClient(uint64_t client_index) const {
+  if (rotations_.empty()) {
+    return plan_;
+  }
+  return rotations_[(client_index * slots_) % rotations_.size()];
+}
+
+}  // namespace gist

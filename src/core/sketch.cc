@@ -54,23 +54,17 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
                                          const std::vector<InstrId>& window,
                                          const std::vector<RunTrace>& traces,
                                          const SketchOptions& options) {
-  // Locate the reference failing run used for layout: the failing run whose
-  // watchpoints captured the most data flow (ties broken toward the most
-  // recent). Failing runs where the victim thread lost the race so early
-  // that nothing was armed yet carry less information.
-  const RunTrace* reference = nullptr;
-  for (const RunTrace& trace : traces) {
-    if (trace.failed &&
-        (reference == nullptr || trace.watch_events.size() >= reference->watch_events.size())) {
-      reference = &trace;
-    }
-  }
-  if (reference == nullptr) {
-    return Error("no failing run collected yet");
-  }
-
-  // Decode every trace's PT buffers once; feed the statistics.
+  // Decode every trace's PT buffers once; feed the statistics. Along the way
+  // locate the reference failing run used for layout: the failing run whose
+  // PT trace covers the most of the *current* window. Traces accumulate
+  // across AsT iterations, and early-iteration runs executed under narrower
+  // plans — judging them by raw watch-event counts alone would let a stale
+  // σ=2 trace outrank every wider-σ recurrence forever, hiding statements
+  // the grown window now tracks. Coverage ties break toward the most
+  // captured data flow, then toward the most recent run.
   PredictorStats stats(options.beta);
+  const RunTrace* reference = nullptr;
+  size_t reference_coverage = 0;
   std::vector<DecodedCoreTrace> reference_decoded;
   for (const RunTrace& trace : traces) {
     std::vector<DecodedCoreTrace> decoded;
@@ -83,9 +77,27 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
       decoded.push_back(std::move(*one));
     }
     stats.RecordRun(ExtractPredictors(decoded, trace.watch_events), trace.failed);
-    if (&trace == reference) {
-      reference_decoded = std::move(decoded);
+    if (trace.failed) {
+      const std::unordered_set<InstrId> trace_executed = ExecutedInstrs(module, decoded);
+      size_t coverage = 0;
+      for (InstrId id : window) {
+        coverage += trace_executed.count(id);
+      }
+      bool better = reference == nullptr;
+      if (!better && coverage != reference_coverage) {
+        better = coverage > reference_coverage;
+      } else if (!better) {
+        better = trace.watch_events.size() >= reference->watch_events.size();
+      }
+      if (better) {
+        reference = &trace;
+        reference_coverage = coverage;
+        reference_decoded = std::move(decoded);
+      }
     }
+  }
+  if (reference == nullptr) {
+    return Error("no failing run collected yet");
   }
 
   // --- Refinement -----------------------------------------------------------

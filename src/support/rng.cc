@@ -73,4 +73,12 @@ double Rng::NextDouble() {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  // Space the streams a golden-ratio increment apart (as SplitMix64 itself
+  // does between consecutive outputs), then scramble: adjacent indices yield
+  // statistically independent seeds even for base = 0, 1, 2, ...
+  uint64_t state = base ^ (index + 1) * 0x9e3779b97f4a7c15ULL;
+  return SplitMix64(state);
+}
+
 }  // namespace gist

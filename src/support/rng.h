@@ -40,6 +40,14 @@ class Rng {
   uint64_t state_[4];
 };
 
+// Derives the seed of stream `index` under `base` by one SplitMix64 step on
+// a golden-ratio-spaced state. This is how the fleet gives production run N
+// its own generator: the result depends only on (base, index), never on how
+// many sibling streams were drawn before it, so run N's workload is
+// identical whether the fleet executes runs sequentially or fans them out
+// across a thread pool.
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
+
 }  // namespace gist
 
 #endif  // GIST_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,138 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "src/support/check.h"
+
+namespace gist {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : size_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  if (size_ == 1) {
+    return;  // inline mode: no workers, no queue traffic
+  }
+  workers_.reserve(size_);
+  for (uint32_t i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // size-1 pool: run on the caller
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GIST_CHECK(!shutdown_) << "Submit after shutdown";
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(uint64_t n, const std::function<void(uint64_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (uint64_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  // One shared cursor; every participant (the workers plus the calling
+  // thread) pulls the next index until the range is exhausted. Exceptions are
+  // kept per-index so the rethrow is deterministic: lowest failing index
+  // wins, no matter which worker hit it first.
+  struct LoopState {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->errors.resize(n);
+
+  auto drain = [state, n, &body] {
+    for (;;) {
+      const uint64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        state->errors[i] = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const uint32_t helpers =
+      static_cast<uint32_t>(std::min<uint64_t>(size_, n));
+  std::vector<std::future<void>> tickets;
+  tickets.reserve(helpers);
+  for (uint32_t i = 0; i + 1 < helpers; ++i) {
+    tickets.push_back(Submit(drain));
+  }
+  drain();  // the caller participates instead of idling
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->all_done.wait(lock,
+                         [&] { return state->done.load(std::memory_order_acquire) == n; });
+  }
+  for (std::future<void>& ticket : tickets) {
+    ticket.get();  // propagates Submit-side failures (none expected)
+  }
+  for (std::exception_ptr& error : state->errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  const uint32_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+}  // namespace gist

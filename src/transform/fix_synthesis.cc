@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/cfg/ticfg.h"
+#include "src/core/instrumentation.h"
 #include "src/support/str.h"
 
 namespace gist {
@@ -36,9 +37,38 @@ Result<SynthesizedFix> SynthesizeAtomicityFix(const Module& module,
 
   // Group the involved statements by function.
   std::map<FunctionId, std::vector<InstrId>> by_function;
+  std::set<Addr> racy_addrs;
   for (InstrId id : {predictor.a, predictor.b, predictor.c}) {
     if (id != kNoInstr) {
       by_function[module.location(id).function].push_back(id);
+      std::optional<Addr> addr = StaticAccessAddr(module, id);
+      if (addr.has_value()) {
+        racy_addrs.insert(*addr);
+      }
+    }
+  }
+
+  // Widen each function's critical section to every access of the racy
+  // variable, not just the instances the predictor named: locking one
+  // read-modify-write of a global while another in the same function stays
+  // unlocked would leave the race (and a lost update) in place. Only
+  // statically-resolvable addresses can be matched; dynamic accesses keep the
+  // predictor-only bracket.
+  if (!racy_addrs.empty()) {
+    for (auto& [function_id, instrs] : by_function) {
+      const Function& function = module.function(function_id);
+      for (BlockId b = 0; b < function.num_blocks(); ++b) {
+        for (const Instruction& instr : function.block(b).instructions()) {
+          if (!instr.IsSharedAccess() ||
+              std::find(instrs.begin(), instrs.end(), instr.id) != instrs.end()) {
+            continue;
+          }
+          std::optional<Addr> addr = StaticAccessAddr(module, instr.id);
+          if (addr.has_value() && racy_addrs.count(*addr) != 0) {
+            instrs.push_back(instr.id);
+          }
+        }
+      }
     }
   }
 

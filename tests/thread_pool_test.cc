@@ -1,0 +1,106 @@
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace gist {
+namespace {
+
+TEST(ThreadPoolTest, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::HardwareThreads());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr uint64_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](uint64_t i) { ++hits[i]; });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWritesLandInIndexSlots) {
+  // The merge loop depends on results[k] corresponding to index k no matter
+  // which worker ran it.
+  ThreadPool pool(4);
+  std::vector<uint64_t> results(257);
+  pool.ParallelFor(results.size(), [&](uint64_t i) { results[i] = i * i; });
+  for (uint64_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](uint64_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [&](uint64_t i) {
+      if (i == 7 || i == 93) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ThreadPoolTest, InlinePoolPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(3, [&](uint64_t i) {
+    if (i == 1) {
+      throw std::runtime_error("inline");
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureThatCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.Submit([&] { value = 42; });
+  future.wait();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { ++completed; });
+    }
+  }  // shutdown must run (not drop) everything already queued
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](uint64_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50u * (19u * 20u / 2u));
+}
+
+}  // namespace
+}  // namespace gist

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the tree in the two configurations that matter
+# for the execution engine — an optimized build running the full suite, and a
+# ThreadSanitizer build running it again to catch data races in the
+# snapshot/fan-out/merge path (the parallel fleet, the thread pool, the VM
+# scheduler underneath them).
+#
+# Usage: tools/ci.sh [jobs]
+#   jobs  parallelism for build and ctest (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+
+# TSan halts the whole suite on the first race it sees; the engine's
+# determinism tests (fleet_parallel_test, thread_pool_test) are the hottest
+# path, but the whole suite runs so races in shared library code surface too.
+TSAN_OPTIONS="halt_on_error=1" \
+  run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGIST_SANITIZE=thread
+
+echo "=== CI passed (release + tsan) ==="

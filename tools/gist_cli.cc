@@ -16,9 +16,11 @@
 //       failure sketch.
 //   gist apps
 //       List the bundled bug reproductions.
-//   gist diagnose-app <name> [--fleet-seed N]
+//   gist diagnose-app <name> [--fleet-seed N] [--jobs N]
 //       Run the cooperative fleet on a bundled bug and print its sketch.
-//   gist fix-app <name> [--fleet-seed N]
+//       --jobs picks the worker-thread count (0 = all cores); the result is
+//       identical for every value.
+//   gist fix-app <name> [--fleet-seed N] [--jobs N]
 //       Diagnose a bundled bug, synthesize a fix from its sketch, and
 //       validate the fix against production workloads.
 //   gist dump-app <name>
@@ -50,6 +52,7 @@ struct CliOptions {
   uint64_t seed = 1;
   uint64_t runs = 500;
   uint64_t fleet_seed = 1;
+  uint64_t jobs = 1;
   std::vector<Word> inputs;
 };
 
@@ -58,8 +61,8 @@ int Usage() {
                "usage: gist <run|slice|trace|diagnose> <program.gir> "
                "[--seed N] [--runs N] [--inputs a,b,c]\n"
                "       gist apps\n"
-               "       gist diagnose-app <name> [--fleet-seed N]\n"
-               "       gist fix-app <name> [--fleet-seed N]\n"
+               "       gist diagnose-app <name> [--fleet-seed N] [--jobs N]\n"
+               "       gist fix-app <name> [--fleet-seed N] [--jobs N]\n"
                "       gist dump-app <name>\n");
   return 2;
 }
@@ -84,6 +87,10 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
       }
     } else if (arg == "--fleet-seed") {
       if (!next_value(&options->fleet_seed)) {
+        return false;
+      }
+    } else if (arg == "--jobs") {
+      if (!next_value(&options->jobs)) {
         return false;
       }
     } else if (arg == "--inputs") {
@@ -304,6 +311,7 @@ int CmdDiagnoseApp(const CliOptions& options) {
   }
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
+  fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   fleet_options.gist.title = app->info().name;
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
@@ -350,6 +358,7 @@ int CmdFixApp(const CliOptions& options) {
   }
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
+  fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
   const std::vector<InstrId>& root_cause = app->root_cause_instrs();
