@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -133,6 +134,81 @@ BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& op
     }
   }
   return breakdown;
+}
+
+std::map<std::string, double> ReadBenchJson(const std::string& path) {
+  std::map<std::string, double> values;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return values;
+  }
+  std::string text;
+  char chunk[4096];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+
+  // Flat {"key": number, ...} objects only; anything else parses as empty.
+  size_t pos = 0;
+  while (true) {
+    const size_t open = text.find('"', pos);
+    if (open == std::string::npos) {
+      break;
+    }
+    const size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) {
+      break;
+    }
+    const size_t colon = text.find(':', close);
+    if (colon == std::string::npos) {
+      break;
+    }
+    const std::string key = text.substr(open + 1, close - open - 1);
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    if (end == text.c_str() + colon + 1) {
+      break;  // not a number
+    }
+    values[key] = value;
+    pos = static_cast<size_t>(end - text.c_str());
+  }
+  return values;
+}
+
+bool UpdateBenchJson(const std::string& path, const std::map<std::string, double>& values) {
+  std::map<std::string, double> merged = ReadBenchJson(path);
+  for (const auto& [key, value] : values) {
+    merged[key] = value;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fprintf(file, "{\n");
+  size_t index = 0;
+  for (const auto& [key, value] : merged) {
+    std::fprintf(file, "  \"%s\": %.6g%s\n", key.c_str(), value,
+                 ++index < merged.size() ? "," : "");
+  }
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  return true;
+}
+
+std::string ParseEmitJsonFlag(int argc, char** argv, const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--emit-json") {
+      return default_path;
+    }
+    constexpr std::string_view kPrefix = "--emit-json=";
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      return std::string(arg.substr(kPrefix.size()));
+    }
+  }
+  return std::string();
 }
 
 }  // namespace gist

@@ -6,6 +6,7 @@
 #ifndef GIST_BENCH_BENCH_UTIL_H_
 #define GIST_BENCH_BENCH_UTIL_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,22 @@ BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& op
 
 // Formats seconds as the paper's "<Mm:SSs>".
 std::string FormatMinSec(double seconds);
+
+// --- machine-readable bench artifacts (BENCH_interp.json) -------------------
+// The artifact is a flat JSON object mapping metric names to numbers. The
+// interpreter microbench and the Table 1 sweep both merge their metrics into
+// the same file; tools/ci.sh gates on the committed copy.
+
+// Reads `path`; empty map when the file is missing or unparsable.
+std::map<std::string, double> ReadBenchJson(const std::string& path);
+
+// Merges `values` over the file's current contents and rewrites it (sorted
+// keys, one per line). Returns false when the file cannot be written.
+bool UpdateBenchJson(const std::string& path, const std::map<std::string, double>& values);
+
+// Parses `--emit-json` / `--emit-json=PATH`. Returns the empty string when
+// the flag is absent, `default_path` for the bare form.
+std::string ParseEmitJsonFlag(int argc, char** argv, const std::string& default_path);
 
 }  // namespace gist
 

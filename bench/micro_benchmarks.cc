@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
+#include "bench/bench_util.h"
 #include "src/analysis/slicer.h"
 #include "src/apps/app.h"
 #include "src/cfg/ticfg.h"
@@ -98,6 +103,27 @@ void BM_VmInterpretation(benchmark::State& state) {
 }
 BENCHMARK(BM_VmInterpretation);
 
+void BM_VmInterpretationSharedDecode(benchmark::State& state) {
+  // The fleet's configuration: one DecodedModule built up front, every run
+  // interprets from it. Isolates per-run decode cost vs BM_VmInterpretation.
+  auto app = MakeAppByName("pbzip2");
+  DecodedModule decoded(app->module());
+  Rng rng(5);
+  Workload workload = app->MakeWorkload(0, rng);
+  workload.inputs[kWorkScaleInput] = 2000;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    VmOptions options;
+    options.decoded = &decoded;
+    Vm vm(app->module(), workload, options);
+    RunResult result = vm.Run();
+    steps += result.stats.steps;
+    benchmark::DoNotOptimize(result.stats.steps);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_VmInterpretationSharedDecode);
+
 void BM_VmWithClientRuntimeAttached(benchmark::State& state) {
   auto app = MakeAppByName("pbzip2");
   Rng rng(5);
@@ -126,5 +152,91 @@ void BM_VmWithClientRuntimeAttached(benchmark::State& state) {
 }
 BENCHMARK(BM_VmWithClientRuntimeAttached);
 
+// Measures raw interpreter throughput (the BM_VmInterpretationSharedDecode
+// configuration) outside the google-benchmark harness, for the JSON artifact
+// and the CI perf smoke: repeated runs until at least `min_seconds` of work.
+double MeasureVmStepsPerSecond(double min_seconds = 1.0) {
+  auto app = MakeAppByName("pbzip2");
+  DecodedModule decoded(app->module());
+  Rng rng(5);
+  Workload workload = app->MakeWorkload(0, rng);
+  workload.inputs[kWorkScaleInput] = 2000;
+  // Warm-up run (page in code, fault in the module).
+  {
+    VmOptions options;
+    options.decoded = &decoded;
+    Vm(app->module(), workload, options).Run();
+  }
+  uint64_t steps = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    VmOptions options;
+    options.decoded = &decoded;
+    Vm vm(app->module(), workload, options);
+    steps += vm.Run().stats.steps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(steps) / elapsed;
+}
+
+std::string ParsePerfSmokeFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--perf-smoke=";
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      return std::string(arg.substr(kPrefix.size()));
+    }
+  }
+  return std::string();
+}
+
+int Main(int argc, char** argv) {
+  const std::string emit_path = ParseEmitJsonFlag(argc, argv, "BENCH_interp.json");
+  const std::string smoke_path = ParsePerfSmokeFlag(argc, argv);
+
+  if (!emit_path.empty()) {
+    const double steps_per_sec = MeasureVmStepsPerSecond();
+    if (!UpdateBenchJson(emit_path, {{"vm_interp_steps_per_sec", steps_per_sec}})) {
+      std::fprintf(stderr, "cannot write %s\n", emit_path.c_str());
+      return 1;
+    }
+    std::printf("vm_interp_steps_per_sec: %.3g -> %s\n", steps_per_sec, emit_path.c_str());
+    return 0;
+  }
+
+  if (!smoke_path.empty()) {
+    // CI perf gate: fail when interpreter throughput regresses more than 30%
+    // against the committed baseline artifact.
+    const std::map<std::string, double> baseline = ReadBenchJson(smoke_path);
+    const auto it = baseline.find("vm_interp_steps_per_sec");
+    if (it == baseline.end()) {
+      std::fprintf(stderr, "perf smoke: no vm_interp_steps_per_sec in %s; skipping gate\n",
+                   smoke_path.c_str());
+      return 0;
+    }
+    const double measured = MeasureVmStepsPerSecond();
+    const double floor = it->second * 0.7;
+    std::printf("perf smoke: %.3g steps/s measured vs %.3g baseline (floor %.3g)\n", measured,
+                it->second, floor);
+    if (measured < floor) {
+      std::fprintf(stderr, "perf smoke FAILED: interpreter regressed more than 30%%\n");
+      return 1;
+    }
+    std::printf("perf smoke OK\n");
+    return 0;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
 }  // namespace gist
+
+int main(int argc, char** argv) { return gist::Main(argc, argv); }

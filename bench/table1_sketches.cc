@@ -92,6 +92,13 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(total_runs));
   std::printf("Fleet sweep wall-clock: %.2fs with --jobs=%u.\n", elapsed, jobs);
 
+  const std::string emit_path = ParseEmitJsonFlag(argc, argv, "BENCH_interp.json");
+  if (!emit_path.empty()) {
+    UpdateBenchJson(emit_path, {{"fleet_table1_wall_seconds", elapsed},
+                                {"fleet_table1_jobs", static_cast<double>(jobs)}});
+    std::printf("fleet_table1_wall_seconds: %.3g -> %s\n", elapsed, emit_path.c_str());
+  }
+
   // The execution engine's promise is parallel speedup at identical results:
   // with more than one worker, run the sequential baseline too and compare
   // both, numbers and wall-clock.

@@ -17,9 +17,11 @@ gist_add_bench(fig11_overhead)
 gist_add_bench(fig12_sigma_tradeoff)
 gist_add_bench(fig13_rr_vs_pt)
 
-add_executable(micro_benchmarks bench/micro_benchmarks.cc)
+# micro_benchmarks carries its own main (for --emit-json / --perf-smoke), so
+# it links benchmark without benchmark_main and shares the bench_util helpers.
+add_executable(micro_benchmarks bench/micro_benchmarks.cc bench/bench_util.cc)
 target_link_libraries(micro_benchmarks PRIVATE gist_apps gist_replay
-                      benchmark::benchmark benchmark::benchmark_main)
+                      benchmark::benchmark)
 set_target_properties(micro_benchmarks PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${GIST_BENCH_OUTPUT_DIR})
 gist_add_bench(ablations)

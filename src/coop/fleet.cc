@@ -53,6 +53,8 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
       VmOptions vm_options;
       vm_options.num_cores = options_.gist.num_cores;
       vm_options.max_steps = options_.max_steps_per_run;
+      // All probes interpret from the server's shared pre-decoded cache.
+      vm_options.decoded = server_.decoded().get();
       Vm vm(module_, workload, vm_options);
       const RunResult run = vm.Run();
       if (!run.ok() && run.failure.failing_instr != kNoInstr) {

@@ -66,6 +66,20 @@ void ClientRuntime::OnInstrRetired(ThreadId tid, CoreId core, InstrId instr) {
   }
 }
 
+void ClientRuntime::OnInstrRetiredBatch(ThreadId tid, CoreId core, const InstrId* instrs,
+                                        size_t count) {
+  perf_.OnInstrRetiredBatch(tid, core, instrs, count);
+  if (plan_.pt_stop_instrs.empty()) {
+    return;  // no stop sites anywhere: the whole run needs no per-instr scan
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (plan_.ShouldStopAfter(instrs[i])) {
+      const InstrLocation& loc = module_.location(instrs[i]);
+      tracer_.Disable(core, loc.function, loc.block, loc.index);
+    }
+  }
+}
+
 void ClientRuntime::ArmSites(const std::vector<WatchArmSite>& sites,
                              const std::vector<Word>& regs) {
   for (const WatchArmSite& site : sites) {

@@ -38,6 +38,16 @@ class ClientRuntime : public ExecutionObserver, public InstrumentationHook {
   RunTrace TakeTrace(uint64_t run_id, const RunResult& result);
 
   // --- ExecutionObserver ----------------------------------------------------
+  // Everything except thread lifecycle. Batching is safe here: the VM's flush
+  // rules deliver buffered retired events (and with them the PT stop-toggle)
+  // before every control-flow event the tracer sees, and buffered accesses
+  // before every hook site that could arm a watchpoint, so the PT byte
+  // streams and watchpoint logs are identical to unbatched delivery.
+  uint32_t SubscribedEvents() const override {
+    return kEvContextSwitch | kEvBlockEnter | kEvBranch | kEvMemAccess | kEvReturn |
+           kEvInstrRetired;
+  }
+  bool AcceptsEventBatches() const override { return true; }
   void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next, FunctionId next_function,
                        BlockId next_block, uint32_t next_index) override;
   void OnBlockEnter(ThreadId tid, CoreId core, FunctionId function, BlockId block) override;
@@ -46,8 +56,15 @@ class ClientRuntime : public ExecutionObserver, public InstrumentationHook {
   void OnReturn(ThreadId tid, CoreId core, InstrId instr, FunctionId to_function,
                 BlockId to_block, uint32_t to_index) override;
   void OnInstrRetired(ThreadId tid, CoreId core, InstrId instr) override;
+  void OnInstrRetiredBatch(ThreadId tid, CoreId core, const InstrId* instrs,
+                           size_t count) override;
 
   // --- InstrumentationHook (watchpoint arming with register access) --------
+  // Only the plan's arm sites do anything; let the VM skip the hook (and its
+  // ordering flushes) everywhere else.
+  bool NeedsInstr(InstrId instr) const override {
+    return plan_.arm_before.count(instr) != 0 || plan_.arm_after.count(instr) != 0;
+  }
   void BeforeInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) override;
   void AfterInstr(ThreadId tid, InstrId instr, const std::vector<Word>& regs) override;
 

@@ -5,7 +5,10 @@
 namespace gist {
 
 GistServer::GistServer(const Module& module, GistOptions options)
-    : module_(module), options_(std::move(options)), ticfg_(module) {}
+    : module_(module),
+      options_(std::move(options)),
+      ticfg_(module),
+      decoded_(std::make_shared<const DecodedModule>(module)) {}
 
 void GistServer::ReportFailure(const FailureReport& report) {
   GIST_CHECK_NE(report.failing_instr, kNoInstr) << "failure report lacks a failing statement";
@@ -97,6 +100,7 @@ MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
   vm_options.max_steps = max_steps;
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
+  vm_options.decoded = snapshot.decoded().get();  // shared fleet-wide cache
   Vm vm(module, workload, vm_options);
   MonitoredRun run{vm.Run(), RunTrace{}};
   run.trace = runtime.TakeTrace(run_id, run.result);

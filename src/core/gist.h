@@ -71,11 +71,16 @@ class GistServer {
   // Freezes the current plan (and the §3.2.3 cooperative watchpoint
   // rotation) into an immutable snapshot. This is the only server state the
   // execution engine hands to monitored runs; the server itself stays on the
-  // coordinator thread.
+  // coordinator thread. The snapshot carries the server's pre-decoded module
+  // cache, so every fleet run of it interprets from the same DecodedModule.
   PlanSnapshot Snapshot() const {
     GIST_CHECK(has_target_);
-    return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma());
+    return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma(), decoded_);
   }
+
+  // The server's pre-decoded interpreter cache for module() (built once at
+  // construction; immutable and safe to share across concurrent runs).
+  const std::shared_ptr<const DecodedModule>& decoded() const { return decoded_; }
   uint32_t sigma() const {
     GIST_CHECK(has_target_);
     return ast_->sigma();
@@ -119,6 +124,7 @@ class GistServer {
   const Module& module_;
   GistOptions options_;
   Ticfg ticfg_;
+  std::shared_ptr<const DecodedModule> decoded_;
   bool has_target_ = false;
   uint64_t target_hash_ = 0;
   StaticSlice slice_;

@@ -22,8 +22,12 @@ void FilterArmSites(const std::unordered_set<InstrId>& mine,
 }  // namespace
 
 PlanSnapshot::PlanSnapshot(InstrumentationPlan plan, uint32_t watchpoint_slots, uint64_t version,
-                           uint32_t sigma)
-    : plan_(std::move(plan)), slots_(watchpoint_slots), version_(version), sigma_(sigma) {
+                           uint32_t sigma, std::shared_ptr<const DecodedModule> decoded)
+    : plan_(std::move(plan)),
+      slots_(watchpoint_slots),
+      version_(version),
+      sigma_(sigma),
+      decoded_(std::move(decoded)) {
   if (plan_.watch_instrs.size() <= slots_) {
     return;  // every client can watch the whole set; no rotation
   }

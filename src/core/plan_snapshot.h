@@ -20,9 +20,11 @@
 #define GIST_SRC_CORE_PLAN_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/instrumentation.h"
+#include "src/vm/decoded_module.h"
 
 namespace gist {
 
@@ -31,8 +33,11 @@ class PlanSnapshot {
   // Freezes `plan` for clients with `watchpoint_slots` hardware slots.
   // `version` counts the server's replans (any refinement discovery or AsT
   // advance bumps it); `sigma` records the AsT window size the plan tracks.
+  // `decoded` optionally ships the server's pre-decoded module cache so every
+  // run of the snapshot interprets from the same read-only DecodedModule
+  // instead of re-decoding (DESIGN.md §7).
   PlanSnapshot(InstrumentationPlan plan, uint32_t watchpoint_slots, uint64_t version,
-               uint32_t sigma);
+               uint32_t sigma, std::shared_ptr<const DecodedModule> decoded = nullptr);
 
   // The unrestricted plan (what the server would ship to a lone client).
   const InstrumentationPlan& base() const { return plan_; }
@@ -48,11 +53,16 @@ class PlanSnapshot {
   // Number of distinct rotated plans (0 when no rotation is needed).
   size_t rotation_count() const { return rotations_.size(); }
 
+  // The shared pre-decoded module cache, or null when the snapshot was built
+  // without one (runs then decode privately).
+  const std::shared_ptr<const DecodedModule>& decoded() const { return decoded_; }
+
  private:
   InstrumentationPlan plan_;
   uint32_t slots_ = 0;
   uint64_t version_ = 0;
   uint32_t sigma_ = 0;
+  std::shared_ptr<const DecodedModule> decoded_;
   // Rotation r restricts the watch set to sorted accesses
   // [r, r + slots) mod |accesses|; indexed by (client * slots) mod size.
   std::vector<InstrumentationPlan> rotations_;

@@ -45,6 +45,19 @@ struct CostModel {
 // run that produces traces also yields its denominator).
 class PerfCounter : public ExecutionObserver {
  public:
+  // Pure event counting: order-insensitive, so batched delivery is exact and
+  // a buffered run of N events collapses into one addition.
+  uint32_t SubscribedEvents() const override {
+    return kEvInstrRetired | kEvBranch | kEvMemAccess;
+  }
+  bool AcceptsEventBatches() const override { return true; }
+  void OnInstrRetiredBatch(ThreadId, CoreId, const InstrId*, size_t count) override {
+    instructions_ += count;
+  }
+  void OnMemAccessBatch(const MemAccessEvent*, size_t count) override {
+    mem_accesses_ += count;
+  }
+
   void OnInstrRetired(ThreadId, CoreId, InstrId) override { ++instructions_; }
   void OnBranch(ThreadId, CoreId, InstrId, bool) override { ++branches_; }
   void OnMemAccess(const MemAccessEvent&) override { ++mem_accesses_; }

@@ -62,7 +62,19 @@ class WatchpointUnit : public ExecutionObserver {
   uint64_t arm_operations() const { return arm_operations_; }
 
   // --- ExecutionObserver ----------------------------------------------------
+  // Debug registers only see data accesses; trap order is carried by the
+  // events' `seq` fields, so batched delivery preserves the log exactly.
+  uint32_t SubscribedEvents() const override { return kEvMemAccess; }
+  bool AcceptsEventBatches() const override { return true; }
   void OnMemAccess(const MemAccessEvent& event) override;
+  void OnMemAccessBatch(const MemAccessEvent* events, size_t count) override {
+    if (active_count() == 0) {
+      return;  // nothing armed: the whole run of accesses cannot trap
+    }
+    for (size_t i = 0; i < count; ++i) {
+      OnMemAccess(events[i]);
+    }
+  }
 
  private:
   struct Slot {

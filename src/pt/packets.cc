@@ -20,15 +20,18 @@ constexpr uint8_t kTntBase = 0x30;
 constexpr uint8_t kLongTntHeader = 0x38;
 constexpr uint8_t kOvfHeader = 0x40;
 
-void PutU64(std::vector<uint8_t>& out, uint64_t value) {
+// Little-endian payload stores into fixed stack buffers: packet emission is
+// on the tracing hot path (every branch retires through here when PT is on),
+// so no packet may heap-allocate.
+void PutU64(uint8_t* out, uint64_t value) {
   for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    out[i] = static_cast<uint8_t>(value >> (8 * i));
   }
 }
 
-void PutU32(std::vector<uint8_t>& out, uint32_t value) {
+void PutU32(uint8_t* out, uint32_t value) {
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    out[i] = static_cast<uint8_t>(value >> (8 * i));
   }
 }
 
@@ -86,33 +89,33 @@ void PtBuffer::AppendPsb() {
 }
 
 void PtBuffer::AppendPge(const PtIp& ip) {
-  std::vector<uint8_t> packet{kPgeHeader};
-  PutU64(packet, PackPtIp(ip));
-  Append(packet.data(), packet.size());
+  uint8_t packet[9] = {kPgeHeader};
+  PutU64(packet + 1, PackPtIp(ip));
+  Append(packet, sizeof(packet));
 }
 
 void PtBuffer::AppendPgd(const PtIp& ip) {
-  std::vector<uint8_t> packet{kPgdHeader};
-  PutU64(packet, PackPtIp(ip));
-  Append(packet.data(), packet.size());
+  uint8_t packet[9] = {kPgdHeader};
+  PutU64(packet + 1, PackPtIp(ip));
+  Append(packet, sizeof(packet));
 }
 
 void PtBuffer::AppendTip(const PtIp& ip) {
-  std::vector<uint8_t> packet{kTipHeader};
-  PutU64(packet, PackPtIp(ip));
-  Append(packet.data(), packet.size());
+  uint8_t packet[9] = {kTipHeader};
+  PutU64(packet + 1, PackPtIp(ip));
+  Append(packet, sizeof(packet));
 }
 
 void PtBuffer::AppendPip(ThreadId tid) {
-  std::vector<uint8_t> packet{kPipHeader};
-  PutU32(packet, tid);
-  Append(packet.data(), packet.size());
+  uint8_t packet[5] = {kPipHeader};
+  PutU32(packet + 1, tid);
+  Append(packet, sizeof(packet));
 }
 
 void PtBuffer::AppendFup(const PtIp& ip) {
-  std::vector<uint8_t> packet{kFupHeader};
-  PutU64(packet, PackPtIp(ip));
-  Append(packet.data(), packet.size());
+  uint8_t packet[9] = {kFupHeader};
+  PutU64(packet + 1, PackPtIp(ip));
+  Append(packet, sizeof(packet));
 }
 
 void PtBuffer::AppendTnt(uint8_t bits, uint8_t count) {

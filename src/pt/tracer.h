@@ -53,6 +53,11 @@ class PtTracer : public ExecutionObserver {
   uint64_t traced_branches() const { return traced_branches_; }
 
   // --- ExecutionObserver ----------------------------------------------------
+  // PT watches control flow only: it never needs the per-instruction retired
+  // or memory-access fan-out.
+  uint32_t SubscribedEvents() const override {
+    return kEvContextSwitch | kEvBlockEnter | kEvBranch | kEvReturn;
+  }
   void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next, FunctionId next_function,
                        BlockId next_block, uint32_t next_index) override;
   void OnBlockEnter(ThreadId tid, CoreId core, FunctionId function, BlockId block) override;

@@ -1,0 +1,181 @@
+#include "src/vm/decoded_module.h"
+
+namespace gist {
+namespace {
+
+uint8_t FlagsFor(const Instruction& instr) {
+  uint8_t flags = 0;
+  if (instr.IsSharedAccess()) {
+    flags |= kDiMemAccess;
+  }
+  if (instr.op == Opcode::kBr) {
+    flags |= kDiBranch;
+  }
+  if (instr.IsCallLike()) {
+    flags |= kDiCallLike;
+  }
+  if (instr.IsTerminator()) {
+    flags |= kDiTerminator;
+  }
+  return flags;
+}
+
+ExecOp ExecOpFor(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kConst:
+      return ExecOp::kConst;
+    case Opcode::kMove:
+      return ExecOp::kMove;
+    case Opcode::kNot:
+      return ExecOp::kNot;
+    case Opcode::kBinOp:
+      switch (instr.binop) {
+        case BinOp::kAdd:
+          return ExecOp::kAdd;
+        case BinOp::kSub:
+          return ExecOp::kSub;
+        case BinOp::kMul:
+          return ExecOp::kMul;
+        case BinOp::kDiv:
+          return ExecOp::kDiv;
+        case BinOp::kRem:
+          return ExecOp::kRem;
+        case BinOp::kEq:
+          return ExecOp::kEq;
+        case BinOp::kNe:
+          return ExecOp::kNe;
+        case BinOp::kLt:
+          return ExecOp::kLt;
+        case BinOp::kLe:
+          return ExecOp::kLe;
+        case BinOp::kGt:
+          return ExecOp::kGt;
+        case BinOp::kGe:
+          return ExecOp::kGe;
+        case BinOp::kAnd:
+          return ExecOp::kAnd;
+        case BinOp::kOr:
+          return ExecOp::kOr;
+        case BinOp::kXor:
+          return ExecOp::kXor;
+        case BinOp::kShl:
+          return ExecOp::kShl;
+        case BinOp::kShr:
+          return ExecOp::kShr;
+      }
+      GIST_UNREACHABLE("bad binop");
+    case Opcode::kLoad:
+      return ExecOp::kLoad;
+    case Opcode::kStore:
+      return ExecOp::kStore;
+    case Opcode::kAddrOfGlobal:
+      return ExecOp::kAddrOfGlobal;
+    case Opcode::kGep:
+      return ExecOp::kGep;
+    case Opcode::kAlloc:
+      return ExecOp::kAlloc;
+    case Opcode::kFree:
+      return ExecOp::kFree;
+    case Opcode::kCall:
+      return ExecOp::kCall;
+    case Opcode::kRet:
+      return ExecOp::kRet;
+    case Opcode::kBr:
+      return ExecOp::kBr;
+    case Opcode::kJmp:
+      return ExecOp::kJmp;
+    case Opcode::kAssert:
+      return ExecOp::kAssert;
+    case Opcode::kThreadCreate:
+      return ExecOp::kThreadCreate;
+    case Opcode::kThreadJoin:
+      return ExecOp::kThreadJoin;
+    case Opcode::kLock:
+      return ExecOp::kLock;
+    case Opcode::kUnlock:
+      return ExecOp::kUnlock;
+    case Opcode::kInput:
+      return ExecOp::kInput;
+    case Opcode::kPrint:
+      return ExecOp::kPrint;
+    case Opcode::kNop:
+      return ExecOp::kNop;
+  }
+  GIST_UNREACHABLE("bad opcode");
+}
+
+}  // namespace
+
+DecodedModule::DecodedModule(const Module& module) : module_(module) {
+  functions_.resize(module.num_functions());
+  for (FunctionId fid = 0; fid < module.num_functions(); ++fid) {
+    const Function& function = module.function(fid);
+    DecodedFunction& decoded = functions_[fid];
+    decoded.id = fid;
+    decoded.num_regs = function.num_regs();
+
+    size_t total = 0;
+    for (BlockId bid = 0; bid < function.num_blocks(); ++bid) {
+      total += function.block(bid).size();
+    }
+    // Instructions live in one contiguous array per function; reserve the
+    // exact size up front so block pointers into it stay stable.
+    decoded.instrs.reserve(total);
+    decoded.blocks.resize(function.num_blocks());
+
+    for (BlockId bid = 0; bid < function.num_blocks(); ++bid) {
+      const BasicBlock& block = function.block(bid);
+      const size_t offset = decoded.instrs.size();
+      for (const Instruction& instr : block.instructions()) {
+        DecodedInstr di;
+        di.id = instr.id;
+        di.op = instr.op;
+        di.exec = ExecOpFor(instr);
+        di.flags = FlagsFor(instr);
+        di.binop = instr.binop;
+        di.dst = instr.dst;
+        di.num_operands = static_cast<uint32_t>(instr.operands.size());
+        if (!instr.operands.empty()) {
+          di.op0 = instr.operands[0];
+        }
+        if (instr.operands.size() > 1) {
+          di.op1 = instr.operands[1];
+        }
+        di.imm = instr.imm;
+        di.callee = instr.callee;
+        di.global = instr.global;
+        di.src = &instr;
+        // Validate once so the interpreter can index registers unchecked.
+        GIST_CHECK(instr.dst == kNoReg || instr.dst < decoded.num_regs)
+            << "decoded " << function.name() << ": dst register out of range";
+        for (Reg operand : instr.operands) {
+          GIST_CHECK_LT(operand, decoded.num_regs)
+              << "decoded " << function.name() << ": operand register out of range";
+        }
+        if (instr.op == Opcode::kCall || instr.op == Opcode::kThreadCreate) {
+          GIST_CHECK_LT(instr.callee, module.num_functions())
+              << "decoded " << function.name() << ": callee out of range";
+        }
+        decoded.instrs.push_back(di);
+      }
+      decoded.blocks[bid] =
+          DecodedBlock{bid, decoded.instrs.data() + offset, static_cast<uint32_t>(block.size())};
+    }
+
+    // Second pass: resolve branch targets to block pointers.
+    for (DecodedInstr& di : decoded.instrs) {
+      if (di.op == Opcode::kBr || di.op == Opcode::kJmp) {
+        GIST_CHECK_LT(di.src->target0, decoded.blocks.size())
+            << "decoded " << function.name() << ": branch target out of range";
+        di.target0 = &decoded.blocks[di.src->target0];
+        if (di.op == Opcode::kBr) {
+          GIST_CHECK_LT(di.src->target1, decoded.blocks.size())
+              << "decoded " << function.name() << ": branch target out of range";
+          di.target1 = &decoded.blocks[di.src->target1];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gist

@@ -2,10 +2,23 @@
 // (Intel PT, debug registers), the record/replay baselines, and the perf cost
 // model watch a VM run. Callbacks fire synchronously in execution order on
 // the (single-threaded, deterministic) interpreter loop.
+//
+// Dispatch is subscription-masked: each observer declares the event classes
+// it consumes (SubscribedEvents), the VM builds per-event observer lists at
+// Run() start, and events nobody subscribed to cost nothing — not even a
+// virtual call. The two per-instruction-rate events (OnInstrRetired,
+// OnMemAccess) are additionally batched for observers that opt in
+// (AcceptsEventBatches): the VM buffers them per thread slice and delivers
+// contiguous runs at the next non-batched event (block entry, branch,
+// return, context switch, thread event, instrumentation-hook site), so the
+// common case per retired instruction is a pointer bump instead of a
+// virtual fan-out. See DESIGN.md §7 for the flush rules and why the
+// determinism contract survives them.
 
 #ifndef GIST_SRC_VM_OBSERVER_H_
 #define GIST_SRC_VM_OBSERVER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +27,20 @@
 namespace gist {
 
 using CoreId = uint32_t;
+
+// Event classes an ExecutionObserver can subscribe to. The VM only invokes
+// callbacks whose class is in the observer's SubscribedEvents() mask; a
+// handler outside the mask must be a no-op anyway (the default bodies are).
+enum ObservedEvents : uint32_t {
+  kEvContextSwitch = 1u << 0,   // OnContextSwitch
+  kEvBlockEnter = 1u << 1,      // OnBlockEnter
+  kEvBranch = 1u << 2,          // OnBranch
+  kEvMemAccess = 1u << 3,       // OnMemAccess / OnMemAccessBatch
+  kEvReturn = 1u << 4,          // OnReturn
+  kEvInstrRetired = 1u << 5,    // OnInstrRetired / OnInstrRetiredBatch
+  kEvThreadLifecycle = 1u << 6, // OnThreadStart / OnThreadExit
+  kEvAll = (1u << 7) - 1,
+};
 
 // One dynamic shared-memory access (load or store), in global total order.
 // `seq` increases by one per access across all threads — this is the order
@@ -52,11 +79,53 @@ class InstrumentationHook {
     (void)instr;
     (void)regs;
   }
+
+  // Whether BeforeInstr/AfterInstr do anything at `instr`. The VM queries
+  // this once per instruction id at Run() start and skips the hook calls (and
+  // the batch flushes ordered around them) everywhere else, so a hook that
+  // instruments a handful of sites costs nothing on the rest of the program.
+  // The default keeps the historical call-everywhere behavior.
+  virtual bool NeedsInstr(InstrId instr) const {
+    (void)instr;
+    return true;
+  }
 };
 
 class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;
+
+  // Event classes this observer consumes; the VM never dispatches outside the
+  // mask. Defaults to everything so existing observers keep working; override
+  // to shrink the hot-path fan-out (e.g. the PT tracer never needs
+  // OnMemAccess, the watchpoint unit never needs OnBranch).
+  virtual uint32_t SubscribedEvents() const { return kEvAll; }
+
+  // Opt-in to batched delivery of the per-instruction-rate events. When true,
+  // OnInstrRetired / OnMemAccess arrive via the *Batch entry points at flush
+  // points instead of one virtual call per event. Batching preserves the
+  // order within each event class and flushes before every non-batched event
+  // and hook site, but relaxes the interleaving BETWEEN retired and
+  // mem-access events inside one uninterrupted slice of straight-line code —
+  // only opt in when the handlers for the two classes are independent (the
+  // record/replay recorder, which logs a single interleaved stream, must
+  // not).
+  virtual bool AcceptsEventBatches() const { return false; }
+
+  // Batched entry points; defaults unbatch so an observer can opt in without
+  // implementing them. `events`/`instrs` are contiguous runs from a single
+  // thread slice, in execution order.
+  virtual void OnMemAccessBatch(const MemAccessEvent* events, std::size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      OnMemAccess(events[i]);
+    }
+  }
+  virtual void OnInstrRetiredBatch(ThreadId tid, CoreId core, const InstrId* instrs,
+                                   size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      OnInstrRetired(tid, core, instrs[i]);
+    }
+  }
 
   // A thread was scheduled onto a core, displacing `prev` (kNoThread at the
   // start of the run or after the previous occupant exited). The incoming

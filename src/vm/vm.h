@@ -9,16 +9,27 @@
 // Threads are interleaved by a seeded preemptive scheduler; a given
 // (module, workload) pair always produces the same execution, which is what
 // makes the repository's experiments reproducible.
+//
+// Fast path (DESIGN.md §7): the interpreter executes whole scheduling quanta
+// (StepBurst) against a DecodedModule — flat
+// pre-validated instruction arrays with resolved successor pointers — and
+// observer dispatch goes through per-event subscription lists built at Run()
+// start, with the per-instruction-rate events (retired, mem access) batched
+// into buffers flushed at block boundaries / context switches / hook sites.
+// Pass VmOptions::decoded to share one cache across runs (the fleet does);
+// otherwise the VM decodes privately at construction.
 
 #ifndef GIST_SRC_VM_VM_H_
 #define GIST_SRC_VM_VM_H_
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/ir/module.h"
 #include "src/support/rng.h"
+#include "src/vm/decoded_module.h"
 #include "src/vm/failure.h"
 #include "src/vm/memory.h"
 #include "src/vm/observer.h"
@@ -35,6 +46,14 @@ struct VmOptions {
   std::vector<ExecutionObserver*> observers;
   // Inline instrumentation with register access (watchpoint arming).
   InstrumentationHook* hook = nullptr;
+  // Shared pre-decoded cache for `module` (must be decoded from the same
+  // Module instance and outlive the VM). Null: the VM decodes privately.
+  const DecodedModule* decoded = nullptr;
+  // Reference dispatch: ignore batching opt-ins and deliver every event as
+  // one virtual call per event, and call the hook at every instruction —
+  // the semantics the fast path must match byte-for-byte. Used by
+  // tests/vm_fastpath_test.cc; keep off otherwise.
+  bool reference_dispatch = false;
 };
 
 // Hard cap on concurrently created threads per run. The thread table is
@@ -67,8 +86,8 @@ class Vm {
 
  private:
   struct Frame {
-    FunctionId function;
-    BlockId block = 0;
+    const DecodedFunction* function = nullptr;
+    const DecodedBlock* block = nullptr;
     uint32_t index = 0;
     std::vector<Word> regs;
     Reg ret_dst = kNoReg;        // caller register receiving our return value
@@ -95,9 +114,12 @@ class Vm {
   };
 
   ThreadId SpawnThread(FunctionId function, const std::vector<Word>& args, bool is_main);
-  // Runs one instruction of thread `tid`. Returns false when the run must end
-  // (failure recorded in result_).
-  bool Step(ThreadState& thread);
+  // Runs up to `max_count` consecutive instructions of `thread` — one
+  // scheduling quantum — in a tight loop, stopping early when the thread
+  // blocks, exits, or the run ends (failure recorded in result_). Returns the
+  // number of instructions executed; the caller charges them to the step
+  // budget and the remaining quantum.
+  uint64_t StepBurst(ThreadState& thread, uint64_t max_count);
   void ExitThread(ThreadState& thread);
   // Selects the next thread to run; kNoThread if none are runnable.
   ThreadId PickNext();
@@ -106,10 +128,21 @@ class Vm {
   void NotifyBlockEnter(ThreadState& thread);
   std::vector<InstrId> StackTrace(const ThreadState& thread, InstrId failing) const;
 
-  // Observer fan-out helpers.
+  // --- subscription-masked, batched dispatch --------------------------------
+  // Splits options_.observers into per-event lists (and immediate/batched
+  // halves for the two hot events); builds the hook-site bitmap.
+  void BuildDispatch();
+  // Delivers the buffered retired/mem-access runs. Must run before any
+  // non-batched event or hook call so every observer sees events in
+  // execution order (see observer.h).
+  void FlushBatches();
+
+  // Dispatch helper for the non-batched ("immediate") events: flush the hot
+  // buffers first, then fan out to the event's subscriber list.
   template <typename Fn>
-  void ForObservers(Fn&& fn) {
-    for (ExecutionObserver* observer : options_.observers) {
+  void Dispatch(const std::vector<ExecutionObserver*>& list, Fn&& fn) {
+    FlushBatches();
+    for (ExecutionObserver* observer : list) {
       fn(*observer);
     }
   }
@@ -117,6 +150,8 @@ class Vm {
   const Module& module_;
   Workload workload_;
   VmOptions options_;
+  std::unique_ptr<DecodedModule> owned_decoded_;  // when options_.decoded is null
+  const DecodedModule* decoded_ = nullptr;
   Memory memory_;
   Rng rng_;
   std::vector<ThreadState> threads_;
@@ -125,6 +160,29 @@ class Vm {
   RunResult result_;
   uint64_t access_seq_ = 0;
   bool done_ = false;
+
+  // Per-event subscriber lists (see BuildDispatch).
+  std::vector<ExecutionObserver*> on_context_switch_;
+  std::vector<ExecutionObserver*> on_block_enter_;
+  std::vector<ExecutionObserver*> on_branch_;
+  std::vector<ExecutionObserver*> on_return_;
+  std::vector<ExecutionObserver*> on_thread_event_;
+  std::vector<ExecutionObserver*> on_mem_immediate_;
+  std::vector<ExecutionObserver*> on_mem_batched_;
+  std::vector<ExecutionObserver*> on_retired_immediate_;
+  std::vector<ExecutionObserver*> on_retired_batched_;
+  bool mem_observed_ = false;      // any mem-access subscriber at all
+  bool retired_observed_ = false;  // any retired subscriber at all
+
+  // Hot-event batch buffers: contiguous runs from the current thread slice.
+  std::vector<MemAccessEvent> mem_batch_;
+  std::vector<InstrId> retired_batch_;
+  ThreadId batch_tid_ = kNoThread;  // owner of the buffered retired run
+  CoreId batch_core_ = 0;
+
+  // hook_sites_[id] != 0: the hook wants BeforeInstr/AfterInstr at `id`.
+  std::vector<uint8_t> hook_sites_;
+  bool hook_everywhere_ = false;  // reference mode or hook without site info
 };
 
 }  // namespace gist

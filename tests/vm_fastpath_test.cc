@@ -1,0 +1,188 @@
+// Fast-path equivalence: the pre-decoded interpreter with subscription-masked,
+// batched observer dispatch (DESIGN.md §7) must be observationally identical
+// to the reference dispatch (one virtual call per event, hook called at every
+// instruction). For every Table 1 app this runs the same workloads both ways
+// and asserts byte-identical PT packet streams, identical watchpoint event
+// sequences, and identical FailureReports — the determinism contract of
+// DESIGN.md §6 restated as a test.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/core/gist.h"
+#include "src/replay/recorder.h"
+
+namespace gist {
+namespace {
+
+// Deterministic per-run workload mapping (any fixed mapping works; this one
+// mixes the run index so apps see varied schedules).
+Workload WorkloadFor(const BugApp& app, uint64_t run_index) {
+  Rng rng(0x9e3779b97f4a7c15ull ^ (run_index * 0x45d9f3b5ull));
+  return app.MakeWorkload(run_index, rng);
+}
+
+void ExpectSameResult(const RunResult& fast, const RunResult& ref, const std::string& label) {
+  EXPECT_EQ(fast.failure.type, ref.failure.type) << label;
+  EXPECT_EQ(fast.failure.failing_instr, ref.failure.failing_instr) << label;
+  EXPECT_EQ(fast.failure.failing_thread, ref.failure.failing_thread) << label;
+  EXPECT_EQ(fast.failure.message, ref.failure.message) << label;
+  EXPECT_EQ(fast.failure.stack_trace, ref.failure.stack_trace) << label;
+  EXPECT_EQ(fast.outputs, ref.outputs) << label;
+  EXPECT_EQ(fast.stats.steps, ref.stats.steps) << label;
+  EXPECT_EQ(fast.stats.mem_accesses, ref.stats.mem_accesses) << label;
+  EXPECT_EQ(fast.stats.branches, ref.stats.branches) << label;
+  EXPECT_EQ(fast.stats.context_switches, ref.stats.context_switches) << label;
+  EXPECT_EQ(fast.stats.threads_created, ref.stats.threads_created) << label;
+}
+
+void ExpectSameWatchEvents(const std::vector<WatchEvent>& fast, const std::vector<WatchEvent>& ref,
+                           const std::string& label) {
+  ASSERT_EQ(fast.size(), ref.size()) << label;
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].seq, ref[i].seq) << label << " event " << i;
+    EXPECT_EQ(fast[i].tid, ref[i].tid) << label << " event " << i;
+    EXPECT_EQ(fast[i].instr, ref[i].instr) << label << " event " << i;
+    EXPECT_EQ(fast[i].addr, ref[i].addr) << label << " event " << i;
+    EXPECT_EQ(fast[i].value, ref[i].value) << label << " event " << i;
+    EXPECT_EQ(fast[i].is_write, ref[i].is_write) << label << " event " << i;
+  }
+}
+
+void ExpectSameTrace(const RunTrace& fast, const RunTrace& ref, const std::string& label) {
+  EXPECT_EQ(fast.failed, ref.failed) << label;
+  ASSERT_EQ(fast.pt_buffers.size(), ref.pt_buffers.size()) << label;
+  for (size_t core = 0; core < fast.pt_buffers.size(); ++core) {
+    // Byte-identical PT packet streams, per core.
+    EXPECT_EQ(fast.pt_buffers[core], ref.pt_buffers[core]) << label << " core " << core;
+  }
+  ExpectSameWatchEvents(fast.watch_events, ref.watch_events, label);
+  EXPECT_EQ(fast.activity.pt_bytes, ref.activity.pt_bytes) << label;
+  EXPECT_EQ(fast.activity.pt_toggles, ref.activity.pt_toggles) << label;
+  EXPECT_EQ(fast.activity.watch_traps, ref.activity.watch_traps) << label;
+  EXPECT_EQ(fast.activity.watch_arms, ref.activity.watch_arms) << label;
+  EXPECT_EQ(fast.baseline_instructions, ref.baseline_instructions) << label;
+}
+
+// One monitored run of `snapshot`; fast path when `reference` is false.
+MonitoredRun RunSnapshot(const Module& module, const PlanSnapshot& snapshot,
+                         const Workload& workload, const GistOptions& options, bool reference) {
+  ClientRuntime runtime(module, snapshot, /*client_index=*/0, options.num_cores,
+                        options.pt_buffer_bytes);
+  VmOptions vm_options;
+  vm_options.num_cores = options.num_cores;
+  vm_options.observers = {&runtime};
+  vm_options.hook = &runtime;
+  if (reference) {
+    vm_options.reference_dispatch = true;
+  } else {
+    vm_options.decoded = snapshot.decoded().get();
+  }
+  Vm vm(module, workload, vm_options);
+  MonitoredRun run{vm.Run(), RunTrace{}};
+  run.trace = runtime.TakeTrace(/*run_id=*/0, run.result);
+  return run;
+}
+
+class VmFastPathTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VmFastPathTest, MatchesReferenceDispatch) {
+  std::unique_ptr<BugApp> app = MakeAppByName(GetParam());
+  ASSERT_NE(app, nullptr);
+  const Module& module = app->module();
+
+  // Unmonitored probes: fast path vs reference over a spread of workloads,
+  // recording the first failing one for the monitored comparison below.
+  bool have_failure = false;
+  FailureReport first_failure;
+  Workload failing_workload;
+  uint64_t compared = 0;
+  for (uint64_t run = 0; run < 400 && (compared < 3 || !have_failure); ++run) {
+    const Workload workload = WorkloadFor(*app, run);
+
+    VmOptions fast_options;
+    Vm fast_vm(module, workload, fast_options);
+    const RunResult fast = fast_vm.Run();
+
+    const bool interesting = compared < 3 || (!fast.ok() && !have_failure);
+    if (interesting) {
+      VmOptions ref_options;
+      ref_options.reference_dispatch = true;
+      Vm ref_vm(module, workload, ref_options);
+      ExpectSameResult(fast, ref_vm.Run(),
+                       std::string(GetParam()) + " unmonitored run " + std::to_string(run));
+      ++compared;
+    }
+    if (!fast.ok() && !have_failure && fast.failure.failing_instr != kNoInstr) {
+      have_failure = true;
+      first_failure = fast.failure;
+      failing_workload = workload;
+    }
+  }
+  ASSERT_TRUE(have_failure) << GetParam() << ": no failing workload among probes";
+
+  // Monitored comparison: PT + watchpoints + arming hooks, the full client
+  // runtime, over the failing workload and a handful of others.
+  GistOptions options;
+  GistServer server(module, options);
+  server.ReportFailure(first_failure);
+  const PlanSnapshot snapshot = server.Snapshot();
+  ASSERT_NE(snapshot.decoded(), nullptr);
+
+  std::vector<Workload> monitored = {failing_workload};
+  for (uint64_t run = 0; run < 3; ++run) {
+    monitored.push_back(WorkloadFor(*app, run));
+  }
+  for (size_t i = 0; i < monitored.size(); ++i) {
+    const std::string label =
+        std::string(GetParam()) + " monitored workload " + std::to_string(i);
+    const MonitoredRun fast = RunSnapshot(module, snapshot, monitored[i], options, false);
+    const MonitoredRun ref = RunSnapshot(module, snapshot, monitored[i], options, true);
+    ExpectSameResult(fast.result, ref.result, label);
+    ExpectSameTrace(fast.trace, ref.trace, label);
+  }
+
+  // Recorder comparison: the unbatched full-event observer must log the same
+  // interleaved stream either way (it never opts into batching).
+  {
+    Recorder fast_recorder;
+    VmOptions fast_options;
+    fast_options.observers = {&fast_recorder};
+    Vm fast_vm(module, failing_workload, fast_options);
+    const RunResult fast = fast_vm.Run();
+
+    Recorder ref_recorder;
+    VmOptions ref_options;
+    ref_options.observers = {&ref_recorder};
+    ref_options.reference_dispatch = true;
+    Vm ref_vm(module, failing_workload, ref_options);
+    const RunResult ref = ref_vm.Run();
+
+    ExpectSameResult(fast, ref, std::string(GetParam()) + " recorded");
+    ASSERT_EQ(fast_recorder.log().size(), ref_recorder.log().size()) << GetParam();
+    for (size_t i = 0; i < fast_recorder.log().size(); ++i) {
+      const RecordEvent& a = fast_recorder.log()[i];
+      const RecordEvent& b = ref_recorder.log()[i];
+      ASSERT_TRUE(a.kind == b.kind && a.tid == b.tid && a.instr == b.instr && a.addr == b.addr &&
+                  a.value == b.value && a.flag == b.flag)
+          << GetParam() << ": record log diverges at event " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, VmFastPathTest,
+                         ::testing::Values("pbzip2", "apache-1", "apache-2", "apache-3",
+                                           "apache-4", "cppcheck-1", "cppcheck-2", "curl",
+                                           "transmission", "sqlite", "memcached"),
+                         [](const ::testing::TestParamInfo<const char*>& param) {
+                           std::string name = param.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace gist

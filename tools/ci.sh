@@ -26,10 +26,17 @@ run_config() {
 
 run_config release -DCMAKE_BUILD_TYPE=Release
 
+# Perf smoke: the Release build's interpreter must stay within 30% of the
+# committed steps/second baseline (BENCH_interp.json, regenerated with
+# `micro_benchmarks --emit-json`). Skips itself with a warning when the
+# baseline artifact is absent.
+echo "=== [release] perf smoke ==="
+./build-ci-release/bench/micro_benchmarks --perf-smoke=BENCH_interp.json
+
 # TSan halts the whole suite on the first race it sees; the engine's
 # determinism tests (fleet_parallel_test, thread_pool_test) are the hottest
 # path, but the whole suite runs so races in shared library code surface too.
 TSAN_OPTIONS="halt_on_error=1" \
   run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGIST_SANITIZE=thread
 
-echo "=== CI passed (release + tsan) ==="
+echo "=== CI passed (release + tsan + perf smoke) ==="
