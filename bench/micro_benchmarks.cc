@@ -191,9 +191,19 @@ std::string ParsePerfSmokeFlag(int argc, char** argv) {
   return std::string();
 }
 
+bool ParsePerfSmokeStrictFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--perf-smoke-strict") {
+      return true;
+    }
+  }
+  return false;
+}
+
 int Main(int argc, char** argv) {
   const std::string emit_path = ParseEmitJsonFlag(argc, argv, "BENCH_interp.json");
   const std::string smoke_path = ParsePerfSmokeFlag(argc, argv);
+  const bool smoke_strict = ParsePerfSmokeStrictFlag(argc, argv);
 
   if (!emit_path.empty()) {
     const double steps_per_sec = MeasureVmStepsPerSecond();
@@ -211,6 +221,17 @@ int Main(int argc, char** argv) {
     const std::map<std::string, double> baseline = ReadBenchJson(smoke_path);
     const auto it = baseline.find("vm_interp_steps_per_sec");
     if (it == baseline.end()) {
+      // Default: tolerate a missing baseline so fresh checkouts stay green.
+      // --perf-smoke-strict turns the soft skip into a hard failure: CI uses
+      // it so a deleted or corrupted baseline artifact cannot silently turn
+      // the perf gate off.
+      if (smoke_strict) {
+        std::fprintf(stderr,
+                     "perf smoke FAILED: no vm_interp_steps_per_sec baseline in %s "
+                     "(--perf-smoke-strict)\n",
+                     smoke_path.c_str());
+        return 1;
+      }
       std::fprintf(stderr, "perf smoke: no vm_interp_steps_per_sec in %s; skipping gate\n",
                    smoke_path.c_str());
       return 0;

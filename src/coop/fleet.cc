@@ -110,6 +110,8 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
 
     bool iteration_done = false;
     uint32_t client = 0;  // index within the iteration; selects the rotation
+    uint32_t retries_used = 0;       // against FaultOptions::retry_budget_per_iteration
+    uint32_t consecutive_losses = 0;  // drives the exponential backoff
     while (client < options_.runs_per_iteration && !iteration_done) {
       if (snapshot.version() != server_.plan_version()) {
         snapshot = server_.Snapshot();
@@ -118,12 +120,24 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
           std::min(batch_size, options_.runs_per_iteration - client);
 
       // Fan out: monitored runs are pure functions of (module, snapshot,
-      // run_index), so the pool may execute them in any order.
+      // run_index), so the pool may execute them in any order. Client-side
+      // faults (death, debug-register contention) are part of that function:
+      // each run's FaultPlan derives from its run index alone.
       std::vector<MonitoredRun> runs(batch);
       pool.ParallelFor(batch, [&](uint64_t k) {
         const uint64_t index = run_index + k;
+        RunDegradation degradation;
+        if (options_.faults.enabled) {
+          const FaultPlan fault = FaultPlan::ForRun(options_.faults, options_.fleet_seed, index);
+          if (fault.kill_run) {
+            degradation.kill_after_steps = fault.kill_after_steps;
+          }
+          if (fault.exhaust_watchpoints) {
+            degradation.watchpoint_slots = fault.granted_watchpoint_slots;
+          }
+        }
         runs[k] = RunMonitored(module_, snapshot, client + k, WorkloadFor(index), options_.gist,
-                               index + 1, options_.max_steps_per_run);
+                               index + 1, options_.max_steps_per_run, degradation);
       });
 
       // Merge: traces enter the server in run-index order on this thread,
@@ -142,26 +156,90 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         result.sim_seconds += PacingSecondsFor(index);
         result.sim_seconds +=
             static_cast<double>(run.trace.baseline_instructions) / (options_.clock_ghz * 1e9);
+
+        // Degradation (DESIGN.md §8): decide whether this run's trace ever
+        // reaches the server. All decisions replay the run's FaultPlan, so
+        // they are independent of worker count and batch boundaries.
+        const FaultPlan fault =
+            FaultPlan::ForRun(options_.faults, options_.fleet_seed, index);
+        bool lost = run.result.killed;  // the client died; nothing was shipped
+        double arrival_delay = 0.0;
+        if (!lost && fault.delay_result) {
+          if (fault.result_delay_seconds > options_.faults.result_timeout_seconds) {
+            lost = true;  // the server stopped waiting
+          } else {
+            arrival_delay = fault.result_delay_seconds;
+          }
+        }
+        std::vector<uint8_t> shipped_bytes;
+        if (!lost) {
+          // Client-side damage to the PT streams, then the trace travels
+          // from client to server over the wire format, exactly as a
+          // deployed fleet would ship it — anonymized first when the
+          // deployment demands it.
+          ApplyPtFaults(fault, &run.trace.pt_buffers);
+          if (options_.anonymize_traces) {
+            AnonymizeRunTrace(&run.trace);
+          }
+          shipped_bytes = SerializeRunTrace(run.trace);
+          if (options_.faults.enabled) {
+            // MTU chunking: a dropped chunk loses the upload; a reorder is
+            // repaired by sequence numbers.
+            std::vector<WireMessage> chunks =
+                SplitWireMessages(shipped_bytes, options_.faults.wire_mtu_bytes);
+            std::vector<WireMessage> delivered;
+            for (uint32_t chunk :
+                 DeliveredChunkOrder(fault, static_cast<uint32_t>(chunks.size()))) {
+              delivered.push_back(std::move(chunks[chunk]));
+            }
+            Result<std::vector<uint8_t>> reassembled =
+                ReassembleWireMessages(std::move(delivered));
+            if (reassembled.ok()) {
+              shipped_bytes = std::move(*reassembled);
+            } else {
+              lost = true;
+            }
+          }
+        }
+
+        if (lost) {
+          // Retry with exponential backoff, up to the iteration budget: the
+          // server re-requests a monitored run, which the loop's next index
+          // supplies. Beyond the budget the loss is absorbed — statistics
+          // renormalize over the runs that do arrive.
+          ++stats.lost_runs;
+          if (options_.faults.enabled &&
+              retries_used < options_.faults.retry_budget_per_iteration) {
+            const uint32_t exponent = std::min(consecutive_losses, 6u);
+            result.sim_seconds +=
+                options_.faults.retry_backoff_seconds * static_cast<double>(1u << exponent);
+            ++retries_used;
+            ++stats.retries;
+          }
+          ++consecutive_losses;
+          continue;
+        }
+        consecutive_losses = 0;
+        result.sim_seconds += arrival_delay;
+
         if (run.trace.baseline_instructions > 0) {
           overhead_sum += GistClientOverheadPercent(cost_model, run.trace.baseline_instructions,
                                                     run.trace.activity);
           ++overhead_samples;
+        }
+        const uint32_t recurrences_before = server_.failure_recurrences();
+        Result<RunTrace> shipped = DeserializeRunTrace(shipped_bytes);
+        GIST_CHECK(shipped.ok()) << shipped.error().message();
+        const GistServer::TraceIngest ingest = server_.AddTrace(std::move(*shipped));
+        if (ingest == GistServer::TraceIngest::kQuarantined) {
+          ++stats.quarantined_runs;
+          continue;  // validation rejected the upload; it influences nothing
         }
         if (run.result.ok()) {
           ++stats.successful_runs;
         } else {
           ++stats.failing_runs;
         }
-        const uint32_t recurrences_before = server_.failure_recurrences();
-        // The trace travels from client to server over the wire format,
-        // exactly as a deployed fleet would ship it — anonymized first when
-        // the deployment demands it.
-        if (options_.anonymize_traces) {
-          AnonymizeRunTrace(&run.trace);
-        }
-        Result<RunTrace> shipped = DeserializeRunTrace(SerializeRunTrace(run.trace));
-        GIST_CHECK(shipped.ok()) << shipped.error().message();
-        server_.AddTrace(std::move(*shipped));
 
         // A new recurrence of the target failure arrived: rebuild the sketch
         // and let the "developer" judge it. This is what Table 1 counts —
@@ -193,8 +271,21 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
 
     stats.avg_overhead_percent =
         overhead_samples == 0 ? 0.0 : overhead_sum / static_cast<double>(overhead_samples);
+    // Quorum (DESIGN.md §8): only runs that arrived AND passed validation
+    // support the next AsT decision. When attrition leaves fewer than the
+    // configured fraction of this iteration's runs standing, growing the
+    // window would extrapolate from noise — re-monitor at the same σ.
+    const uint32_t survivors = stats.successful_runs + stats.failing_runs;
+    const uint32_t consumed_runs = survivors + stats.lost_runs + stats.quarantined_runs;
+    stats.quorum_met =
+        !options_.faults.enabled || consumed_runs == 0 ||
+        static_cast<double>(survivors) >=
+            options_.faults.quorum_fraction * static_cast<double>(consumed_runs);
     const bool saw_new_recurrence = server_.failure_recurrences() > recurrences_at_start;
     result.failure_recurrences = server_.failure_recurrences();
+    result.lost_runs += stats.lost_runs;
+    result.quarantined_runs += stats.quarantined_runs;
+    result.retries += stats.retries;
     result.iterations.push_back(stats);
 
     if (stats.root_cause_found) {
@@ -205,6 +296,10 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
       // The target failure did not recur within this iteration's budget:
       // growing the window without new data cannot help. Keep monitoring at
       // the same σ (the iteration still counts against max_iterations).
+      continue;
+    }
+    if (!stats.quorum_met) {
+      // Too few survivors to judge this σ; repeat it with the same plan.
       continue;
     }
     if (server_.ExhaustedSlice()) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/core/gist.h"
+#include "src/faultsim/faultsim.h"
 #include "src/support/rng.h"
 #include "src/support/thread_pool.h"
 
@@ -72,6 +73,12 @@ struct FleetOptions {
   // Worker threads executing monitored runs (0 = hardware concurrency).
   // Results are identical for every value; only wall-clock changes.
   uint32_t jobs = 1;
+  // Deterministic fault injection over monitored runs (DESIGN.md §8). Each
+  // monitored run's FaultPlan derives from (faults, fleet_seed, run_index),
+  // so an injected fleet stays bit-identical at every `jobs`. Disabled (the
+  // default), the fleet behaves byte-for-byte as if this field didn't exist.
+  // Phase 1 — production before the first failure — is never faulted.
+  FaultOptions faults;
 };
 
 struct FleetIterationStats {
@@ -81,6 +88,14 @@ struct FleetIterationStats {
   uint32_t successful_runs = 0;
   double avg_overhead_percent = 0.0;
   bool root_cause_found = false;
+  // Degradation accounting (all zero while faults are disabled).
+  uint32_t lost_runs = 0;         // killed / dropped / timed out; never arrived
+  uint32_t quarantined_runs = 0;  // arrived but failed PT validation
+  uint32_t retries = 0;           // lost runs re-requested within the budget
+  // False when so many runs were lost or quarantined that fewer than
+  // `FaultOptions::quorum_fraction` of the iteration's runs survived; the
+  // fleet then re-monitors at the same σ instead of advancing AsT.
+  bool quorum_met = true;
 };
 
 struct FleetResult {
@@ -98,6 +113,11 @@ struct FleetResult {
   // Mean client-side overhead across all monitored runs (§5.3).
   double avg_overhead_percent = 0.0;
   uint32_t sigma_final = 0;
+  // Degradation totals across all iterations (zero while faults are
+  // disabled).
+  uint32_t lost_runs = 0;
+  uint32_t quarantined_runs = 0;
+  uint32_t retries = 0;
 };
 
 class Fleet {

@@ -1,7 +1,10 @@
 #include "src/coop/wire.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace gist {
@@ -232,6 +235,56 @@ Result<RunTrace> DeserializeRunTrace(const std::vector<uint8_t>& bytes) {
     return Error("trailing bytes after trace");
   }
   return trace;
+}
+
+std::vector<WireMessage> SplitWireMessages(const std::vector<uint8_t>& bytes, size_t mtu_bytes) {
+  GIST_CHECK(mtu_bytes > 0);
+  const uint32_t total =
+      bytes.empty() ? 1 : static_cast<uint32_t>((bytes.size() + mtu_bytes - 1) / mtu_bytes);
+  std::vector<WireMessage> messages;
+  messages.reserve(total);
+  for (uint32_t seq = 0; seq < total; ++seq) {
+    WireMessage message;
+    message.seq = seq;
+    message.total = total;
+    const size_t begin = static_cast<size_t>(seq) * mtu_bytes;
+    const size_t end = std::min(bytes.size(), begin + mtu_bytes);
+    message.payload.assign(bytes.begin() + static_cast<long>(begin),
+                           bytes.begin() + static_cast<long>(end));
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+Result<std::vector<uint8_t>> ReassembleWireMessages(std::vector<WireMessage> messages) {
+  if (messages.empty()) {
+    return Error("no chunks arrived");
+  }
+  const uint32_t total = messages[0].total;
+  for (const WireMessage& message : messages) {
+    if (message.total != total) {
+      return Error(StrFormat("chunks disagree on total: %u vs %u", message.total, total));
+    }
+  }
+  if (messages.size() > total) {
+    return Error(StrFormat("%zu chunks arrived for a %u-chunk upload", messages.size(), total));
+  }
+  std::sort(messages.begin(), messages.end(),
+            [](const WireMessage& a, const WireMessage& b) { return a.seq < b.seq; });
+  for (uint32_t seq = 0; seq < messages.size(); ++seq) {
+    if (messages[seq].seq != seq) {
+      return Error(StrFormat("chunk %u missing from %u-chunk upload",
+                             seq < messages[seq].seq ? seq : messages[seq].seq, total));
+    }
+  }
+  if (messages.size() != total) {
+    return Error(StrFormat("only %zu of %u chunks arrived", messages.size(), total));
+  }
+  std::vector<uint8_t> bytes;
+  for (const WireMessage& message : messages) {
+    bytes.insert(bytes.end(), message.payload.begin(), message.payload.end());
+  }
+  return bytes;
 }
 
 }  // namespace gist

@@ -28,6 +28,27 @@ std::vector<uint8_t> SerializeRunTrace(const RunTrace& trace);
 // version mismatch, truncation, or length-field corruption.
 Result<RunTrace> DeserializeRunTrace(const std::vector<uint8_t>& bytes);
 
+// --- transport chunking -----------------------------------------------------
+// A serialized trace travels as MTU-sized chunks, each carrying its sequence
+// number and the chunk total, so the server can reassemble uploads that
+// arrive reordered and detect uploads that arrive incomplete (DESIGN.md §8).
+
+struct WireMessage {
+  uint32_t seq = 0;    // position of this chunk in the original buffer
+  uint32_t total = 0;  // chunk count of the whole upload
+  std::vector<uint8_t> payload;
+};
+
+// Splits `bytes` into ceil(size / mtu_bytes) chunks. `mtu_bytes` must be
+// nonzero. An empty buffer yields one empty chunk so "upload happened" stays
+// distinguishable from "nothing arrived".
+std::vector<WireMessage> SplitWireMessages(const std::vector<uint8_t>& bytes, size_t mtu_bytes);
+
+// Restores the original buffer from chunks arriving in any order. Errors on
+// an empty set, disagreeing totals, duplicate sequence numbers, or a missing
+// chunk — the caller treats the upload as lost, never as silently short.
+Result<std::vector<uint8_t>> ReassembleWireMessages(std::vector<WireMessage> messages);
+
 }  // namespace gist
 
 #endif  // GIST_SRC_COOP_WIRE_H_

@@ -18,9 +18,11 @@ ClientRuntime::ClientRuntime(const Module& module, const InstrumentationPlan& pl
 }
 
 ClientRuntime::ClientRuntime(const Module& module, const PlanSnapshot& snapshot,
-                             uint64_t client_index, uint32_t num_cores, size_t pt_buffer_bytes)
+                             uint64_t client_index, uint32_t num_cores, size_t pt_buffer_bytes,
+                             uint32_t watchpoint_slots)
     : ClientRuntime(module, snapshot.ForClient(client_index), num_cores, pt_buffer_bytes,
-                    snapshot.watchpoint_slots()) {}
+                    watchpoint_slots == kSnapshotSlots ? snapshot.watchpoint_slots()
+                                                       : watchpoint_slots) {}
 
 void ClientRuntime::OnContextSwitch(CoreId core, ThreadId prev, ThreadId next,
                                     FunctionId next_function, BlockId next_block,

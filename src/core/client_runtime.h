@@ -26,12 +26,18 @@ class ClientRuntime : public ExecutionObserver, public InstrumentationHook {
                 size_t pt_buffer_bytes = kDefaultPtBufferBytes,
                 uint32_t watchpoint_slots = kNumWatchpointSlots);
 
+  // "Use the snapshot's watchpoint budget" sentinel for the ctor below.
+  static constexpr uint32_t kSnapshotSlots = UINT32_MAX;
+
   // Frozen-snapshot flavor: runs client `client_index`'s rotation of the
   // snapshot's plan. The runtime only ever reads the snapshot, so many
   // runtimes (one per concurrent run) may share one. The snapshot must
-  // outlive the runtime.
+  // outlive the runtime. `watchpoint_slots` overrides the snapshot's debug-
+  // register budget — fault injection uses it to model slot contention
+  // (another tool already owns some or all of DR0–DR3 on this client).
   ClientRuntime(const Module& module, const PlanSnapshot& snapshot, uint64_t client_index,
-                uint32_t num_cores, size_t pt_buffer_bytes = kDefaultPtBufferBytes);
+                uint32_t num_cores, size_t pt_buffer_bytes = kDefaultPtBufferBytes,
+                uint32_t watchpoint_slots = kSnapshotSlots);
 
   // Collects the run's traces; call after the VM run completes. `run_id`
   // tags the trace; the run result supplies the outcome.

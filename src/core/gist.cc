@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/pt/decoder.h"
+
 namespace gist {
 
 GistServer::GistServer(const Module& module, GistOptions options)
@@ -33,12 +35,25 @@ void GistServer::Replan() {
   ++plan_version_;
 }
 
-void GistServer::AddTrace(RunTrace trace) {
+GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   GIST_CHECK(has_target_);
-  if (trace.failed) {
-    if (trace.failure.MatchHash() != target_hash_) {
-      return;  // a different bug; not our target
+  if (trace.failed && trace.failure.MatchHash() != target_hash_) {
+    return TraceIngest::kRejectedForeign;  // a different bug; not our target
+  }
+
+  // Validate every PT stream before the trace influences anything. Uploads
+  // are production data that crossed a wire — a stream the hardened decoder
+  // rejects quarantines the whole trace (DESIGN.md §8).
+  for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
+    PtDecodeResult decode =
+        DecodePt(module_, static_cast<CoreId>(core), trace.pt_buffers[core]);
+    if (!decode.ok()) {
+      ++quarantined_traces_;
+      return TraceIngest::kQuarantined;
     }
+  }
+
+  if (trace.failed) {
     ++failure_recurrences_;
   }
 
@@ -57,6 +72,7 @@ void GistServer::AddTrace(RunTrace trace) {
   if (grew) {
     Replan();
   }
+  return TraceIngest::kAccepted;
 }
 
 Result<FailureSketch> GistServer::BuildSketch() const {
@@ -65,6 +81,7 @@ Result<FailureSketch> GistServer::BuildSketch() const {
   sketch_options.beta = options_.beta;
   sketch_options.title = options_.title;
   sketch_options.discovered = &discovered_;
+  sketch_options.quarantined = quarantined_traces_;
   return BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
 }
 
@@ -92,12 +109,14 @@ MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
 
 MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
                           uint64_t client_index, const Workload& workload,
-                          const GistOptions& options, uint64_t run_id, uint64_t max_steps) {
+                          const GistOptions& options, uint64_t run_id, uint64_t max_steps,
+                          const RunDegradation& degradation) {
   ClientRuntime runtime(module, snapshot, client_index, options.num_cores,
-                        options.pt_buffer_bytes);
+                        options.pt_buffer_bytes, degradation.watchpoint_slots);
   VmOptions vm_options;
   vm_options.num_cores = options.num_cores;
   vm_options.max_steps = max_steps;
+  vm_options.kill_after_steps = degradation.kill_after_steps;
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
   vm_options.decoded = snapshot.decoded().get();  // shared fleet-wide cache

@@ -94,14 +94,27 @@ class GistServer {
     return ast_->ExhaustedSlice();
   }
 
+  // How AddTrace disposed of an upload.
+  enum class TraceIngest : uint8_t {
+    kAccepted,         // stored; feeds statistics and the sketch
+    kRejectedForeign,  // a different bug than the target; ignored
+    kQuarantined,      // arrived but failed validation; counted, never stored
+  };
+
   // Accepts a run trace. Failing traces are kept only when their failure
   // matches the target (program counter + stack-trace hash, §3 footnote 1);
   // successful traces of instrumented runs are always kept.
   //
+  // Validation (DESIGN.md §8): the server decodes every PT stream before
+  // admitting a trace. Uploads with undecodable streams — truncated or
+  // bit-corrupted in production or in transit — are quarantined: they never
+  // reach the statistics, the sketch, or the recurrence count, so one rotten
+  // trace cannot poison an iteration's diagnosis.
+  //
   // Refinement (§3.2.3): statements the watchpoints caught that the static
   // slice missed are *added to the slice* — subsequent plans track them with
   // PT and watchpoints of their own.
-  void AddTrace(RunTrace trace);
+  TraceIngest AddTrace(RunTrace trace);
 
   // Statements added to the slice by data-flow refinement so far.
   const std::vector<InstrId>& discovered_instrs() const { return discovered_; }
@@ -109,6 +122,8 @@ class GistServer {
   uint32_t failure_recurrences() const { return failure_recurrences_; }
   size_t trace_count() const { return traces_.size(); }
   const std::vector<RunTrace>& traces() const { return traces_; }
+  // Uploads quarantined by PT validation since the target was reported.
+  uint64_t quarantined_traces() const { return quarantined_traces_; }
 
   Result<FailureSketch> BuildSketch() const;
 
@@ -134,6 +149,7 @@ class GistServer {
   std::vector<RunTrace> traces_;
   std::vector<InstrId> discovered_;
   uint32_t failure_recurrences_ = 0;
+  uint64_t quarantined_traces_ = 0;
 };
 
 // One monitored production run: executes `workload` under the plan's
@@ -147,13 +163,26 @@ MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           const Workload& workload, const GistOptions& options = {},
                           uint64_t run_id = 0, uint64_t max_steps = 2'000'000);
 
+// Client-side degradation injected into one monitored run (DESIGN.md §8).
+// The default is a healthy client; the fault-injection layer fills this from
+// a FaultPlan.
+struct RunDegradation {
+  // Nonzero: the client dies at this retired-instruction count (VmOptions::
+  // kill_after_steps); the run result has killed == true and nothing ships.
+  uint64_t kill_after_steps = 0;
+  // != kSnapshotSlots: debug-register contention grants the run only this
+  // many watchpoint slots (possibly zero) instead of the snapshot's budget.
+  uint32_t watchpoint_slots = ClientRuntime::kSnapshotSlots;
+};
+
 // Snapshot flavor: the run executes client `client_index`'s rotation of the
 // frozen plan. Touches no server state, so calls may run concurrently (one
 // per thread) as long as the snapshot outlives them.
 MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
                           uint64_t client_index, const Workload& workload,
                           const GistOptions& options = {}, uint64_t run_id = 0,
-                          uint64_t max_steps = 2'000'000);
+                          uint64_t max_steps = 2'000'000,
+                          const RunDegradation& degradation = {});
 
 }  // namespace gist
 

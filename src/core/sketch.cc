@@ -66,15 +66,23 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   const RunTrace* reference = nullptr;
   size_t reference_coverage = 0;
   std::vector<DecodedCoreTrace> reference_decoded;
+  uint64_t quarantined = options.quarantined;
   for (const RunTrace& trace : traces) {
     std::vector<DecodedCoreTrace> decoded;
+    bool decodable = true;
     for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
-      Result<DecodedCoreTrace> one =
-          DecodePtStream(module, static_cast<CoreId>(core), trace.pt_buffers[core]);
+      PtDecodeResult one = DecodePt(module, static_cast<CoreId>(core), trace.pt_buffers[core]);
       if (!one.ok()) {
-        return Error("PT decode failed: " + one.error().message());
+        // Corrupt upload that bypassed server ingestion: quarantine it here
+        // rather than abandoning the sketch (DESIGN.md §8).
+        decodable = false;
+        break;
       }
-      decoded.push_back(std::move(*one));
+      decoded.push_back(std::move(one.trace));
+    }
+    if (!decodable) {
+      ++quarantined;
+      continue;
     }
     stats.RecordRun(ExtractPredictors(decoded, trace.watch_events), trace.failed);
     if (trace.failed) {
@@ -227,6 +235,7 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   sketch.success_order = stats.BestSuccessOrderPair();
   sketch.failing_runs_used = stats.failing_runs();
   sketch.successful_runs_used = stats.successful_runs();
+  sketch.quarantined_traces = quarantined;
 
   std::set<InstrId> highlighted;
   auto mark = [&](const std::optional<ScoredPredictor>& scored) {

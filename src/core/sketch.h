@@ -63,6 +63,11 @@ struct FailureSketch {
 
   uint32_t failing_runs_used = 0;
   uint32_t successful_runs_used = 0;
+  // Traces excluded from this sketch because their PT streams would not
+  // decode (server-side quarantine plus any undecodable trace handed
+  // directly to BuildFailureSketch). Purely informational: the sketch is
+  // built over the surviving runs (DESIGN.md §8).
+  uint64_t quarantined_traces = 0;
 
   bool Contains(InstrId id) const;
   std::vector<InstrId> InstrSet() const;
@@ -78,12 +83,17 @@ struct SketchOptions {
   // (GistServer::discovered_instrs); the sketch marks them '+' even after
   // they entered the tracked window.
   const std::vector<InstrId>* discovered = nullptr;
+  // Uploads the server already quarantined before `traces`; carried into
+  // FailureSketch::quarantined_traces so the sketch reports the full count.
+  uint64_t quarantined = 0;
 };
 
 // Builds a sketch from the monitored runs. `window` is the slice portion AsT
 // currently tracks; `traces` are all collected run traces (at least one
-// failing). Returns an error if no failing trace is present or PT decoding
-// fails.
+// failing). A trace whose PT streams fail to decode is skipped — counted in
+// FailureSketch::quarantined_traces, never fatal — so one corrupt upload
+// cannot block diagnosis. Returns an error only when no failing trace
+// survives.
 Result<FailureSketch> BuildFailureSketch(const Module& module,
                                          const std::vector<InstrId>& window,
                                          const std::vector<RunTrace>& traces,

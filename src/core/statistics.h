@@ -39,8 +39,17 @@ class PredictorStats {
   // Records one run's deduplicated predictor set and outcome.
   void RecordRun(const std::vector<Predictor>& predictors, bool failed);
 
+  // Records runs that produced no predictor set at all — killed clients,
+  // dropped or timed-out uploads, quarantined traces (DESIGN.md §8). Lost
+  // runs deliberately do NOT enter the P/R denominators: precision and
+  // recall are already defined over the runs actually observed, so the
+  // ranking self-renormalizes over the surviving run set. The counter exists
+  // so callers can report attrition and enforce a survivor quorum.
+  void RecordLostRuns(uint64_t count) { lost_runs_ += count; }
+
   uint32_t failing_runs() const { return failing_runs_; }
   uint32_t successful_runs() const { return successful_runs_; }
+  uint64_t lost_runs() const { return lost_runs_; }
 
   // All predictors scored and sorted by decreasing F-measure (ties broken
   // deterministically by predictor key).
@@ -73,6 +82,7 @@ class PredictorStats {
   double beta_;
   uint32_t failing_runs_ = 0;
   uint32_t successful_runs_ = 0;
+  uint64_t lost_runs_ = 0;
   std::map<Predictor, Counts> counts_;
 };
 

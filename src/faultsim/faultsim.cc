@@ -1,0 +1,145 @@
+#include "src/faultsim/faultsim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/rng.h"
+
+namespace gist {
+
+namespace {
+
+// Salt separating the fault stream from the workload / pacing / scheduler
+// streams derived from the same fleet seed ("fault" | "sim" in ASCII). With
+// it, enabling fault injection at rate zero draws from a stream nobody else
+// reads — the fleet's results stay byte-identical to faults-off.
+constexpr uint64_t kFaultSalt = 0x6661756c'7473696dULL;
+
+}  // namespace
+
+FaultPlan FaultPlan::ForRun(const FaultOptions& options, uint64_t fleet_seed, uint64_t run_index) {
+  FaultPlan plan;
+  if (!options.enabled) {
+    return plan;
+  }
+  Rng rng(DeriveSeed(fleet_seed ^ kFaultSalt, run_index));
+
+  // Draw every decision unconditionally, in a fixed order, so a plan's shape
+  // depends only on the rates — not on which earlier faults happened to fire.
+  const bool kill = rng.NextChance(options.kill_permille, 1000);
+  const uint64_t kill_lo = std::min(options.min_kill_steps, options.max_kill_steps);
+  const uint64_t kill_hi = std::max(options.min_kill_steps, options.max_kill_steps);
+  const uint64_t kill_steps = kill_lo + rng.NextBelow(kill_hi - kill_lo + 1);
+
+  const bool truncate = rng.NextChance(options.truncate_pt_permille, 1000);
+  const uint32_t keep_permille = static_cast<uint32_t>(rng.NextBelow(1000));
+
+  const bool corrupt = rng.NextChance(options.corrupt_pt_permille, 1000);
+  const uint32_t bit_flips = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+
+  const bool drop = rng.NextChance(options.drop_wire_permille, 1000);
+  const bool reorder = rng.NextChance(options.reorder_wire_permille, 1000);
+
+  const bool exhaust = rng.NextChance(options.exhaust_watchpoints_permille, 1000);
+  // Contention leaves 0–3 of the 4 debug registers to this run.
+  const uint32_t granted = static_cast<uint32_t>(rng.NextBelow(4));
+
+  const bool delay = rng.NextChance(options.delay_result_permille, 1000);
+  const double delay_seconds = (1.0 - rng.NextDouble()) * options.max_result_delay_seconds;
+
+  const uint64_t payload_seed = rng.NextU64();
+
+  plan.kill_run = kill;
+  if (kill) {
+    plan.kill_after_steps = kill_steps;
+  }
+  plan.truncate_pt = truncate;
+  if (truncate) {
+    plan.truncate_keep_permille = keep_permille;
+  }
+  plan.corrupt_pt = corrupt;
+  if (corrupt) {
+    plan.corrupt_bit_flips = bit_flips;
+  }
+  plan.drop_wire = drop;
+  plan.reorder_wire = reorder;
+  plan.exhaust_watchpoints = exhaust;
+  if (exhaust) {
+    plan.granted_watchpoint_slots = granted;
+  }
+  plan.delay_result = delay;
+  if (delay) {
+    plan.result_delay_seconds = delay_seconds;
+  }
+  plan.payload_seed = payload_seed;
+  return plan;
+}
+
+void ApplyPtFaults(const FaultPlan& plan, std::vector<std::vector<uint8_t>>* pt_buffers) {
+  if (pt_buffers == nullptr || pt_buffers->empty()) {
+    return;
+  }
+  if (!plan.truncate_pt && !plan.corrupt_pt) {
+    return;
+  }
+  Rng rng(DeriveSeed(plan.payload_seed, 0));
+
+  if (plan.truncate_pt) {
+    // Cut one non-empty per-core stream down to a prefix — the shape a
+    // mid-run crash or a wrapped ring buffer leaves behind.
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < pt_buffers->size(); ++i) {
+      if (!(*pt_buffers)[i].empty()) {
+        candidates.push_back(i);
+      }
+    }
+    if (!candidates.empty()) {
+      std::vector<uint8_t>& buffer =
+          (*pt_buffers)[candidates[rng.NextBelow(candidates.size())]];
+      const size_t keep = (buffer.size() * plan.truncate_keep_permille) / 1000;
+      buffer.resize(keep);
+    }
+  }
+
+  if (plan.corrupt_pt) {
+    // Flip bits at uniform positions across one non-empty stream — damaged
+    // transport or storage. The server must quarantine, never crash.
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < pt_buffers->size(); ++i) {
+      if (!(*pt_buffers)[i].empty()) {
+        candidates.push_back(i);
+      }
+    }
+    if (!candidates.empty()) {
+      std::vector<uint8_t>& buffer =
+          (*pt_buffers)[candidates[rng.NextBelow(candidates.size())]];
+      for (uint32_t flip = 0; flip < plan.corrupt_bit_flips; ++flip) {
+        const uint64_t bit = rng.NextBelow(buffer.size() * 8);
+        buffer[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> DeliveredChunkOrder(const FaultPlan& plan, uint32_t chunk_count) {
+  std::vector<uint32_t> order(chunk_count);
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    order[i] = i;
+  }
+  if (chunk_count == 0 || (!plan.drop_wire && !plan.reorder_wire)) {
+    return order;
+  }
+  Rng rng(DeriveSeed(plan.payload_seed, 1));
+  if (plan.drop_wire) {
+    order.erase(order.begin() + static_cast<ptrdiff_t>(rng.NextBelow(order.size())));
+  }
+  if (plan.reorder_wire && order.size() > 1) {
+    // Fisher–Yates over the surviving chunks.
+    for (size_t i = order.size() - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBelow(i + 1)]);
+    }
+  }
+  return order;
+}
+
+}  // namespace gist

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the fleet pipeline (DESIGN.md §8).
+//
+// Gist diagnoses failures *in production*, where the diagnosis substrate
+// itself is lossy (paper §2, §5): clients crash mid-run, PT buffers wrap or
+// arrive truncated, debug registers are contended, uploads are dropped or
+// reordered in transit, and results trickle in past any reasonable timeout.
+// This library makes that lossiness a first-class, reproducible input: a
+// FaultPlan is a pure function of (options, fleet_seed, run_index) — derived
+// through the same DeriveSeed stream-splitting discipline as workloads and
+// pacing — so a chaos fleet is bit-identical at every `--jobs`, and any
+// degradation bug it finds replays from a seed.
+//
+// The fault taxonomy, one injection point each:
+//   kill            client dies at an exact burst boundary (VmOptions::
+//                   kill_after_steps); nothing is shipped — the run is lost
+//   truncate PT     a per-core packet buffer keeps only a prefix (wrap/crash)
+//   corrupt PT      bit flips inside a per-core packet buffer (damaged DMA,
+//                   bad storage); the stream still ships, the server's
+//                   hardened decoder quarantines it
+//   drop wire       one WireMessage chunk of the upload never arrives; the
+//                   reassembler detects the gap and the upload is lost
+//   reorder wire    chunks arrive permuted; sequence numbers let the
+//                   reassembler restore order — tolerated, not an error
+//   exhaust slots   the run gets fewer (possibly zero) debug registers than
+//                   the plan assumed — watchpoint contention
+//   delay result    the upload arrives late; past the server's timeout the
+//                   run counts as lost and is retried with backoff
+//
+// Scope: faults model the *diagnosis* substrate, so they apply to monitored
+// runs (fleet phase 2) only. Phase 1 — waiting for the first failure in
+// unmonitored production — stays pristine; what failure seeds the server is
+// part of the experiment's identity, not of its degradation.
+
+#ifndef GIST_SRC_FAULTSIM_FAULTSIM_H_
+#define GIST_SRC_FAULTSIM_FAULTSIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gist {
+
+// Fault rates and server-side degradation policy. All probabilities are
+// per-run, in permille (0 = never, 1000 = always), so options stay integral
+// and the derivation consumes a fixed amount of randomness.
+struct FaultOptions {
+  bool enabled = false;
+
+  uint32_t kill_permille = 0;
+  uint32_t truncate_pt_permille = 0;
+  uint32_t corrupt_pt_permille = 0;
+  uint32_t drop_wire_permille = 0;
+  uint32_t reorder_wire_permille = 0;
+  uint32_t exhaust_watchpoints_permille = 0;
+  uint32_t delay_result_permille = 0;
+
+  // Injected client death lands in [min_kill_steps, max_kill_steps].
+  uint64_t min_kill_steps = 1'000;
+  uint64_t max_kill_steps = 200'000;
+  // Delayed results are spread over (0, max_result_delay_seconds]; anything
+  // above result_timeout_seconds is lost (the server stops waiting).
+  double max_result_delay_seconds = 30.0;
+  double result_timeout_seconds = 10.0;
+
+  // Server-side degradation policy.
+  // Lost runs (kill / drop / timeout) are retried — each retry charges an
+  // exponential backoff to the simulated clock — up to this many per AsT
+  // iteration; beyond the budget, lost runs are abandoned silently.
+  uint32_t retry_budget_per_iteration = 32;
+  double retry_backoff_seconds = 1.0;
+  // Minimum fraction of an iteration's consumed runs that must survive to
+  // the server (arrive and pass validation) before AsT may grow the window.
+  // Below quorum the server re-monitors at the same σ instead — advancing on
+  // a hollowed-out run set would base the bigger window on noise.
+  double quorum_fraction = 0.5;
+
+  // Wire chunking granularity for drop/reorder simulation (bytes).
+  size_t wire_mtu_bytes = 4096;
+};
+
+// The concrete faults striking one monitored run. Derived, never constructed
+// by hand outside tests.
+struct FaultPlan {
+  bool kill_run = false;
+  uint64_t kill_after_steps = 0;  // valid when kill_run
+
+  bool truncate_pt = false;
+  // Keep this fraction (in permille) of the truncated buffer's bytes.
+  uint32_t truncate_keep_permille = 1000;
+
+  bool corrupt_pt = false;
+  uint32_t corrupt_bit_flips = 0;  // valid when corrupt_pt
+
+  bool drop_wire = false;
+  bool reorder_wire = false;
+
+  bool exhaust_watchpoints = false;
+  uint32_t granted_watchpoint_slots = 0;  // valid when exhaust_watchpoints
+
+  bool delay_result = false;
+  double result_delay_seconds = 0.0;  // valid when delay_result
+
+  // Private stream for payload decisions (which buffer, which bits, which
+  // chunk) so applying a fault consumes no randomness from any other stream.
+  uint64_t payload_seed = 0;
+
+  // Any fault at all?
+  bool any() const {
+    return kill_run || truncate_pt || corrupt_pt || drop_wire || reorder_wire ||
+           exhaust_watchpoints || delay_result;
+  }
+
+  // Derives run `run_index`'s plan under `fleet_seed`. Pure: depends only on
+  // the arguments, never on how many sibling plans were derived before it —
+  // the same contract DeriveSeed gives workloads, so fault plans cannot leak
+  // worker count or batch size into results. Disabled options derive the
+  // empty plan.
+  static FaultPlan ForRun(const FaultOptions& options, uint64_t fleet_seed, uint64_t run_index);
+};
+
+// Applies the plan's PT faults (truncate, corrupt) to per-core packet
+// buffers, in place. Deterministic: all choices come from payload_seed.
+void ApplyPtFaults(const FaultPlan& plan, std::vector<std::vector<uint8_t>>* pt_buffers);
+
+// Simulates transport of `chunk_count` wire chunks under the plan: returns
+// the indices of the chunks that arrive, in arrival order. A drop removes
+// exactly one chunk (detected by the reassembler as a gap); a reorder
+// permutes arrival (repaired by sequence numbers). No faults: identity.
+std::vector<uint32_t> DeliveredChunkOrder(const FaultPlan& plan, uint32_t chunk_count);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_FAULTSIM_FAULTSIM_H_

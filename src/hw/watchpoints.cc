@@ -4,6 +4,7 @@ namespace gist {
 
 bool WatchpointUnit::Arm(Addr addr, WatchTrigger trigger) {
   if (addr == kNullAddr) {
+    ++denied_arms_;
     return false;
   }
   for (Slot& slot : slots_) {
@@ -24,7 +25,8 @@ bool WatchpointUnit::Arm(Addr addr, WatchTrigger trigger) {
       return true;
     }
   }
-  return false;  // all four debug registers busy
+  ++denied_arms_;
+  return false;  // every debug register busy (or none granted this run)
 }
 
 void WatchpointUnit::Disarm(Addr addr) {

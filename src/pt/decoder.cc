@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "src/support/str.h"
+
 namespace gist {
 namespace {
 
@@ -27,58 +29,81 @@ class Decoder {
   Decoder(const Module& module, CoreId core, const std::vector<uint8_t>& bytes)
       : module_(module), bytes_(bytes) {
     trace_.core = core;
+    // Walk budget for one packet application: an eager walk only moves
+    // through unconditional transfers (jmp/call), so on a well-formed stream
+    // it can enter each block of the module at most once before it must stop
+    // at a br/ret and wait for the next packet. A corrupt IP payload can
+    // aim the walker into a jmp/call cycle, which would otherwise spin
+    // forever without consuming a single byte.
+    for (FunctionId f = 0; f < module.num_functions(); ++f) {
+      walk_budget_ += module.function(f).num_blocks();
+    }
+    walk_budget_ += 1;
   }
 
-  Result<DecodedCoreTrace> Run() {
+  PtDecodeResult Run() {
+    PtDecodeResult result;
     size_t offset = 0;
     while (offset < bytes_.size()) {
+      const size_t packet_offset = offset;
       Result<PtPacket> packet = ReadPtPacket(bytes_, &offset);
       if (!packet.ok()) {
-        return packet.error();
+        result.trace = std::move(trace_);
+        result.error = PtDecodeError{PtDecodeFault::kMalformedPacket, packet_offset,
+                                     packet.error().message()};
+        return result;
       }
-      Status status = Apply(*packet);
-      if (!status.ok()) {
-        return status.error();
+      std::optional<PtDecodeError> error = Apply(*packet, packet_offset);
+      if (error.has_value()) {
+        result.trace = std::move(trace_);
+        result.error = std::move(error);
+        return result;
       }
       if (trace_.overflow) {
         break;  // packets after OVF were dropped by the encoder
       }
     }
-    return std::move(trace_);
+    result.trace = std::move(trace_);
+    return result;
   }
 
  private:
+  std::optional<PtDecodeError> Fail(PtDecodeFault fault, size_t offset,
+                                    std::string message) const {
+    return PtDecodeError{fault, offset, std::move(message)};
+  }
+
   // Trace payloads come from outside the trust boundary (a client upload);
   // every IP must be validated against the module before the walker uses it.
-  Status ValidateIp(const PtIp& ip) const {
+  std::optional<PtDecodeError> ValidateIp(const PtIp& ip, size_t offset) const {
     if (ip.function >= module_.num_functions()) {
-      return Error("IP payload names a nonexistent function");
+      return Fail(PtDecodeFault::kBadIp, offset, "IP payload names a nonexistent function");
     }
     const Function& function = module_.function(ip.function);
     if (ip.block >= function.num_blocks()) {
-      return Error("IP payload names a nonexistent block");
+      return Fail(PtDecodeFault::kBadIp, offset, "IP payload names a nonexistent block");
     }
     if (ip.index >= function.block(ip.block).size()) {
-      return Error("IP payload indexes past the block");
+      return Fail(PtDecodeFault::kBadIp, offset, "IP payload indexes past the block");
     }
-    return Status::Ok();
+    return std::nullopt;
   }
 
-  Status Apply(const PtPacket& packet) {
+  std::optional<PtDecodeError> Apply(const PtPacket& packet, size_t offset) {
     switch (packet.kind) {
       case PtPacketKind::kPad:
       case PtPacketKind::kPsb:
-        return Status::Ok();
+        return std::nullopt;
       case PtPacketKind::kOvf:
         trace_.overflow = true;
-        return Status::Ok();
+        return std::nullopt;
       case PtPacketKind::kPip:
         current_tid_ = packet.tid;
-        return Status::Ok();
+        return std::nullopt;
       case PtPacketKind::kPge: {
-        Status valid = ValidateIp(packet.ip);
-        if (!valid.ok()) {
-          return valid;
+        std::optional<PtDecodeError> invalid = ValidateIp(packet.ip, offset);
+        if (invalid.has_value()) {
+          return invalid;
         }
         // Tracing (re)starts: discard stale walkers, they are from before a
         // gap of unknown length.
@@ -86,13 +111,12 @@ class Decoder {
         Walker& walker = walkers_[current_tid_];
         walker.tid = current_tid_;
         walker.active = true;
-        StartWalk(walker, packet.ip);
-        return Status::Ok();
+        return StartWalk(walker, packet.ip, offset);
       }
       case PtPacketKind::kFup: {
-        Status valid = ValidateIp(packet.ip);
-        if (!valid.ok()) {
-          return valid;
+        std::optional<PtDecodeError> invalid = ValidateIp(packet.ip, offset);
+        if (invalid.has_value()) {
+          return invalid;
         }
         // Resync for the incoming thread after a context switch. Only needed
         // when the thread has no walker yet; an existing walker already knows
@@ -102,9 +126,9 @@ class Decoder {
           Walker& walker = walkers_[current_tid_];
           walker.tid = current_tid_;
           walker.active = true;
-          StartWalk(walker, packet.ip);
+          return StartWalk(walker, packet.ip, offset);
         }
-        return Status::Ok();
+        return std::nullopt;
       }
       case PtPacketKind::kPgd: {
         auto it = walkers_.find(current_tid_);
@@ -112,62 +136,70 @@ class Decoder {
           TruncateAfter(it->second, packet.ip);
           it->second.active = false;
         }
-        return Status::Ok();
+        return std::nullopt;
       }
       case PtPacketKind::kTnt: {
         for (uint8_t i = 0; i < packet.tnt_count; ++i) {
           const bool taken = (packet.tnt_bits >> i) & 1;
-          Status status = ApplyTntBit(taken);
-          if (!status.ok()) {
-            return status;
+          std::optional<PtDecodeError> error = ApplyTntBit(taken, offset);
+          if (error.has_value()) {
+            return error;
           }
         }
-        return Status::Ok();
+        return std::nullopt;
       }
       case PtPacketKind::kTip: {
         auto it = walkers_.find(current_tid_);
         if (it == walkers_.end() || it->second.wait != Walker::Wait::kTip) {
-          return Error("TIP packet without a return-waiting walker");
+          return Fail(PtDecodeFault::kProtocol, offset,
+                      "TIP packet without a return-waiting walker");
         }
         Walker& walker = it->second;
         if (IsPtEndIp(packet.ip)) {
           walker.active = false;
           walker.wait = Walker::Wait::kNone;
-          return Status::Ok();
+          return std::nullopt;
         }
-        Status valid = ValidateIp(packet.ip);
-        if (!valid.ok()) {
-          return valid;
+        std::optional<PtDecodeError> invalid = ValidateIp(packet.ip, offset);
+        if (invalid.has_value()) {
+          return invalid;
         }
         walker.wait = Walker::Wait::kNone;
-        StartWalk(walker, packet.ip);
-        return Status::Ok();
+        return StartWalk(walker, packet.ip, offset);
       }
     }
-    return Error("unhandled packet kind");
+    return Fail(PtDecodeFault::kMalformedPacket, offset, "unhandled packet kind");
   }
 
-  Status ApplyTntBit(bool taken) {
+  std::optional<PtDecodeError> ApplyTntBit(bool taken, size_t offset) {
     auto it = walkers_.find(current_tid_);
     if (it == walkers_.end() || it->second.wait != Walker::Wait::kTnt) {
-      return Error("TNT bit without a branch-waiting walker");
+      return Fail(PtDecodeFault::kProtocol, offset, "TNT bit without a branch-waiting walker");
     }
     Walker& walker = it->second;
     const Instruction& branch = module_.function(walker.function)
                                     .block(walker.block)
                                     .instructions()[walker.index];
-    GIST_CHECK_EQ(static_cast<int>(branch.op), static_cast<int>(Opcode::kBr));
+    if (branch.op != Opcode::kBr) {
+      // Unreachable via the walker's own transitions (it only waits on TNT at
+      // a br), kept as a structured error so no corrupt stream can abort.
+      return Fail(PtDecodeFault::kProtocol, offset, "TNT bit at a non-branch statement");
+    }
     trace_.branches.push_back(PtBranch{walker.tid, branch.id, taken});
     walker.wait = Walker::Wait::kNone;
-    StartWalk(walker,
-              PtIp{walker.function, taken ? branch.target0 : branch.target1, 0});
-    return Status::Ok();
+    return StartWalk(walker,
+                     PtIp{walker.function, taken ? branch.target0 : branch.target1, 0}, offset);
   }
 
   // Opens a visit at `ip` and walks forward until the next packet is needed
   // (a conditional branch or a return), following direct jumps and calls.
-  void StartWalk(Walker& walker, PtIp ip) {
+  std::optional<PtDecodeError> StartWalk(Walker& walker, PtIp ip, size_t offset) {
+    uint64_t budget = walk_budget_;
     for (;;) {
+      if (budget-- == 0) {
+        return Fail(PtDecodeFault::kRunawayWalk, offset,
+                    "walk entered more blocks than the module has (unconditional cycle)");
+      }
       walker.function = ip.function;
       walker.block = ip.block;
       walker.index = ip.index;
@@ -187,14 +219,14 @@ class Decoder {
           PushVisit(walker, visit);
           walker.index = i;
           walker.wait = Walker::Wait::kTnt;
-          return;
+          return std::nullopt;
         }
         if (instr.op == Opcode::kRet) {
           visit.last_index = i;
           PushVisit(walker, visit);
           walker.index = i;
           walker.wait = Walker::Wait::kTip;
-          return;
+          return std::nullopt;
         }
         if (instr.op == Opcode::kJmp) {
           visit.last_index = i;
@@ -210,8 +242,9 @@ class Decoder {
         }
       }
       if (i >= instrs.size()) {
-        // Block ended without a terminator: impossible on verified modules.
-        GIST_UNREACHABLE("walk fell off a block");
+        // Verified modules always terminate blocks; a walk can only fall off
+        // the end when a corrupt IP aimed it into an unverified position.
+        return Fail(PtDecodeFault::kProtocol, offset, "walk fell off a block");
       }
     }
   }
@@ -249,13 +282,40 @@ class Decoder {
   DecodedCoreTrace trace_;
   ThreadId current_tid_ = kNoThread;
   std::map<ThreadId, Walker> walkers_;
+  uint64_t walk_budget_ = 0;
 };
 
 }  // namespace
 
+const char* PtDecodeFaultName(PtDecodeFault fault) {
+  switch (fault) {
+    case PtDecodeFault::kMalformedPacket:
+      return "malformed packet";
+    case PtDecodeFault::kBadIp:
+      return "bad IP payload";
+    case PtDecodeFault::kProtocol:
+      return "protocol violation";
+    case PtDecodeFault::kRunawayWalk:
+      return "runaway walk";
+  }
+  return "unknown fault";
+}
+
+std::string PtDecodeError::Format() const {
+  return StrFormat("%s at offset %zu: %s", PtDecodeFaultName(fault), offset, message.c_str());
+}
+
+PtDecodeResult DecodePt(const Module& module, CoreId core, const std::vector<uint8_t>& bytes) {
+  return Decoder(module, core, bytes).Run();
+}
+
 Result<DecodedCoreTrace> DecodePtStream(const Module& module, CoreId core,
                                         const std::vector<uint8_t>& bytes) {
-  return Decoder(module, core, bytes).Run();
+  PtDecodeResult result = DecodePt(module, core, bytes);
+  if (!result.ok()) {
+    return Error(result.error->Format());
+  }
+  return std::move(result.trace);
 }
 
 std::unordered_set<InstrId> ExecutedInstrs(const Module& module,

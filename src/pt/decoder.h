@@ -6,10 +6,18 @@
 // The output is per-core only: traces from different cores carry no relative
 // order, mirroring the Intel PT limitation the paper works around with
 // hardware watchpoints (§3.2.3, §6).
+//
+// Packet streams arrive from outside the trust boundary (client uploads that
+// may be truncated, bit-flipped, or outright hostile — DESIGN.md §8), so the
+// decoder NEVER aborts on malformed input: every failure mode surfaces as a
+// structured PtDecodeError carrying the fault class and the byte offset of
+// the offending packet, plus the prefix that decoded cleanly before it.
 
 #ifndef GIST_SRC_PT_DECODER_H_
 #define GIST_SRC_PT_DECODER_H_
 
+#include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -44,6 +52,39 @@ struct DecodedCoreTrace {
   bool overflow = false;
 };
 
+// Why a PT stream failed to decode.
+enum class PtDecodeFault : uint8_t {
+  kMalformedPacket,  // unparseable bytes: truncated payload, unknown header
+  kBadIp,            // an IP payload names a location outside the module
+  kProtocol,         // well-formed packets in an impossible order
+  kRunawayWalk,      // a walk cycled without consuming packets (corrupt IP)
+};
+
+const char* PtDecodeFaultName(PtDecodeFault fault);
+
+struct PtDecodeError {
+  PtDecodeFault fault = PtDecodeFault::kMalformedPacket;
+  size_t offset = 0;  // byte offset of the packet that triggered the fault
+  std::string message;
+
+  // "<fault> at offset <n>: <message>" — the wrapper API's error text.
+  std::string Format() const;
+};
+
+// Decode outcome: the visits/branches recovered before the first fault (the
+// salvageable prefix), plus the structured error when the stream is corrupt.
+struct PtDecodeResult {
+  DecodedCoreTrace trace;
+  std::optional<PtDecodeError> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+// Primary decoding entry point; never CHECK-fails, whatever the bytes.
+PtDecodeResult DecodePt(const Module& module, CoreId core, const std::vector<uint8_t>& bytes);
+
+// Compatibility wrapper: discards the salvaged prefix on error and folds the
+// structured error into a Result message.
 Result<DecodedCoreTrace> DecodePtStream(const Module& module, CoreId core,
                                         const std::vector<uint8_t>& bytes);
 

@@ -600,6 +600,12 @@ RunResult Vm::Run() {
                      rng_.NextBelow(workload_.max_quantum - workload_.min_quantum + 1);
 
   while (!done_) {
+    if (options_.kill_after_steps != 0 && result_.stats.steps >= options_.kill_after_steps) {
+      // Injected client death (DESIGN.md §8): stop cold at the burst
+      // boundary, with no failure report — the machine is simply gone.
+      result_.killed = true;
+      break;
+    }
     if (result_.stats.steps >= options_.max_steps) {
       ThreadState& thread = threads_[current];
       InstrId last = kNoInstr;
@@ -660,6 +666,14 @@ RunResult Vm::Run() {
     const uint64_t remaining = options_.max_steps - result_.stats.steps;
     if (burst > remaining) {
       burst = remaining;
+    }
+    if (options_.kill_after_steps != 0) {
+      // Clamp so the injected death lands on its exact instruction count,
+      // independent of quantum draws — fault plans stay bit-reproducible.
+      const uint64_t until_kill = options_.kill_after_steps - result_.stats.steps;
+      if (burst > until_kill) {
+        burst = until_kill;
+      }
     }
     const uint64_t executed = StepBurst(*thread, burst);
     result_.stats.steps += executed;

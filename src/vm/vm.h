@@ -43,6 +43,13 @@ struct VmOptions {
   // Per-thread call-depth limit; exceeding it raises kStackOverflow, the
   // analog of blowing the stack guard page.
   uint32_t max_call_depth = 10'000;
+  // Fault injection (DESIGN.md §8): when nonzero, the run dies at the burst
+  // boundary exactly this many retired instructions in — the analog of a
+  // production client crashing or being OOM-killed mid-run. A killed run is
+  // not a program failure: RunResult::killed is set, no FailureReport is
+  // raised, and whatever the client traced up to that point is simply never
+  // shipped (the fleet treats the run as lost).
+  uint64_t kill_after_steps = 0;
   std::vector<ExecutionObserver*> observers;
   // Inline instrumentation with register access (watchpoint arming).
   InstrumentationHook* hook = nullptr;
@@ -73,6 +80,9 @@ struct RunResult {
   FailureReport failure;  // type == kNone on success
   RunStats stats;
   std::vector<Word> outputs;  // values produced by `print`
+  // The run was terminated by VmOptions::kill_after_steps (client death),
+  // not by the program: neither a success nor a failure of the workload.
+  bool killed = false;
 
   bool ok() const { return !failure.IsFailure(); }
 };

@@ -1,0 +1,219 @@
+// gist_faultsim unit tests: fault plans must be pure functions of
+// (options, fleet_seed, run_index), payload application must be deterministic,
+// and the simulated transport must behave like the taxonomy says.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/faultsim/faultsim.h"
+
+namespace gist {
+namespace {
+
+bool PlansEqual(const FaultPlan& a, const FaultPlan& b) {
+  return a.kill_run == b.kill_run && a.kill_after_steps == b.kill_after_steps &&
+         a.truncate_pt == b.truncate_pt && a.truncate_keep_permille == b.truncate_keep_permille &&
+         a.corrupt_pt == b.corrupt_pt && a.corrupt_bit_flips == b.corrupt_bit_flips &&
+         a.drop_wire == b.drop_wire && a.reorder_wire == b.reorder_wire &&
+         a.exhaust_watchpoints == b.exhaust_watchpoints &&
+         a.granted_watchpoint_slots == b.granted_watchpoint_slots &&
+         a.delay_result == b.delay_result && a.result_delay_seconds == b.result_delay_seconds &&
+         a.payload_seed == b.payload_seed;
+}
+
+FaultOptions AllFaultsOptions(uint32_t permille) {
+  FaultOptions options;
+  options.enabled = true;
+  options.kill_permille = permille;
+  options.truncate_pt_permille = permille;
+  options.corrupt_pt_permille = permille;
+  options.drop_wire_permille = permille;
+  options.reorder_wire_permille = permille;
+  options.exhaust_watchpoints_permille = permille;
+  options.delay_result_permille = permille;
+  return options;
+}
+
+TEST(FaultPlanTest, DisabledOptionsDeriveTheEmptyPlan) {
+  FaultOptions options = AllFaultsOptions(1000);
+  options.enabled = false;
+  for (uint64_t run = 0; run < 64; ++run) {
+    EXPECT_FALSE(FaultPlan::ForRun(options, 7, run).any());
+  }
+}
+
+TEST(FaultPlanTest, ZeroRatesDeriveTheEmptyPlan) {
+  FaultOptions options;
+  options.enabled = true;
+  for (uint64_t run = 0; run < 64; ++run) {
+    EXPECT_FALSE(FaultPlan::ForRun(options, 7, run).any());
+  }
+}
+
+TEST(FaultPlanTest, DerivationIsPure) {
+  const FaultOptions options = AllFaultsOptions(300);
+  for (uint64_t run = 0; run < 32; ++run) {
+    const FaultPlan once = FaultPlan::ForRun(options, 99, run);
+    const FaultPlan again = FaultPlan::ForRun(options, 99, run);
+    EXPECT_TRUE(PlansEqual(once, again)) << "run " << run;
+  }
+}
+
+TEST(FaultPlanTest, RunsGetIndependentStreams) {
+  const FaultOptions options = AllFaultsOptions(500);
+  std::set<uint64_t> payload_seeds;
+  for (uint64_t run = 0; run < 64; ++run) {
+    payload_seeds.insert(FaultPlan::ForRun(options, 42, run).payload_seed);
+  }
+  // 64 distinct runs must not share payload streams.
+  EXPECT_EQ(payload_seeds.size(), 64u);
+}
+
+TEST(FaultPlanTest, CertainRatesAlwaysFireWithinBounds) {
+  FaultOptions options = AllFaultsOptions(1000);
+  options.min_kill_steps = 100;
+  options.max_kill_steps = 200;
+  for (uint64_t run = 0; run < 32; ++run) {
+    const FaultPlan plan = FaultPlan::ForRun(options, 5, run);
+    EXPECT_TRUE(plan.kill_run);
+    EXPECT_GE(plan.kill_after_steps, 100u);
+    EXPECT_LE(plan.kill_after_steps, 200u);
+    EXPECT_TRUE(plan.truncate_pt);
+    EXPECT_LT(plan.truncate_keep_permille, 1000u);
+    EXPECT_TRUE(plan.corrupt_pt);
+    EXPECT_GE(plan.corrupt_bit_flips, 1u);
+    EXPECT_TRUE(plan.exhaust_watchpoints);
+    EXPECT_LT(plan.granted_watchpoint_slots, 4u);
+    EXPECT_TRUE(plan.delay_result);
+    EXPECT_GT(plan.result_delay_seconds, 0.0);
+    EXPECT_LE(plan.result_delay_seconds, options.max_result_delay_seconds);
+  }
+}
+
+TEST(FaultPlanTest, RatesApproximatelyHonored) {
+  FaultOptions options;
+  options.enabled = true;
+  options.kill_permille = 250;
+  uint32_t fired = 0;
+  const uint64_t trials = 4000;
+  for (uint64_t run = 0; run < trials; ++run) {
+    fired += FaultPlan::ForRun(options, 11, run).kill_run ? 1 : 0;
+  }
+  const double rate = static_cast<double>(fired) / static_cast<double>(trials);
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultPlanTest, RateShapeDoesNotDependOnOtherFaults) {
+  // A plan's kill decision must be identical whether or not other fault
+  // classes are configured: decisions draw from fixed stream positions.
+  FaultOptions kill_only;
+  kill_only.enabled = true;
+  kill_only.kill_permille = 400;
+  FaultOptions kill_and_more = AllFaultsOptions(0);
+  kill_and_more.kill_permille = 400;
+  kill_and_more.drop_wire_permille = 900;
+  for (uint64_t run = 0; run < 256; ++run) {
+    EXPECT_EQ(FaultPlan::ForRun(kill_only, 3, run).kill_run,
+              FaultPlan::ForRun(kill_and_more, 3, run).kill_run)
+        << "run " << run;
+  }
+}
+
+TEST(ApplyPtFaultsTest, NoFaultsLeaveBuffersUntouched) {
+  FaultPlan plan;
+  plan.payload_seed = 123;
+  std::vector<std::vector<uint8_t>> buffers = {{1, 2, 3}, {4, 5}};
+  const auto original = buffers;
+  ApplyPtFaults(plan, &buffers);
+  EXPECT_EQ(buffers, original);
+}
+
+TEST(ApplyPtFaultsTest, TruncationShrinksExactlyOneBuffer) {
+  FaultPlan plan;
+  plan.truncate_pt = true;
+  plan.truncate_keep_permille = 500;
+  plan.payload_seed = 7;
+  std::vector<std::vector<uint8_t>> buffers = {std::vector<uint8_t>(100, 0xaa),
+                                               std::vector<uint8_t>(100, 0xbb)};
+  ApplyPtFaults(plan, &buffers);
+  const bool first_cut = buffers[0].size() < 100;
+  const bool second_cut = buffers[1].size() < 100;
+  EXPECT_NE(first_cut, second_cut);  // exactly one stream lost its tail
+  EXPECT_EQ(std::min(buffers[0].size(), buffers[1].size()), 50u);
+}
+
+TEST(ApplyPtFaultsTest, CorruptionFlipsBitsDeterministically) {
+  FaultPlan plan;
+  plan.corrupt_pt = true;
+  plan.corrupt_bit_flips = 3;
+  plan.payload_seed = 99;
+  std::vector<std::vector<uint8_t>> a = {std::vector<uint8_t>(64, 0x00)};
+  std::vector<std::vector<uint8_t>> b = {std::vector<uint8_t>(64, 0x00)};
+  ApplyPtFaults(plan, &a);
+  ApplyPtFaults(plan, &b);
+  EXPECT_EQ(a, b);              // same plan, same damage
+  EXPECT_EQ(a[0].size(), 64u);  // corruption never changes length
+  uint32_t bits = 0;
+  for (uint8_t byte : a[0]) {
+    bits += static_cast<uint32_t>(__builtin_popcount(byte));
+  }
+  EXPECT_GE(bits, 1u);
+  EXPECT_LE(bits, 3u);  // ≤ requested flips (collisions may cancel)
+}
+
+TEST(ApplyPtFaultsTest, EmptyBuffersSurvive) {
+  FaultPlan plan;
+  plan.truncate_pt = true;
+  plan.corrupt_pt = true;
+  plan.corrupt_bit_flips = 4;
+  plan.payload_seed = 1;
+  std::vector<std::vector<uint8_t>> empty_set;
+  ApplyPtFaults(plan, &empty_set);
+  std::vector<std::vector<uint8_t>> all_empty = {{}, {}};
+  ApplyPtFaults(plan, &all_empty);
+  EXPECT_TRUE(all_empty[0].empty());
+  EXPECT_TRUE(all_empty[1].empty());
+}
+
+TEST(DeliveredChunkOrderTest, HealthyTransportIsIdentity) {
+  FaultPlan plan;
+  plan.payload_seed = 17;
+  const std::vector<uint32_t> order = DeliveredChunkOrder(plan, 5);
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DeliveredChunkOrderTest, DropLosesExactlyOneChunk) {
+  FaultPlan plan;
+  plan.drop_wire = true;
+  plan.payload_seed = 23;
+  const std::vector<uint32_t> order = DeliveredChunkOrder(plan, 8);
+  EXPECT_EQ(order.size(), 7u);
+  const std::set<uint32_t> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 7u);  // no duplicates: one index is simply gone
+}
+
+TEST(DeliveredChunkOrderTest, ReorderIsAPermutation) {
+  FaultPlan plan;
+  plan.reorder_wire = true;
+  plan.payload_seed = 31;
+  std::vector<uint32_t> order = DeliveredChunkOrder(plan, 16);
+  ASSERT_EQ(order.size(), 16u);
+  std::vector<uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(DeliveredChunkOrderTest, ZeroChunksStayEmpty) {
+  FaultPlan plan;
+  plan.drop_wire = true;
+  plan.reorder_wire = true;
+  plan.payload_seed = 47;
+  EXPECT_TRUE(DeliveredChunkOrder(plan, 0).empty());
+}
+
+}  // namespace
+}  // namespace gist

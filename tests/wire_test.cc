@@ -148,6 +148,72 @@ TEST(WireTest, RandomCorruptionNeverCrashes) {
   SUCCEED();
 }
 
+TEST(WireChunkTest, SplitCoversEveryByteInOrder) {
+  const std::vector<uint8_t> bytes = SerializeRunTrace(RealTrace());
+  const std::vector<WireMessage> chunks = SplitWireMessages(bytes, 64);
+  ASSERT_EQ(chunks.size(), (bytes.size() + 63) / 64);
+  size_t offset = 0;
+  for (uint32_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].seq, i);
+    EXPECT_EQ(chunks[i].total, chunks.size());
+    offset += chunks[i].payload.size();
+  }
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(WireChunkTest, ReassemblyRestoresOriginal) {
+  const std::vector<uint8_t> bytes = SerializeRunTrace(RealTrace());
+  Result<std::vector<uint8_t>> rebuilt = ReassembleWireMessages(SplitWireMessages(bytes, 128));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, bytes);
+}
+
+TEST(WireChunkTest, EmptyBufferRoundTrips) {
+  const std::vector<uint8_t> empty;
+  const std::vector<WireMessage> chunks = SplitWireMessages(empty, 64);
+  ASSERT_EQ(chunks.size(), 1u);  // "upload happened" is still visible
+  Result<std::vector<uint8_t>> rebuilt = ReassembleWireMessages(chunks);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(rebuilt->empty());
+}
+
+TEST(WireChunkTest, ReorderedArrivalTolerated) {
+  const std::vector<uint8_t> bytes = SerializeRunTrace(RealTrace());
+  std::vector<WireMessage> chunks = SplitWireMessages(bytes, 32);
+  ASSERT_GT(chunks.size(), 2u);
+  // Deterministic shuffle: reverse order exercises full resorting.
+  std::vector<WireMessage> reversed(chunks.rbegin(), chunks.rend());
+  Result<std::vector<uint8_t>> rebuilt = ReassembleWireMessages(std::move(reversed));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, bytes);
+}
+
+TEST(WireChunkTest, MissingChunkDetected) {
+  const std::vector<uint8_t> bytes = SerializeRunTrace(RealTrace());
+  std::vector<WireMessage> chunks = SplitWireMessages(bytes, 32);
+  ASSERT_GT(chunks.size(), 2u);
+  for (size_t victim : {size_t{0}, chunks.size() / 2, chunks.size() - 1}) {
+    std::vector<WireMessage> partial = chunks;
+    partial.erase(partial.begin() + static_cast<long>(victim));
+    EXPECT_FALSE(ReassembleWireMessages(std::move(partial)).ok()) << "victim " << victim;
+  }
+}
+
+TEST(WireChunkTest, NoChunksAndInconsistentTotalsRejected) {
+  EXPECT_FALSE(ReassembleWireMessages({}).ok());
+  std::vector<WireMessage> chunks = SplitWireMessages({1, 2, 3, 4}, 2);
+  ASSERT_EQ(chunks.size(), 2u);
+  chunks[1].total = 3;
+  EXPECT_FALSE(ReassembleWireMessages(chunks).ok());
+}
+
+TEST(WireChunkTest, DuplicateChunkRejected) {
+  std::vector<WireMessage> chunks = SplitWireMessages({1, 2, 3, 4, 5}, 2);
+  ASSERT_EQ(chunks.size(), 3u);
+  chunks[2] = chunks[0];  // a retransmit replaced a real chunk
+  EXPECT_FALSE(ReassembleWireMessages(std::move(chunks)).ok());
+}
+
 TEST(WireTest, ServerAcceptsDeserializedTraces) {
   // End to end: serialize on the "client", deserialize on the "server", and
   // feed it into the sketch pipeline.

@@ -1,42 +1,95 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the tree in the two configurations that matter
-# for the execution engine — an optimized build running the full suite, and a
-# ThreadSanitizer build running it again to catch data races in the
-# snapshot/fan-out/merge path (the parallel fleet, the thread pool, the VM
-# scheduler underneath them).
+# CI entry point: a staged build/test matrix over the three configurations
+# that matter for the execution engine and the fault-injection layer:
 #
-# Usage: tools/ci.sh [jobs]
-#   jobs  parallelism for build and ctest (default: nproc)
+#   release  optimized build; the perf smoke gate runs here with
+#            --perf-smoke-strict, so a missing baseline fails the stage
+#            instead of soft-skipping (satellite of DESIGN.md §8).
+#   tsan     ThreadSanitizer; catches data races in the snapshot/fan-out/
+#            merge path (parallel fleet, thread pool, VM scheduler).
+#   asan     AddressSanitizer + UBSan; the chaos suite feeds the decoders
+#            truncated/bit-flipped/garbage bytes, exactly the inputs where
+#            heap overreads and UB hide.
+#
+# Within every stage ctest runs label by label, fail-fast:
+#   unit  -> fleet -> chaos
+# so a broken unit test stops the stage before the expensive diagnosis loops
+# and fault-injection sweeps run.
+#
+# Usage: tools/ci.sh [stage] [jobs]
+#   stage  release | tsan | asan | all (default: all)
+#   jobs   parallelism for build and ctest (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+STAGE="${1:-all}"
+JOBS="${2:-$(nproc)}"
+
+# ccache makes the three configure trees cheap to rebuild (locally and in the
+# workflow's cache); absence is fine, the launcher flag is simply omitted.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+run_labels() {
+  local dir="$1"
+  for label in unit fleet chaos; do
+    echo "=== [${dir#build-ci-}] ctest -L ${label} ==="
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L "${label}")
+  done
+}
 
 run_config() {
   local name="$1"
   shift
   local dir="build-ci-${name}"
   echo "=== [${name}] configure ==="
-  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake -B "${dir}" -S . "${LAUNCHER_ARGS[@]}" "$@" >/dev/null
   echo "=== [${name}] build ==="
   cmake --build "${dir}" -j "${JOBS}"
-  echo "=== [${name}] ctest ==="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  run_labels "${dir}"
 }
 
-run_config release -DCMAKE_BUILD_TYPE=Release
+stage_release() {
+  run_config release -DCMAKE_BUILD_TYPE=Release
+  # Perf smoke: the Release interpreter must stay within 30% of the committed
+  # steps/second baseline (BENCH_interp.json, regenerated with
+  # `micro_benchmarks --emit-json`). Strict mode: a missing or unreadable
+  # baseline is a CI failure, not a silent skip.
+  echo "=== [release] perf smoke (strict) ==="
+  ./build-ci-release/bench/micro_benchmarks \
+    --perf-smoke=BENCH_interp.json --perf-smoke-strict
+}
 
-# Perf smoke: the Release build's interpreter must stay within 30% of the
-# committed steps/second baseline (BENCH_interp.json, regenerated with
-# `micro_benchmarks --emit-json`). Skips itself with a warning when the
-# baseline artifact is absent.
-echo "=== [release] perf smoke ==="
-./build-ci-release/bench/micro_benchmarks --perf-smoke=BENCH_interp.json
+stage_tsan() {
+  # TSan halts the whole suite on the first race it sees; the engine's
+  # determinism tests (fleet_parallel_test, fleet_chaos_test,
+  # thread_pool_test) are the hottest path.
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGIST_SANITIZE=thread
+}
 
-# TSan halts the whole suite on the first race it sees; the engine's
-# determinism tests (fleet_parallel_test, thread_pool_test) are the hottest
-# path, but the whole suite runs so races in shared library code surface too.
-TSAN_OPTIONS="halt_on_error=1" \
-  run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGIST_SANITIZE=thread
+stage_asan() {
+  ASAN_OPTIONS="detect_leaks=0:abort_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    run_config asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGIST_SANITIZE=address,undefined
+}
 
-echo "=== CI passed (release + tsan + perf smoke) ==="
+case "${STAGE}" in
+  release) stage_release ;;
+  tsan) stage_tsan ;;
+  asan) stage_asan ;;
+  all)
+    stage_release
+    stage_tsan
+    stage_asan
+    ;;
+  *)
+    echo "unknown stage '${STAGE}' (expected release|tsan|asan|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== CI passed (${STAGE}) ==="
