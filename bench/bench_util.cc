@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -90,9 +91,12 @@ AppFleetOutcome RunAppFleet(const std::string& name, const FleetOptions& options
   return outcome;
 }
 
-BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options) {
+BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options,
+                                 FlightRecorder* recorder) {
   BreakdownResult breakdown;
-  AppFleetOutcome outcome = RunAppFleet(name, options);
+  FleetOptions fleet_options = options;
+  fleet_options.recorder = recorder;
+  AppFleetOutcome outcome = RunAppFleet(name, fleet_options);
   const BugApp& app = *outcome.app;
   const Module& module = app.module();
   const IdealSketch& ideal = app.ideal_sketch();
@@ -132,6 +136,17 @@ BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& op
     } else {
       breakdown.with_control_flow = breakdown.static_only;
     }
+  }
+
+  // Publish stage attribution through the recorder: accuracies are derived
+  // (floating-point) data, so they ride the annotation side channel; the
+  // instant marks the breakdown on the control lane of the span trace.
+  if (recorder != nullptr) {
+    recorder->Annotate("fig10." + name + ".static_only", breakdown.static_only);
+    recorder->Annotate("fig10." + name + ".with_control_flow", breakdown.with_control_flow);
+    recorder->Annotate("fig10." + name + ".with_data_flow", breakdown.with_data_flow);
+    recorder->AddInstant("breakdown", "bench", FlightRecorder::kControlTrack,
+                         {StrArg("app", name)});
   }
   return breakdown;
 }
@@ -189,8 +204,15 @@ bool UpdateBenchJson(const std::string& path, const std::map<std::string, double
   std::fprintf(file, "{\n");
   size_t index = 0;
   for (const auto& [key, value] : merged) {
-    std::fprintf(file, "  \"%s\": %.6g%s\n", key.c_str(), value,
-                 ++index < merged.size() ? "," : "");
+    const char* separator = ++index < merged.size() ? "," : "";
+    // Counters must round-trip exactly (the CI gate diffs them for equality);
+    // %.6g would mangle anything above six significant digits.
+    if (value == std::floor(value) && std::abs(value) < 9.0e15) {
+      std::fprintf(file, "  \"%s\": %lld%s\n", key.c_str(), static_cast<long long>(value),
+                   separator);
+    } else {
+      std::fprintf(file, "  \"%s\": %.6g%s\n", key.c_str(), value, separator);
+    }
   }
   std::fprintf(file, "}\n");
   std::fclose(file);

@@ -13,6 +13,7 @@
 
 #include "src/apps/app.h"
 #include "src/coop/fleet.h"
+#include "src/obs/flight_recorder.h"
 
 namespace gist {
 
@@ -55,7 +56,13 @@ struct BreakdownResult {
   double with_data_flow = 0.0;
 };
 
-BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options);
+// When `recorder` is non-null the fleet runs with it attached (deterministic
+// metrics + virtual-time spans) and the three stage accuracies are published
+// as annotations "fig10.<name>.static_only" / ".with_control_flow" /
+// ".with_data_flow" — the recorder is the source of truth the Fig. 10 table
+// prints from.
+BreakdownResult MeasureBreakdown(const std::string& name, const FleetOptions& options,
+                                 FlightRecorder* recorder = nullptr);
 
 // Formats seconds as the paper's "<Mm:SSs>".
 std::string FormatMinSec(double seconds);

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/support/logging.h"
@@ -22,14 +23,20 @@ int Main() {
   std::printf("%-14s %14s %18s %16s\n", "Bug", "Static only", "+ Control flow", "+ Data flow");
   std::printf("%s\n", std::string(66, '-').c_str());
 
+  // One flight recorder rides along all 11 fleets; MeasureBreakdown publishes
+  // each app's stage accuracies as recorder annotations, and the table below
+  // reads them back from the recorder — the single source of stage
+  // attribution (DESIGN.md §9).
+  FlightRecorder recorder;
   double sums[3] = {0, 0, 0};
   int count = 0;
   for (const char* name : kApps) {
-    BreakdownResult breakdown = MeasureBreakdown(name, DefaultBenchFleetOptions());
+    MeasureBreakdown(name, DefaultBenchFleetOptions(), &recorder);
+    const std::string prefix = std::string("fig10.") + name;
     // Presented cumulatively, like the paper's stacked bars.
-    const double stage1 = breakdown.static_only;
-    const double stage2 = std::max(stage1, breakdown.with_control_flow);
-    const double stage3 = std::max(stage2, breakdown.with_data_flow);
+    const double stage1 = recorder.annotation(prefix + ".static_only");
+    const double stage2 = std::max(stage1, recorder.annotation(prefix + ".with_control_flow"));
+    const double stage3 = std::max(stage2, recorder.annotation(prefix + ".with_data_flow"));
     std::printf("%-14s %13.1f%% %17.1f%% %15.1f%%\n", name, stage1, stage2, stage3);
     sums[0] += stage1;
     sums[1] += stage2;

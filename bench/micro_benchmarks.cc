@@ -180,6 +180,30 @@ double MeasureVmStepsPerSecond(double min_seconds = 1.0) {
   return static_cast<double>(steps) / elapsed;
 }
 
+// Invariant fleet counters for the CI perf gate: a small recorder-attached
+// fleet whose merged metrics are a pure function of (module, options, seed).
+// Unlike steps/second these must match the committed baseline EXACTLY — any
+// drift means the pipeline's semantics changed, not the machine's speed.
+struct InvariantCounters {
+  uint64_t instructions_retired = 0;
+  uint64_t pt_packets_decoded = 0;
+  uint64_t watch_traps = 0;
+};
+
+InvariantCounters MeasureInvariantCounters() {
+  FlightRecorder recorder;
+  FleetOptions options = DefaultBenchFleetOptions();
+  options.runs_per_iteration = 80;
+  options.max_iterations = 4;
+  options.recorder = &recorder;
+  RunAppFleet("apache-2", options);
+  InvariantCounters counters;
+  counters.instructions_retired = recorder.metrics().counter("vm.instructions_retired");
+  counters.pt_packets_decoded = recorder.metrics().counter("pt.decode.packets");
+  counters.watch_traps = recorder.metrics().counter("hw.watch.traps");
+  return counters;
+}
+
 std::string ParsePerfSmokeFlag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -207,11 +231,21 @@ int Main(int argc, char** argv) {
 
   if (!emit_path.empty()) {
     const double steps_per_sec = MeasureVmStepsPerSecond();
-    if (!UpdateBenchJson(emit_path, {{"vm_interp_steps_per_sec", steps_per_sec}})) {
+    const InvariantCounters counters = MeasureInvariantCounters();
+    if (!UpdateBenchJson(
+            emit_path,
+            {{"vm_interp_steps_per_sec", steps_per_sec},
+             {"obs_instructions_retired", static_cast<double>(counters.instructions_retired)},
+             {"obs_pt_packets_decoded", static_cast<double>(counters.pt_packets_decoded)},
+             {"obs_watch_traps", static_cast<double>(counters.watch_traps)}})) {
       std::fprintf(stderr, "cannot write %s\n", emit_path.c_str());
       return 1;
     }
     std::printf("vm_interp_steps_per_sec: %.3g -> %s\n", steps_per_sec, emit_path.c_str());
+    std::printf("obs counters: retired=%llu pt_packets=%llu watch_traps=%llu -> %s\n",
+                static_cast<unsigned long long>(counters.instructions_retired),
+                static_cast<unsigned long long>(counters.pt_packets_decoded),
+                static_cast<unsigned long long>(counters.watch_traps), emit_path.c_str());
     return 0;
   }
 
@@ -242,6 +276,42 @@ int Main(int argc, char** argv) {
                 it->second, floor);
     if (measured < floor) {
       std::fprintf(stderr, "perf smoke FAILED: interpreter regressed more than 30%%\n");
+      return 1;
+    }
+
+    // Invariant-counter gate: the recorder's deterministic fleet counters
+    // must equal the committed baseline bit-for-bit. A mismatch is a
+    // semantic change (different instructions executed, packets decoded, or
+    // traps taken), which a throughput floor would never catch.
+    const InvariantCounters counters = MeasureInvariantCounters();
+    const std::pair<const char*, uint64_t> invariants[] = {
+        {"obs_instructions_retired", counters.instructions_retired},
+        {"obs_pt_packets_decoded", counters.pt_packets_decoded},
+        {"obs_watch_traps", counters.watch_traps},
+    };
+    bool counters_ok = true;
+    for (const auto& [key, measured_count] : invariants) {
+      const auto baseline_it = baseline.find(key);
+      if (baseline_it == baseline.end()) {
+        if (smoke_strict) {
+          std::fprintf(stderr, "perf smoke FAILED: no %s baseline in %s (--perf-smoke-strict)\n",
+                       key, smoke_path.c_str());
+          counters_ok = false;
+        } else {
+          std::fprintf(stderr, "perf smoke: no %s in %s; skipping counter\n", key,
+                       smoke_path.c_str());
+        }
+        continue;
+      }
+      const uint64_t expected = static_cast<uint64_t>(baseline_it->second);
+      if (measured_count != expected) {
+        std::fprintf(stderr, "perf smoke FAILED: %s = %llu, baseline %llu (must match exactly)\n",
+                     key, static_cast<unsigned long long>(measured_count),
+                     static_cast<unsigned long long>(expected));
+        counters_ok = false;
+      }
+    }
+    if (!counters_ok) {
       return 1;
     }
     std::printf("perf smoke OK\n");

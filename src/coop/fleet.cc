@@ -4,7 +4,7 @@
 
 #include "src/coop/privacy.h"
 #include "src/coop/wire.h"
-
+#include "src/obs/flight_recorder.h"
 #include "src/support/logging.h"
 
 namespace gist {
@@ -43,12 +43,15 @@ double Fleet::PacingSecondsFor(uint64_t run_index) const {
 
 void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* next_run_index) {
   const uint32_t batch_size = BatchSize(pool);
+  FlightRecorder* recorder = options_.recorder;
   uint64_t base = 0;
   while (base < options_.max_first_failure_runs && !result->first_failure_found) {
     const uint32_t batch = static_cast<uint32_t>(
         std::min<uint64_t>(batch_size, options_.max_first_failure_runs - base));
     std::vector<FailureReport> failures(batch);
+    std::vector<RunStats> probe_stats(batch);
     pool.ParallelFor(batch, [&](uint64_t k) {
+      LogRunScope run_scope(static_cast<int64_t>(base + k));
       const Workload workload = WorkloadFor(base + k);
       VmOptions vm_options;
       vm_options.num_cores = options_.gist.num_cores;
@@ -57,18 +60,45 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
       vm_options.decoded = server_.decoded().get();
       Vm vm(module_, workload, vm_options);
       const RunResult run = vm.Run();
+      probe_stats[k] = run.stats;
       if (!run.ok() && run.failure.failing_instr != kNoInstr) {
         failures[k] = run.failure;
+        GIST_LOG(kDebug) << "probe failed at instr " << run.failure.failing_instr;
       }
     });
     // Deterministic winner: the earliest failing run index, regardless of
     // which probe finished first. Later speculated probes are discarded.
+    uint32_t winner = batch;
     for (uint32_t k = 0; k < batch; ++k) {
       if (failures[k].failing_instr != kNoInstr) {
-        result->first_failure_found = true;
-        result->first_failure = failures[k];
-        *next_run_index = base + k + 1;
+        winner = k;
         break;
+      }
+    }
+    // Recorder accounting covers the consumed prefix only: every batch size
+    // eventually executes exactly probes 0..winner, so clock and counters
+    // stay independent of the worker count; speculated probes past the
+    // winner vanish unrecorded.
+    const uint32_t probes_consumed = winner == batch ? batch : winner + 1;
+    if (recorder != nullptr) {
+      for (uint32_t k = 0; k < probes_consumed; ++k) {
+        const uint64_t begin = recorder->now();
+        recorder->AdvanceClock(probe_stats[k].steps);
+        recorder->metrics().Add("fleet.runs.probes");
+        PublishVmStats(probe_stats[k], &recorder->metrics());
+        const bool failing = failures[k].failing_instr != kNoInstr;
+        recorder->AddSpan("probe", "phase1", begin, recorder->now(), FlightRecorder::kRunTrack,
+                          {NumArg("run_index", base + k),
+                           StrArg("outcome", failing ? "failing" : "ok")});
+      }
+    }
+    if (winner != batch) {
+      result->first_failure_found = true;
+      result->first_failure = failures[winner];
+      *next_run_index = base + winner + 1;
+      if (recorder != nullptr) {
+        recorder->AddInstant("first_failure", "fleet", FlightRecorder::kControlTrack,
+                             {NumArg("run_index", base + winner)});
       }
     }
     base += batch;
@@ -79,6 +109,7 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   FleetResult result;
   ThreadPool pool(options_.jobs);
   const uint32_t batch_size = BatchSize(pool);
+  FlightRecorder* recorder = options_.recorder;
 
   // --- Phase 1: wait for the first failure in unmonitored production -------
   uint64_t run_index = 0;
@@ -99,6 +130,7 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     stats.iteration = iteration;
     stats.sigma = server_.sigma();
     const uint32_t recurrences_at_start = server_.failure_recurrences();
+    const uint64_t iteration_begin = recorder != nullptr ? recorder->now() : 0;
 
     // Freeze: one immutable snapshot of (plan + watchpoint rotation).
     // Clients only ever see snapshots; when refinement below replans the
@@ -107,6 +139,10 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     // executed under the plan produced by all runs merged before it —
     // exactly the sequential contract, whatever the worker count.
     PlanSnapshot snapshot = server_.Snapshot();
+    if (recorder != nullptr) {
+      recorder->metrics().SetMax("fleet.watch.rotations",
+                                 static_cast<int64_t>(snapshot.rotation_count()));
+    }
 
     bool iteration_done = false;
     uint32_t client = 0;  // index within the iteration; selects the rotation
@@ -115,6 +151,16 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     while (client < options_.runs_per_iteration && !iteration_done) {
       if (snapshot.version() != server_.plan_version()) {
         snapshot = server_.Snapshot();
+        // Exactly one re-freeze per replan, whatever the batch size: the
+        // merge loop below stops consuming at a version change, so control
+        // always returns here before the next run executes.
+        if (recorder != nullptr) {
+          recorder->metrics().Add("fleet.refreezes");
+          recorder->metrics().SetMax("fleet.watch.rotations",
+                                     static_cast<int64_t>(snapshot.rotation_count()));
+          recorder->AddInstant("refreeze", "fleet", FlightRecorder::kControlTrack,
+                               {NumArg("version", server_.plan_version())});
+        }
       }
       const uint32_t batch =
           std::min(batch_size, options_.runs_per_iteration - client);
@@ -126,6 +172,7 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
       std::vector<MonitoredRun> runs(batch);
       pool.ParallelFor(batch, [&](uint64_t k) {
         const uint64_t index = run_index + k;
+        LogRunScope run_scope(static_cast<int64_t>(index));
         RunDegradation degradation;
         if (options_.faults.enabled) {
           const FaultPlan fault = FaultPlan::ForRun(options_.faults, options_.fleet_seed, index);
@@ -138,6 +185,8 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         }
         runs[k] = RunMonitored(module_, snapshot, client + k, WorkloadFor(index), options_.gist,
                                index + 1, options_.max_steps_per_run, degradation);
+        GIST_LOG(kDebug) << "monitored run done: " << runs[k].result.stats.steps << " steps, "
+                         << (runs[k].trace.failed ? "failing" : "ok");
       });
 
       // Merge: traces enter the server in run-index order on this thread,
@@ -152,6 +201,26 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         const uint64_t index = run_index + k;
         ++consumed;
 
+        // Flight recorder: the consumed run advances the virtual clock by
+        // its retired instructions and publishes its client-side telemetry,
+        // here on the coordinator thread in run-index order.
+        uint64_t span_begin = 0;
+        if (recorder != nullptr) {
+          span_begin = recorder->now();
+          recorder->AdvanceClock(run.result.stats.steps);
+          recorder->metrics().Add("fleet.runs.consumed");
+          PublishRunMetrics(run, &recorder->metrics());
+        }
+        auto record_run_span = [&](const char* outcome) {
+          if (recorder != nullptr) {
+            recorder->AddSpan("run", "fleet", span_begin, recorder->now(),
+                              FlightRecorder::kRunTrack,
+                              {NumArg("run_index", index),
+                               NumArg("client", static_cast<uint64_t>(client) + k),
+                               StrArg("outcome", outcome)});
+          }
+        };
+
         // Simulated production pacing + the run itself.
         result.sim_seconds += PacingSecondsFor(index);
         result.sim_seconds +=
@@ -162,6 +231,16 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         // they are independent of worker count and batch boundaries.
         const FaultPlan fault =
             FaultPlan::ForRun(options_.faults, options_.fleet_seed, index);
+        if (recorder != nullptr && fault.any()) {
+          MetricsRegistry& metrics = recorder->metrics();
+          if (fault.kill_run) metrics.Add("fleet.faults.injected.kill");
+          if (fault.truncate_pt) metrics.Add("fleet.faults.injected.truncate_pt");
+          if (fault.corrupt_pt) metrics.Add("fleet.faults.injected.corrupt_pt");
+          if (fault.drop_wire) metrics.Add("fleet.faults.injected.drop_wire");
+          if (fault.reorder_wire) metrics.Add("fleet.faults.injected.reorder_wire");
+          if (fault.exhaust_watchpoints) metrics.Add("fleet.faults.injected.exhaust_watchpoints");
+          if (fault.delay_result) metrics.Add("fleet.faults.injected.delay_result");
+        }
         bool lost = run.result.killed;  // the client died; nothing was shipped
         double arrival_delay = 0.0;
         if (!lost && fault.delay_result) {
@@ -208,6 +287,9 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
           // supplies. Beyond the budget the loss is absorbed — statistics
           // renormalize over the runs that do arrive.
           ++stats.lost_runs;
+          if (recorder != nullptr) {
+            recorder->metrics().Add("fleet.runs.lost");
+          }
           if (options_.faults.enabled &&
               retries_used < options_.faults.retry_budget_per_iteration) {
             const uint32_t exponent = std::min(consecutive_losses, 6u);
@@ -215,8 +297,14 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
                 options_.faults.retry_backoff_seconds * static_cast<double>(1u << exponent);
             ++retries_used;
             ++stats.retries;
+            if (recorder != nullptr) {
+              recorder->metrics().Add("fleet.retries");
+              recorder->AddInstant("retry_backoff", "fleet", FlightRecorder::kControlTrack,
+                                   {NumArg("run_index", index)});
+            }
           }
           ++consecutive_losses;
+          record_run_span("lost");
           continue;
         }
         consecutive_losses = 0;
@@ -233,12 +321,31 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         const GistServer::TraceIngest ingest = server_.AddTrace(std::move(*shipped));
         if (ingest == GistServer::TraceIngest::kQuarantined) {
           ++stats.quarantined_runs;
+          if (recorder != nullptr) {
+            recorder->metrics().Add("fleet.runs.quarantined");
+            recorder->AddInstant("quarantine", "fleet", FlightRecorder::kControlTrack,
+                                 {NumArg("run_index", index)});
+          }
+          record_run_span("quarantined");
           continue;  // validation rejected the upload; it influences nothing
         }
         if (run.result.ok()) {
           ++stats.successful_runs;
+          if (recorder != nullptr) {
+            recorder->metrics().Add("fleet.runs.successful");
+          }
+          record_run_span("ok");
         } else {
           ++stats.failing_runs;
+          if (recorder != nullptr) {
+            recorder->metrics().Add("fleet.runs.failing");
+          }
+          record_run_span("failing");
+        }
+        if (recorder != nullptr && fault.any()) {
+          // The run was struck by at least one injected fault and its trace
+          // still reached the server intact.
+          recorder->metrics().Add("fleet.faults.survived");
         }
 
         // A new recurrence of the target failure arrived: rebuild the sketch
@@ -249,7 +356,13 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
           Result<FailureSketch> sketch = server_.BuildSketch();
           if (sketch.ok()) {
             result.sketch = *sketch;
-            if (root_cause_check(*sketch)) {
+            const bool found = root_cause_check(*sketch);
+            if (recorder != nullptr) {
+              recorder->AddInstant("sketch_build", "fleet", FlightRecorder::kControlTrack,
+                                   {NumArg("run_index", index),
+                                    StrArg("root_cause", found ? "yes" : "no")});
+            }
+            if (found) {
               stats.root_cause_found = true;
               iteration_done = true;
               continue;
@@ -287,6 +400,13 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     result.quarantined_runs += stats.quarantined_runs;
     result.retries += stats.retries;
     result.iterations.push_back(stats);
+    if (recorder != nullptr) {
+      recorder->metrics().Add("fleet.iterations");
+      recorder->AddSpan("iteration", "fleet", iteration_begin, recorder->now(),
+                        FlightRecorder::kControlTrack,
+                        {NumArg("iteration", static_cast<uint64_t>(iteration)),
+                         NumArg("sigma", static_cast<uint64_t>(stats.sigma))});
+    }
 
     if (stats.root_cause_found) {
       result.root_cause_found = true;
@@ -320,6 +440,12 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   result.avg_overhead_percent =
       overhead_samples == 0 ? 0.0 : overhead_sum / static_cast<double>(overhead_samples);
   result.sigma_final = server_.sigma();
+  if (recorder != nullptr) {
+    // Fold in the server-side registry (ingest dispositions, PT decode,
+    // AsT gauges, sketch statistics) — updated on this thread throughout, so
+    // the combined snapshot inherits the fleet's determinism.
+    recorder->metrics().Merge(server_.metrics());
+  }
   return result;
 }
 

@@ -39,6 +39,8 @@
 
 namespace gist {
 
+class FlightRecorder;
+
 // Produces the workload of production run `run_index`. The fleet hands every
 // run a private generator seeded by DeriveSeed(fleet_seed, run_index);
 // generators must consume randomness only from `rng` so runs stay
@@ -79,6 +81,13 @@ struct FleetOptions {
   // default), the fleet behaves byte-for-byte as if this field didn't exist.
   // Phase 1 — production before the first failure — is never faulted.
   FaultOptions faults;
+  // Optional flight recorder (DESIGN.md §9). The fleet advances its virtual
+  // clock and publishes per-run metrics on the coordinator thread, in
+  // run-index order over the CONSUMED prefix only — runs speculated past an
+  // early exit never touch it — so the recorder's metrics snapshot and span
+  // trace are bit-identical for every `jobs`, like the FleetResult itself.
+  // Null (the default) records nothing and costs nothing.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct FleetIterationStats {

@@ -21,6 +21,8 @@ void GistServer::ReportFailure(const FailureReport& report) {
   traces_.clear();
   discovered_.clear();
   failure_recurrences_ = 0;
+  metrics_.Add("server.failures_reported");
+  metrics_.Set("ast.slice_statements", static_cast<int64_t>(slice_.size()));
   Replan();
 }
 
@@ -33,28 +35,43 @@ void GistServer::Replan() {
   }
   plan_ = PlanInstrumentation(ticfg_, window);
   ++plan_version_;
+  metrics_.Add("ast.replans");
+  metrics_.Set("ast.sigma", static_cast<int64_t>(ast_->sigma()));
+  metrics_.Set("ast.window_statements", static_cast<int64_t>(window.size()));
+  metrics_.Set("ast.discovered_statements", static_cast<int64_t>(discovered_.size()));
 }
 
 GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   GIST_CHECK(has_target_);
   if (trace.failed && trace.failure.MatchHash() != target_hash_) {
+    metrics_.Add("server.traces.rejected_foreign");
     return TraceIngest::kRejectedForeign;  // a different bug; not our target
   }
 
   // Validate every PT stream before the trace influences anything. Uploads
   // are production data that crossed a wire — a stream the hardened decoder
   // rejects quarantines the whole trace (DESIGN.md §8).
+  uint64_t upload_bytes = 0;
   for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
+    upload_bytes += trace.pt_buffers[core].size();
     PtDecodeResult decode =
         DecodePt(module_, static_cast<CoreId>(core), trace.pt_buffers[core]);
+    metrics_.Add("pt.decode.packets", static_cast<uint64_t>(decode.stats.packets));
+    metrics_.Add("pt.decode.bytes", static_cast<uint64_t>(decode.stats.bytes));
+    metrics_.Add("pt.decode.tnt_bits", static_cast<uint64_t>(decode.stats.tnt_bits));
     if (!decode.ok()) {
       ++quarantined_traces_;
+      metrics_.Add("server.traces.quarantined");
+      metrics_.Add(std::string("pt.decode.errors.") + PtDecodeFaultKey(decode.error->fault));
       return TraceIngest::kQuarantined;
     }
   }
+  metrics_.Add("server.traces.accepted");
+  metrics_.Observe("pt.upload_bytes", upload_bytes);
 
   if (trace.failed) {
     ++failure_recurrences_;
+    metrics_.Add("server.failure_recurrences");
   }
 
   // Data-flow refinement: watchpoint-caught statements outside the static
@@ -82,13 +99,64 @@ Result<FailureSketch> GistServer::BuildSketch() const {
   sketch_options.title = options_.title;
   sketch_options.discovered = &discovered_;
   sketch_options.quarantined = quarantined_traces_;
-  return BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
+  Result<FailureSketch> sketch =
+      BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
+  metrics_.Add("stats.sketch_builds");
+  if (sketch.ok()) {
+    metrics_.Add("stats.predictor_evaluations",
+                 static_cast<uint64_t>(sketch->predictors_evaluated));
+  }
+  return sketch;
 }
 
 void GistServer::AdvanceAst() {
   GIST_CHECK(has_target_);
   ast_->Advance();
+  metrics_.Add("ast.advances");
   Replan();
+}
+
+namespace {
+
+RunObsSample SampleObs(const ClientRuntime& runtime) {
+  RunObsSample obs;
+  obs.traced_branches = runtime.tracer().traced_branches();
+  obs.watch_denied_arms = runtime.watchpoints().denied_arms();
+  obs.watch_peak_active = runtime.watchpoints().peak_active();
+  obs.unarmed_accesses = runtime.unarmed_accesses().size();
+  return obs;
+}
+
+}  // namespace
+
+void PublishVmStats(const RunStats& stats, MetricsRegistry* metrics) {
+  metrics->Add("vm.instructions_retired", stats.steps);
+  metrics->Add("vm.mem_accesses", stats.mem_accesses);
+  metrics->Add("vm.branches", stats.branches);
+  metrics->Add("vm.context_switches", stats.context_switches);
+  metrics->Add("vm.threads_created", stats.threads_created);
+  metrics->Observe("vm.run_steps", stats.steps);
+  metrics->Add("engine.bursts", stats.bursts);
+  metrics->Add("engine.batch_deliveries", stats.batch_deliveries);
+  metrics->Add("engine.flushed_retired_events", stats.flushed_retired_events);
+  metrics->Add("engine.flushed_mem_events", stats.flushed_mem_events);
+  metrics->Add("engine.dispatched_events", stats.dispatched_events);
+  metrics->MergeBuckets("engine.flush_size", stats.flush_size_log2, RunStats::kFlushSizeBuckets,
+                        stats.batch_deliveries,
+                        stats.flushed_retired_events + stats.flushed_mem_events);
+}
+
+void PublishRunMetrics(const MonitoredRun& run, MetricsRegistry* metrics) {
+  PublishVmStats(run.result.stats, metrics);
+  metrics->Add("vm.monitored_runs");
+  metrics->Add("pt.encode.bytes", run.trace.activity.pt_bytes);
+  metrics->Add("pt.encode.toggles", run.trace.activity.pt_toggles);
+  metrics->Add("pt.encode.traced_branches", run.obs.traced_branches);
+  metrics->Add("hw.watch.traps", run.trace.activity.watch_traps);
+  metrics->Add("hw.watch.arms", run.trace.activity.watch_arms);
+  metrics->Add("hw.watch.denied_arms", run.obs.watch_denied_arms);
+  metrics->Add("hw.watch.unarmed_accesses", run.obs.unarmed_accesses);
+  metrics->SetMax("hw.watch.peak_active", static_cast<int64_t>(run.obs.watch_peak_active));
 }
 
 MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
@@ -102,8 +170,9 @@ MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
   Vm vm(module, workload, vm_options);
-  MonitoredRun run{vm.Run(), RunTrace{}};
+  MonitoredRun run{vm.Run(), RunTrace{}, RunObsSample{}};
   run.trace = runtime.TakeTrace(run_id, run.result);
+  run.obs = SampleObs(runtime);
   return run;
 }
 
@@ -121,8 +190,9 @@ MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
   vm_options.hook = &runtime;
   vm_options.decoded = snapshot.decoded().get();  // shared fleet-wide cache
   Vm vm(module, workload, vm_options);
-  MonitoredRun run{vm.Run(), RunTrace{}};
+  MonitoredRun run{vm.Run(), RunTrace{}, RunObsSample{}};
   run.trace = runtime.TakeTrace(run_id, run.result);
+  run.obs = SampleObs(runtime);
   return run;
 }
 

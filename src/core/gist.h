@@ -26,6 +26,7 @@
 #include "src/core/plan_snapshot.h"
 #include "src/core/renderer.h"
 #include "src/core/sketch.h"
+#include "src/obs/metrics.h"
 
 namespace gist {
 
@@ -131,6 +132,12 @@ class GistServer {
   // their predictors remain valid for the statistics.
   void AdvanceAst();
 
+  // Server-side flight-recorder counters (DESIGN.md §9): trace ingest
+  // dispositions, PT decode stream shape and error classes, AsT replans and
+  // window gauges, sketch builds. Mutable because BuildSketch() is const;
+  // every update happens on the coordinator thread, like all server state.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   // Recomputes the plan for the current AsT window plus every statement
   // refinement has added to the slice.
@@ -150,6 +157,17 @@ class GistServer {
   std::vector<InstrId> discovered_;
   uint32_t failure_recurrences_ = 0;
   uint64_t quarantined_traces_ = 0;
+  mutable MetricsRegistry metrics_;
+};
+
+// Client-side observability sample for one monitored run (DESIGN.md §9).
+// Deliberately NOT part of RunTrace: the wire format a client ships is
+// unchanged; these numbers travel the coordinator-local side channel only.
+struct RunObsSample {
+  uint64_t traced_branches = 0;   // branch outcomes the PT encoder compressed
+  uint64_t watch_denied_arms = 0; // arm requests refused (all slots busy)
+  uint32_t watch_peak_active = 0; // most debug registers simultaneously armed
+  uint64_t unarmed_accesses = 0;  // tracked accesses left to fleet rotation
 };
 
 // One monitored production run: executes `workload` under the plan's
@@ -157,7 +175,17 @@ class GistServer {
 struct MonitoredRun {
   RunResult result;
   RunTrace trace;
+  RunObsSample obs;
 };
+
+// Publishes one run's mode-independent VM counters ("vm.") and the
+// dispatch-engine telemetry ("engine.") into `metrics`.
+void PublishVmStats(const RunStats& stats, MetricsRegistry* metrics);
+
+// Publishes everything a consumed monitored run contributes to a fleet
+// metrics snapshot: PublishVmStats plus PT-encode ("pt.encode.") and
+// watchpoint ("hw.watch.") activity from the trace and the obs sample.
+void PublishRunMetrics(const MonitoredRun& run, MetricsRegistry* metrics);
 
 MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           const Workload& workload, const GistOptions& options = {},

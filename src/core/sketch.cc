@@ -236,6 +236,7 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   sketch.failing_runs_used = stats.failing_runs();
   sketch.successful_runs_used = stats.successful_runs();
   sketch.quarantined_traces = quarantined;
+  sketch.predictors_evaluated = static_cast<uint32_t>(stats.predictor_count());
 
   std::set<InstrId> highlighted;
   auto mark = [&](const std::optional<ScoredPredictor>& scored) {

@@ -63,6 +63,9 @@ struct FailureSketch {
 
   uint32_t failing_runs_used = 0;
   uint32_t successful_runs_used = 0;
+  // Distinct predictors scored while ranking (flight-recorder input,
+  // DESIGN.md §9).
+  uint32_t predictors_evaluated = 0;
   // Traces excluded from this sketch because their PT streams would not
   // decode (server-side quarantine plus any undecodable trace handed
   // directly to BuildFailureSketch). Purely informational: the sketch is

@@ -50,6 +50,9 @@ class PredictorStats {
   uint32_t failing_runs() const { return failing_runs_; }
   uint32_t successful_runs() const { return successful_runs_; }
   uint64_t lost_runs() const { return lost_runs_; }
+  // Distinct predictors observed — each is scored once per Ranked() call, so
+  // this is also the per-sketch predictor-evaluation count (DESIGN.md §9).
+  size_t predictor_count() const { return counts_.size(); }
 
   // All predictors scored and sorted by decreasing F-measure (ties broken
   // deterministically by predictor key).

@@ -22,6 +22,10 @@ bool WatchpointUnit::Arm(Addr addr, WatchTrigger trigger) {
       slot.addr = addr;
       slot.trigger = trigger;
       ++arm_operations_;
+      const uint32_t active = active_count();
+      if (active > peak_active_) {
+        peak_active_ = active;
+      }
       return true;
     }
   }

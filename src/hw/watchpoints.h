@@ -64,6 +64,9 @@ class WatchpointUnit : public ExecutionObserver {
   // contention/exhaustion signal the cooperative rotation (§3.2.3) and the
   // fault-injection chaos suite (DESIGN.md §8) both observe.
   uint64_t denied_arms() const { return denied_arms_; }
+  // Most debug registers simultaneously armed over the unit's lifetime — the
+  // slot-occupancy figure the flight recorder reports (DESIGN.md §9).
+  uint32_t peak_active() const { return peak_active_; }
 
   // --- ExecutionObserver ----------------------------------------------------
   // Debug registers only see data accesses; trap order is carried by the
@@ -90,6 +93,7 @@ class WatchpointUnit : public ExecutionObserver {
   std::vector<WatchEvent> events_;
   uint64_t arm_operations_ = 0;
   uint64_t denied_arms_ = 0;
+  uint32_t peak_active_ = 0;
 };
 
 }  // namespace gist

@@ -49,13 +49,16 @@ class Decoder {
       Result<PtPacket> packet = ReadPtPacket(bytes_, &offset);
       if (!packet.ok()) {
         result.trace = std::move(trace_);
+        result.stats = stats_;
         result.error = PtDecodeError{PtDecodeFault::kMalformedPacket, packet_offset,
                                      packet.error().message()};
         return result;
       }
+      Count(*packet, offset - packet_offset);
       std::optional<PtDecodeError> error = Apply(*packet, packet_offset);
       if (error.has_value()) {
         result.trace = std::move(trace_);
+        result.stats = stats_;
         result.error = std::move(error);
         return result;
       }
@@ -64,6 +67,7 @@ class Decoder {
       }
     }
     result.trace = std::move(trace_);
+    result.stats = stats_;
     return result;
   }
 
@@ -71,6 +75,28 @@ class Decoder {
   std::optional<PtDecodeError> Fail(PtDecodeFault fault, size_t offset,
                                     std::string message) const {
     return PtDecodeError{fault, offset, std::move(message)};
+  }
+
+  // Stream-shape accounting, independent of whether the packet then applies
+  // cleanly (a packet that fails Apply still parsed).
+  void Count(const PtPacket& packet, size_t byte_count) {
+    ++stats_.packets;
+    stats_.bytes += byte_count;
+    switch (packet.kind) {
+      case PtPacketKind::kTnt:
+        ++stats_.tnt_packets;
+        stats_.tnt_bits += packet.tnt_count;
+        break;
+      case PtPacketKind::kTip:
+        ++stats_.tip_packets;
+        break;
+      case PtPacketKind::kPge:
+      case PtPacketKind::kPgd:
+        ++stats_.toggle_packets;
+        break;
+      default:
+        break;
+    }
   }
 
   // Trace payloads come from outside the trust boundary (a client upload);
@@ -280,6 +306,7 @@ class Decoder {
   const Module& module_;
   const std::vector<uint8_t>& bytes_;
   DecodedCoreTrace trace_;
+  PtDecodeStats stats_;
   ThreadId current_tid_ = kNoThread;
   std::map<ThreadId, Walker> walkers_;
   uint64_t walk_budget_ = 0;
@@ -299,6 +326,20 @@ const char* PtDecodeFaultName(PtDecodeFault fault) {
       return "runaway walk";
   }
   return "unknown fault";
+}
+
+const char* PtDecodeFaultKey(PtDecodeFault fault) {
+  switch (fault) {
+    case PtDecodeFault::kMalformedPacket:
+      return "malformed_packet";
+    case PtDecodeFault::kBadIp:
+      return "bad_ip";
+    case PtDecodeFault::kProtocol:
+      return "protocol";
+    case PtDecodeFault::kRunawayWalk:
+      return "runaway_walk";
+  }
+  return "unknown";
 }
 
 std::string PtDecodeError::Format() const {

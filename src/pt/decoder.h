@@ -61,6 +61,8 @@ enum class PtDecodeFault : uint8_t {
 };
 
 const char* PtDecodeFaultName(PtDecodeFault fault);
+// Stable snake_case identifier for metric names ("pt.decode.errors.<key>").
+const char* PtDecodeFaultKey(PtDecodeFault fault);
 
 struct PtDecodeError {
   PtDecodeFault fault = PtDecodeFault::kMalformedPacket;
@@ -71,10 +73,23 @@ struct PtDecodeError {
   std::string Format() const;
 };
 
+// Stream-shape telemetry accumulated while decoding (DESIGN.md §9): packet
+// and byte counts plus TNT density inputs. On error the stats cover the
+// prefix that parsed before the fault — exactly the salvaged trace.
+struct PtDecodeStats {
+  uint64_t packets = 0;      // packets parsed (including pad/psb)
+  uint64_t bytes = 0;        // bytes consumed by parsed packets
+  uint64_t tnt_packets = 0;
+  uint64_t tnt_bits = 0;     // conditional-branch outcomes carried
+  uint64_t tip_packets = 0;
+  uint64_t toggle_packets = 0;  // PGE + PGD: tracing on/off edges
+};
+
 // Decode outcome: the visits/branches recovered before the first fault (the
 // salvageable prefix), plus the structured error when the stream is corrupt.
 struct PtDecodeResult {
   DecodedCoreTrace trace;
+  PtDecodeStats stats;
   std::optional<PtDecodeError> error;
 
   bool ok() const { return !error.has_value(); }

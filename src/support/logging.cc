@@ -7,6 +7,7 @@ namespace gist {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+thread_local int64_t t_log_run_index = -1;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -29,7 +30,31 @@ void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_re
 LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+  if (t_log_run_index >= 0) {
+    std::fprintf(stderr, "[%s] [run %lld] %s\n", LevelTag(level),
+                 static_cast<long long>(t_log_run_index), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+  }
 }
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogRunIndex(int64_t run_index) { t_log_run_index = run_index; }
+
+int64_t GetLogRunIndex() { return t_log_run_index; }
 
 }  // namespace gist

@@ -6,6 +6,7 @@
 #ifndef GIST_SRC_SUPPORT_LOGGING_H_
 #define GIST_SRC_SUPPORT_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,31 @@ enum class LogLevel {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 void LogMessage(LogLevel level, const std::string& message);
+
+// Parses "debug" / "info" / "warning" / "error" (the gist_cli --log-level
+// values). Returns false, leaving *level untouched, on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+// Fleet-worker log attribution: while a thread holds a run index, every line
+// it logs is tagged "[run N]". Thread-local, so concurrent workers tag their
+// own lines without coordination; -1 clears the tag.
+void SetLogRunIndex(int64_t run_index);
+int64_t GetLogRunIndex();
+
+// RAII scope: tags the current thread's log lines with `run_index`, restoring
+// the previous tag (usually "none") on destruction.
+class LogRunScope {
+ public:
+  explicit LogRunScope(int64_t run_index) : previous_(GetLogRunIndex()) {
+    SetLogRunIndex(run_index);
+  }
+  ~LogRunScope() { SetLogRunIndex(previous_); }
+  LogRunScope(const LogRunScope&) = delete;
+  LogRunScope& operator=(const LogRunScope&) = delete;
+
+ private:
+  int64_t previous_;
+};
 
 namespace internal {
 

@@ -74,6 +74,22 @@ struct RunStats {
   uint64_t branches = 0;
   uint64_t context_switches = 0;
   uint32_t threads_created = 0;
+
+  // --- dispatch-engine telemetry (DESIGN.md §9) -----------------------------
+  // Counted per burst / per flush, never per instruction, so the fast path's
+  // cost is a handful of adds per scheduling quantum. These depend on the
+  // dispatch mode (batched vs reference) and land under the flight
+  // recorder's "engine." namespace, which the cross-interpreter determinism
+  // tests exclude; everything above is mode-independent.
+  uint64_t bursts = 0;                  // StepBurst invocations
+  uint64_t batch_deliveries = 0;        // non-empty batch buffers flushed
+  uint64_t flushed_retired_events = 0;  // retired events delivered batched
+  uint64_t flushed_mem_events = 0;      // mem-access events delivered batched
+  uint64_t dispatched_events = 0;       // observer callback payloads delivered
+  // Flush sizes bucketed by bit width (same convention as obs::Histogram:
+  // bucket i holds sizes with bit_width == i, last bucket absorbs wider).
+  static constexpr uint32_t kFlushSizeBuckets = 17;
+  uint32_t flush_size_log2[kFlushSizeBuckets] = {};
 };
 
 struct RunResult {
@@ -152,6 +168,7 @@ class Vm {
   template <typename Fn>
   void Dispatch(const std::vector<ExecutionObserver*>& list, Fn&& fn) {
     FlushBatches();
+    result_.stats.dispatched_events += list.size();
     for (ExecutionObserver* observer : list) {
       fn(*observer);
     }

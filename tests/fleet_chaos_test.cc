@@ -14,6 +14,7 @@
 
 #include "src/apps/app.h"
 #include "src/coop/fleet.h"
+#include "src/obs/flight_recorder.h"
 
 namespace gist {
 namespace {
@@ -43,11 +44,14 @@ FaultOptions ModerateFaults() {
   return faults;
 }
 
-FleetResult RunFleet(const BugApp& app, const FleetOptions& options) {
+FleetResult RunFleet(const BugApp& app, const FleetOptions& options,
+                     FlightRecorder* recorder = nullptr) {
+  FleetOptions fleet_options = options;
+  fleet_options.recorder = recorder;
   Fleet fleet(
       app.module(),
       [&app](uint64_t run_index, Rng& rng) { return app.MakeWorkload(run_index, rng); },
-      options);
+      fleet_options);
   const std::vector<InstrId>& root_cause = app.root_cause_instrs();
   return fleet.Run([&](const FailureSketch& sketch) {
     for (InstrId id : root_cause) {
@@ -121,7 +125,14 @@ TEST(FleetChaosTest, FaultedFleetIsBitIdenticalAcrossWorkerCounts) {
     FleetOptions parallel = BaseOptions(2015, /*jobs=*/8);
     parallel.faults = ModerateFaults();
     SCOPED_TRACE(name);
-    ExpectIdentical(RunFleet(*app, sequential), RunFleet(*app, parallel));
+    FlightRecorder seq_recorder;
+    FlightRecorder par_recorder;
+    ExpectIdentical(RunFleet(*app, sequential, &seq_recorder),
+                    RunFleet(*app, parallel, &par_recorder));
+    // Determinism extends to the flight recorder: the merged metrics snapshot
+    // and the virtual-time trace must be the same bytes under faults, too.
+    EXPECT_EQ(seq_recorder.MetricsJson(), par_recorder.MetricsJson());
+    EXPECT_EQ(seq_recorder.TraceJson(), par_recorder.TraceJson());
   }
 }
 
@@ -146,20 +157,33 @@ TEST(FleetChaosTest, AllAppsSurviveQuorumPreservingFaults) {
 
 TEST(FleetChaosTest, FaultsActuallyFireAndAreAccounted) {
   // Sanity against a silently disabled layer: at moderate rates across the
-  // whole fleet, some runs must be lost and retried somewhere.
-  uint32_t total_lost = 0;
-  uint32_t total_retries = 0;
+  // whole fleet, some runs must be lost and retried somewhere. The tallies
+  // live in the flight recorder's registry (the single accounting surface,
+  // DESIGN.md §9); per-fleet they must agree with the FleetResult totals.
+  MetricsRegistry totals;
   for (const char* name : {"apache-2", "pbzip2", "memcached"}) {
     std::unique_ptr<BugApp> app = MakeAppByName(name);
     ASSERT_NE(app, nullptr);
     FleetOptions options = BaseOptions(13, /*jobs=*/4);
     options.faults = ModerateFaults();
-    const FleetResult result = RunFleet(*app, options);
-    total_lost += result.lost_runs;
-    total_retries += result.retries;
+    FlightRecorder recorder;
+    const FleetResult result = RunFleet(*app, options, &recorder);
+    SCOPED_TRACE(name);
+    EXPECT_EQ(recorder.metrics().counter("fleet.runs.lost"), result.lost_runs);
+    EXPECT_EQ(recorder.metrics().counter("fleet.runs.quarantined"), result.quarantined_runs);
+    EXPECT_EQ(recorder.metrics().counter("fleet.retries"), result.retries);
+    totals.Merge(recorder.metrics());
   }
-  EXPECT_GT(total_lost, 0u);
-  EXPECT_GT(total_retries, 0u);
+  EXPECT_GT(totals.counter("fleet.runs.lost"), 0u);
+  EXPECT_GT(totals.counter("fleet.retries"), 0u);
+  // Every configured fault class must actually land somewhere in the sweep.
+  for (const char* fault_class :
+       {"kill", "truncate_pt", "corrupt_pt", "drop_wire", "reorder_wire",
+        "exhaust_watchpoints", "delay_result"}) {
+    EXPECT_GT(totals.counter(std::string("fleet.faults.injected.") + fault_class), 0u)
+        << fault_class << " never fired";
+  }
+  EXPECT_GT(totals.counter("fleet.faults.survived"), 0u);
 }
 
 TEST(FleetChaosTest, BrokenQuorumHoldsSigma) {

@@ -12,7 +12,7 @@
 #            heap overreads and UB hide.
 #
 # Within every stage ctest runs label by label, fail-fast:
-#   unit  -> fleet -> chaos
+#   unit -> obs -> fleet -> chaos
 # so a broken unit test stops the stage before the expensive diagnosis loops
 # and fault-injection sweeps run.
 #
@@ -34,7 +34,7 @@ fi
 
 run_labels() {
   local dir="$1"
-  for label in unit fleet chaos; do
+  for label in unit obs fleet chaos; do
     echo "=== [${dir#build-ci-}] ctest -L ${label} ==="
     (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L "${label}")
   done
@@ -60,6 +60,25 @@ stage_release() {
   echo "=== [release] perf smoke (strict) ==="
   ./build-ci-release/bench/micro_benchmarks \
     --perf-smoke=BENCH_interp.json --perf-smoke-strict
+  # Flight-recorder smoke (DESIGN.md §9): one full diagnosis with the
+  # recorder attached; both exported artifacts must be well-formed JSON and
+  # the trace must carry Chrome trace-event spans.
+  echo "=== [release] flight recorder smoke ==="
+  ./build-ci-release/gist diagnose-app sqlite --fleet-seed 3 \
+    --metrics-json build-ci-release/obs_metrics.json \
+    --trace-json build-ci-release/obs_trace.json >/dev/null
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/obs_metrics.json") as f:
+    metrics = json.load(f)
+assert metrics["counters"]["vm.monitored_runs"] > 0, "no monitored runs recorded"
+with open("build-ci-release/obs_trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty trace"
+assert any(e["ph"] == "X" for e in events), "no spans in trace"
+print(f"flight recorder smoke OK: {len(metrics['counters'])} counters, {len(events)} events")
+EOF
 }
 
 stage_tsan() {

@@ -38,8 +38,10 @@
 #include "src/coop/fleet.h"
 #include "src/core/gist.h"
 #include "src/ir/parser.h"
+#include "src/obs/flight_recorder.h"
 #include "src/pt/dump.h"
 #include "src/pt/tracer.h"
+#include "src/support/logging.h"
 #include "src/support/rng.h"
 #include "src/support/str.h"
 #include "src/transform/fix_synthesis.h"
@@ -54,6 +56,9 @@ struct CliOptions {
   uint64_t fleet_seed = 1;
   uint64_t jobs = 1;
   std::vector<Word> inputs;
+  std::string metrics_json;  // write the flight recorder's metrics here
+  std::string trace_json;    // write the Chrome trace-event stream here
+  std::string log_level;     // debug|info|warning|error
 };
 
 int Usage() {
@@ -63,8 +68,38 @@ int Usage() {
                "       gist apps\n"
                "       gist diagnose-app <name> [--fleet-seed N] [--jobs N]\n"
                "       gist fix-app <name> [--fleet-seed N] [--jobs N]\n"
-               "       gist dump-app <name>\n");
+               "       gist dump-app <name>\n"
+               "common flags:\n"
+               "  --log-level debug|info|warning|error   stderr verbosity (default info)\n"
+               "  --metrics-json <path>   write the flight recorder's deterministic\n"
+               "                          metrics snapshot (diagnose/diagnose-app/fix-app)\n"
+               "  --trace-json <path>     write the virtual-time span trace in Chrome\n"
+               "                          trace-event format (diagnose-app/fix-app)\n");
   return 2;
+}
+
+// Writes `content` to `path`; false (with a message on stderr) on failure.
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << content;
+  return true;
+}
+
+// Exports the recorder artifacts requested on the command line. Returns
+// false when a requested file could not be written.
+bool ExportRecorder(const FlightRecorder& recorder, const CliOptions& options) {
+  bool ok = true;
+  if (!options.metrics_json.empty()) {
+    ok = WriteFileOrWarn(options.metrics_json, recorder.MetricsJson()) && ok;
+  }
+  if (!options.trace_json.empty()) {
+    ok = WriteFileOrWarn(options.trace_json, recorder.TraceJson()) && ok;
+  }
+  return ok;
 }
 
 bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
@@ -100,6 +135,21 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
       for (std::string_view piece : SplitNonEmpty(argv[++i], ',')) {
         options->inputs.push_back(std::strtoll(std::string(piece).c_str(), nullptr, 10));
       }
+    } else if (arg == "--metrics-json") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->metrics_json = argv[++i];
+    } else if (arg == "--trace-json") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->trace_json = argv[++i];
+    } else if (arg == "--log-level") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->log_level = argv[++i];
     } else if (options->path.empty()) {
       options->path = std::string(arg);
     } else {
@@ -291,6 +341,10 @@ int CmdDiagnose(const CliOptions& options) {
     return 1;
   }
   std::printf("%s", RenderFailureSketch(**module, *sketch).c_str());
+  if (!options.metrics_json.empty() &&
+      !WriteFileOrWarn(options.metrics_json, server.metrics().ToJson())) {
+    return 1;
+  }
   return 0;
 }
 
@@ -309,10 +363,12 @@ int CmdDiagnoseApp(const CliOptions& options) {
     std::fprintf(stderr, "unknown app '%s' (try `gist apps`)\n", options.path.c_str());
     return 1;
   }
+  FlightRecorder recorder;
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   fleet_options.gist.title = app->info().name;
+  fleet_options.recorder = &recorder;
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
   const std::vector<InstrId>& root_cause = app->root_cause_instrs();
@@ -324,6 +380,9 @@ int CmdDiagnoseApp(const CliOptions& options) {
     }
     return true;
   });
+  if (!ExportRecorder(recorder, options)) {
+    return 1;
+  }
   if (!result.first_failure_found) {
     std::printf("the bug never manifested\n");
     return 1;
@@ -356,9 +415,11 @@ int CmdFixApp(const CliOptions& options) {
     std::fprintf(stderr, "unknown app '%s' (try `gist apps`)\n", options.path.c_str());
     return 1;
   }
+  FlightRecorder recorder;
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
+  fleet_options.recorder = &recorder;
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
   const std::vector<InstrId>& root_cause = app->root_cause_instrs();
@@ -370,6 +431,9 @@ int CmdFixApp(const CliOptions& options) {
     }
     return true;
   });
+  if (!ExportRecorder(recorder, options)) {
+    return 1;
+  }
   if (!result.root_cause_found) {
     std::printf("diagnosis incomplete; cannot synthesize a fix\n");
     return 1;
@@ -415,6 +479,15 @@ int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, 2, &options)) {
     return Usage();
+  }
+  if (!options.log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(options.log_level, &level)) {
+      std::fprintf(stderr, "error: bad --log-level '%s' (want debug|info|warning|error)\n",
+                   options.log_level.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
   }
   if (command == "run") {
     return CmdRun(options);
