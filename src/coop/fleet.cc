@@ -1,10 +1,12 @@
 #include "src/coop/fleet.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/coop/privacy.h"
 #include "src/coop/wire.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
 #include "src/support/logging.h"
 
 namespace gist {
@@ -44,12 +46,19 @@ double Fleet::PacingSecondsFor(uint64_t run_index) const {
 void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* next_run_index) {
   const uint32_t batch_size = BatchSize(pool);
   FlightRecorder* recorder = options_.recorder;
+  HotPathProfiler* profiler = options_.profiler;
+  std::optional<RunMetricsPublisher> publisher;
+  if (recorder != nullptr) {
+    publisher.emplace(&recorder->metrics());
+  }
   uint64_t base = 0;
   while (base < options_.max_first_failure_runs && !result->first_failure_found) {
     const uint32_t batch = static_cast<uint32_t>(
         std::min<uint64_t>(batch_size, options_.max_first_failure_runs - base));
     std::vector<FailureReport> failures(batch);
     std::vector<RunStats> probe_stats(batch);
+    // One shard per probe; only the consumed prefix reaches the profiler.
+    std::vector<BlockProfile> probe_profiles(profiler != nullptr ? batch : 0);
     pool.ParallelFor(batch, [&](uint64_t k) {
       LogRunScope run_scope(static_cast<int64_t>(base + k));
       const Workload workload = WorkloadFor(base + k);
@@ -58,6 +67,9 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
       vm_options.max_steps = options_.max_steps_per_run;
       // All probes interpret from the server's shared pre-decoded cache.
       vm_options.decoded = server_.decoded().get();
+      if (profiler != nullptr) {
+        vm_options.profile = &probe_profiles[k];
+      }
       Vm vm(module_, workload, vm_options);
       const RunResult run = vm.Run();
       probe_stats[k] = run.stats;
@@ -85,11 +97,18 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
         const uint64_t begin = recorder->now();
         recorder->AdvanceClock(probe_stats[k].steps);
         recorder->metrics().Add("fleet.runs.probes");
-        PublishVmStats(probe_stats[k], &recorder->metrics());
+        publisher->PublishVm(probe_stats[k]);
         const bool failing = failures[k].failing_instr != kNoInstr;
         recorder->AddSpan("probe", "phase1", begin, recorder->now(), FlightRecorder::kRunTrack,
                           {NumArg("run_index", base + k),
                            StrArg("outcome", failing ? "failing" : "ok")});
+      }
+    }
+    if (profiler != nullptr) {
+      // Same consumed-prefix discipline as the recorder: probes speculated
+      // past the winner never reach the profile.
+      for (uint32_t k = 0; k < probes_consumed; ++k) {
+        profiler->AddRun(probe_profiles[k], MakeProfiledSample(probe_stats[k]));
       }
     }
     if (winner != batch) {
@@ -110,6 +129,19 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   ThreadPool pool(options_.jobs);
   const uint32_t batch_size = BatchSize(pool);
   FlightRecorder* recorder = options_.recorder;
+  HotPathProfiler* profiler = options_.profiler;
+  if (profiler != nullptr && !profiler->attached()) {
+    profiler->Attach(*server_.decoded(), options_.gist.title);
+  }
+  // Monitored runs collect per-run profile shards only when a profiler is
+  // aggregating them.
+  GistOptions gist_options = options_.gist;
+  gist_options.collect_profile = profiler != nullptr;
+  // Per-run metric names resolve to registry slots once, not once per run.
+  std::optional<RunMetricsPublisher> publisher;
+  if (recorder != nullptr) {
+    publisher.emplace(&recorder->metrics());
+  }
 
   // --- Phase 1: wait for the first failure in unmonitored production -------
   uint64_t run_index = 0;
@@ -183,7 +215,7 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
             degradation.watchpoint_slots = fault.granted_watchpoint_slots;
           }
         }
-        runs[k] = RunMonitored(module_, snapshot, client + k, WorkloadFor(index), options_.gist,
+        runs[k] = RunMonitored(module_, snapshot, client + k, WorkloadFor(index), gist_options,
                                index + 1, options_.max_steps_per_run, degradation);
         GIST_LOG(kDebug) << "monitored run done: " << runs[k].result.stats.steps << " steps, "
                          << (runs[k].trace.failed ? "failing" : "ok");
@@ -209,7 +241,13 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
           span_begin = recorder->now();
           recorder->AdvanceClock(run.result.stats.steps);
           recorder->metrics().Add("fleet.runs.consumed");
-          PublishRunMetrics(run, &recorder->metrics());
+          publisher->Publish(run);
+        }
+        if (profiler != nullptr) {
+          // Every consumed run contributes its shard — lost and quarantined
+          // runs included, exactly like the recorder's clock — so the merged
+          // profile is a pure function of the consumed prefix.
+          profiler->AddRun(run.profile, MakeProfiledSample(run));
         }
         auto record_run_span = [&](const char* outcome) {
           if (recorder != nullptr) {
@@ -440,6 +478,11 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   result.avg_overhead_percent =
       overhead_samples == 0 ? 0.0 : overhead_sum / static_cast<double>(overhead_samples);
   result.sigma_final = server_.sigma();
+  if (profiler != nullptr && recorder != nullptr) {
+    // The profile summary rides in the recorder snapshot ("profile."
+    // namespace); the full histograms stay in the profiler's own exports.
+    profiler->PublishSummary(&recorder->metrics());
+  }
   if (recorder != nullptr) {
     // Fold in the server-side registry (ingest dispositions, PT decode,
     // AsT gauges, sketch statistics) — updated on this thread throughout, so

@@ -40,6 +40,7 @@
 namespace gist {
 
 class FlightRecorder;
+class HotPathProfiler;
 
 // Produces the workload of production run `run_index`. The fleet hands every
 // run a private generator seeded by DeriveSeed(fleet_seed, run_index);
@@ -88,6 +89,15 @@ struct FleetOptions {
   // trace are bit-identical for every `jobs`, like the FleetResult itself.
   // Null (the default) records nothing and costs nothing.
   FlightRecorder* recorder = nullptr;
+  // Optional hot-path profiler (DESIGN.md §10). When set, every run — phase-1
+  // probe or monitored, healthy or degraded — collects a BlockProfile shard,
+  // and the coordinator folds the CONSUMED prefix into the profiler in
+  // run-index order, the recorder discipline above: the aggregated profile is
+  // bit-identical for every `jobs`, faults on or off. The fleet attaches the
+  // profiler to the server's decoded module on Run() entry unless the caller
+  // attached it already. Null (the default) profiles nothing and keeps the
+  // interpreter's profiling increments compiled out of the hot path.
+  HotPathProfiler* profiler = nullptr;
 };
 
 struct FleetIterationStats {

@@ -50,8 +50,12 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
 
   // Validate every PT stream before the trace influences anything. Uploads
   // are production data that crossed a wire — a stream the hardened decoder
-  // rejects quarantines the whole trace (DESIGN.md §8).
+  // rejects quarantines the whole trace (DESIGN.md §8). All cores are decoded
+  // even after the first rejection: the decode-shape and error-class counters
+  // must account every stream of the upload, or chaos fleets under-report
+  // exactly the traffic they were injected to produce.
   uint64_t upload_bytes = 0;
+  bool quarantine = false;
   for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
     upload_bytes += trace.pt_buffers[core].size();
     PtDecodeResult decode =
@@ -60,11 +64,14 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
     metrics_.Add("pt.decode.bytes", static_cast<uint64_t>(decode.stats.bytes));
     metrics_.Add("pt.decode.tnt_bits", static_cast<uint64_t>(decode.stats.tnt_bits));
     if (!decode.ok()) {
-      ++quarantined_traces_;
-      metrics_.Add("server.traces.quarantined");
+      quarantine = true;
       metrics_.Add(std::string("pt.decode.errors.") + PtDecodeFaultKey(decode.error->fault));
-      return TraceIngest::kQuarantined;
     }
+  }
+  if (quarantine) {
+    ++quarantined_traces_;
+    metrics_.Add("server.traces.quarantined");
+    return TraceIngest::kQuarantined;
   }
   metrics_.Add("server.traces.accepted");
   metrics_.Observe("pt.upload_bytes", upload_bytes);
@@ -124,39 +131,111 @@ RunObsSample SampleObs(const ClientRuntime& runtime) {
   obs.watch_denied_arms = runtime.watchpoints().denied_arms();
   obs.watch_peak_active = runtime.watchpoints().peak_active();
   obs.unarmed_accesses = runtime.unarmed_accesses().size();
+  // Profiler attribution (DESIGN.md §10). The runtime is the run's single
+  // attached observer; its declared mask stands in for the dispatch cost of
+  // the whole observer set.
+  obs.observer_masks.push_back(runtime.SubscribedEvents());
+  obs.watch_slot_arms = runtime.watchpoints().slot_arms();
+  obs.watch_slot_traps = runtime.watchpoints().slot_traps();
+  obs.watch_traps_by_instr.assign(runtime.watchpoints().traps_by_instr().begin(),
+                                  runtime.watchpoints().traps_by_instr().end());
   return obs;
 }
 
 }  // namespace
 
+RunMetricsPublisher::RunMetricsPublisher(MetricsRegistry* metrics)
+    : metrics_(metrics),
+      vm_retired_(metrics->CounterSlot("vm.instructions_retired")),
+      vm_mem_accesses_(metrics->CounterSlot("vm.mem_accesses")),
+      vm_branches_(metrics->CounterSlot("vm.branches")),
+      vm_context_switches_(metrics->CounterSlot("vm.context_switches")),
+      vm_threads_created_(metrics->CounterSlot("vm.threads_created")),
+      vm_block_enters_(metrics->CounterSlot("vm.block_enters")),
+      vm_returns_(metrics->CounterSlot("vm.returns")),
+      vm_thread_events_(metrics->CounterSlot("vm.thread_events")),
+      vm_run_steps_(metrics->HistogramSlot("vm.run_steps")),
+      engine_bursts_(metrics->CounterSlot("engine.bursts")),
+      engine_batch_deliveries_(metrics->CounterSlot("engine.batch_deliveries")),
+      engine_flushed_retired_(metrics->CounterSlot("engine.flushed_retired_events")),
+      engine_flushed_mem_(metrics->CounterSlot("engine.flushed_mem_events")),
+      engine_dispatched_(metrics->CounterSlot("engine.dispatched_events")),
+      engine_flush_size_(metrics->HistogramSlot("engine.flush_size")),
+      monitored_runs_(metrics->CounterSlot("vm.monitored_runs")),
+      pt_bytes_(metrics->CounterSlot("pt.encode.bytes")),
+      pt_toggles_(metrics->CounterSlot("pt.encode.toggles")),
+      pt_traced_branches_(metrics->CounterSlot("pt.encode.traced_branches")),
+      watch_traps_(metrics->CounterSlot("hw.watch.traps")),
+      watch_arms_(metrics->CounterSlot("hw.watch.arms")),
+      watch_denied_arms_(metrics->CounterSlot("hw.watch.denied_arms")),
+      watch_unarmed_accesses_(metrics->CounterSlot("hw.watch.unarmed_accesses")),
+      watch_peak_active_(metrics->GaugeSlot("hw.watch.peak_active")) {}
+
+void RunMetricsPublisher::PublishVm(const RunStats& stats) {
+  *vm_retired_ += stats.steps;
+  *vm_mem_accesses_ += stats.mem_accesses;
+  *vm_branches_ += stats.branches;
+  *vm_context_switches_ += stats.context_switches;
+  *vm_threads_created_ += stats.threads_created;
+  *vm_block_enters_ += stats.block_enters;
+  *vm_returns_ += stats.returns;
+  *vm_thread_events_ += stats.thread_events;
+  vm_run_steps_->Observe(stats.steps);
+  *engine_bursts_ += stats.bursts;
+  *engine_batch_deliveries_ += stats.batch_deliveries;
+  *engine_flushed_retired_ += stats.flushed_retired_events;
+  *engine_flushed_mem_ += stats.flushed_mem_events;
+  *engine_dispatched_ += stats.dispatched_events;
+  // Same fold as MetricsRegistry::MergeBuckets, straight into the slot.
+  metrics_->MergeBuckets("engine.flush_size", stats.flush_size_log2,
+                         RunStats::kFlushSizeBuckets, stats.batch_deliveries,
+                         stats.flushed_retired_events + stats.flushed_mem_events);
+}
+
+void RunMetricsPublisher::Publish(const MonitoredRun& run) {
+  PublishVm(run.result.stats);
+  ++*monitored_runs_;
+  *pt_bytes_ += run.trace.activity.pt_bytes;
+  *pt_toggles_ += run.trace.activity.pt_toggles;
+  *pt_traced_branches_ += run.obs.traced_branches;
+  *watch_traps_ += run.trace.activity.watch_traps;
+  *watch_arms_ += run.trace.activity.watch_arms;
+  *watch_denied_arms_ += run.obs.watch_denied_arms;
+  *watch_unarmed_accesses_ += run.obs.unarmed_accesses;
+  // SetMax semantics: the gauge only moves up.
+  if (static_cast<int64_t>(run.obs.watch_peak_active) > *watch_peak_active_) {
+    *watch_peak_active_ = static_cast<int64_t>(run.obs.watch_peak_active);
+  }
+}
+
 void PublishVmStats(const RunStats& stats, MetricsRegistry* metrics) {
-  metrics->Add("vm.instructions_retired", stats.steps);
-  metrics->Add("vm.mem_accesses", stats.mem_accesses);
-  metrics->Add("vm.branches", stats.branches);
-  metrics->Add("vm.context_switches", stats.context_switches);
-  metrics->Add("vm.threads_created", stats.threads_created);
-  metrics->Observe("vm.run_steps", stats.steps);
-  metrics->Add("engine.bursts", stats.bursts);
-  metrics->Add("engine.batch_deliveries", stats.batch_deliveries);
-  metrics->Add("engine.flushed_retired_events", stats.flushed_retired_events);
-  metrics->Add("engine.flushed_mem_events", stats.flushed_mem_events);
-  metrics->Add("engine.dispatched_events", stats.dispatched_events);
-  metrics->MergeBuckets("engine.flush_size", stats.flush_size_log2, RunStats::kFlushSizeBuckets,
-                        stats.batch_deliveries,
-                        stats.flushed_retired_events + stats.flushed_mem_events);
+  RunMetricsPublisher(metrics).PublishVm(stats);
 }
 
 void PublishRunMetrics(const MonitoredRun& run, MetricsRegistry* metrics) {
-  PublishVmStats(run.result.stats, metrics);
-  metrics->Add("vm.monitored_runs");
-  metrics->Add("pt.encode.bytes", run.trace.activity.pt_bytes);
-  metrics->Add("pt.encode.toggles", run.trace.activity.pt_toggles);
-  metrics->Add("pt.encode.traced_branches", run.obs.traced_branches);
-  metrics->Add("hw.watch.traps", run.trace.activity.watch_traps);
-  metrics->Add("hw.watch.arms", run.trace.activity.watch_arms);
-  metrics->Add("hw.watch.denied_arms", run.obs.watch_denied_arms);
-  metrics->Add("hw.watch.unarmed_accesses", run.obs.unarmed_accesses);
-  metrics->SetMax("hw.watch.peak_active", static_cast<int64_t>(run.obs.watch_peak_active));
+  RunMetricsPublisher(metrics).Publish(run);
+}
+
+ProfiledRunSample MakeProfiledSample(const RunStats& stats) {
+  ProfiledRunSample sample;
+  sample.retired = stats.steps;
+  sample.mem_accesses = stats.mem_accesses;
+  sample.branches = stats.branches;
+  sample.context_switches = stats.context_switches;
+  sample.block_enters = stats.block_enters;
+  sample.returns = stats.returns;
+  sample.thread_events = stats.thread_events;
+  return sample;
+}
+
+ProfiledRunSample MakeProfiledSample(const MonitoredRun& run) {
+  ProfiledRunSample sample = MakeProfiledSample(run.result.stats);
+  sample.observer_masks = run.obs.observer_masks;
+  sample.watch_denied_arms = run.obs.watch_denied_arms;
+  sample.watch_slot_arms = run.obs.watch_slot_arms;
+  sample.watch_slot_traps = run.obs.watch_slot_traps;
+  sample.watch_traps_by_instr = run.obs.watch_traps_by_instr;
+  return sample;
 }
 
 MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
@@ -164,13 +243,17 @@ MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           uint64_t max_steps) {
   ClientRuntime runtime(module, plan, options.num_cores, options.pt_buffer_bytes,
                         options.watchpoint_slots);
+  MonitoredRun run;
   VmOptions vm_options;
   vm_options.num_cores = options.num_cores;
   vm_options.max_steps = max_steps;
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
+  if (options.collect_profile) {
+    vm_options.profile = &run.profile;
+  }
   Vm vm(module, workload, vm_options);
-  MonitoredRun run{vm.Run(), RunTrace{}, RunObsSample{}};
+  run.result = vm.Run();
   run.trace = runtime.TakeTrace(run_id, run.result);
   run.obs = SampleObs(runtime);
   return run;
@@ -182,6 +265,7 @@ MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
                           const RunDegradation& degradation) {
   ClientRuntime runtime(module, snapshot, client_index, options.num_cores,
                         options.pt_buffer_bytes, degradation.watchpoint_slots);
+  MonitoredRun run;
   VmOptions vm_options;
   vm_options.num_cores = options.num_cores;
   vm_options.max_steps = max_steps;
@@ -189,8 +273,11 @@ MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
   vm_options.decoded = snapshot.decoded().get();  // shared fleet-wide cache
+  if (options.collect_profile) {
+    vm_options.profile = &run.profile;
+  }
   Vm vm(module, workload, vm_options);
-  MonitoredRun run{vm.Run(), RunTrace{}, RunObsSample{}};
+  run.result = vm.Run();
   run.trace = runtime.TakeTrace(run_id, run.result);
   run.obs = SampleObs(runtime);
   return run;

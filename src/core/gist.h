@@ -27,6 +27,7 @@
 #include "src/core/renderer.h"
 #include "src/core/sketch.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 
 namespace gist {
 
@@ -40,6 +41,10 @@ struct GistOptions {
   // sweeps this).
   uint32_t watchpoint_slots = kNumWatchpointSlots;
   std::string title = "failure";
+  // Collect a per-run BlockProfile shard into MonitoredRun::profile
+  // (DESIGN.md §10). The fleet turns this on when a HotPathProfiler is
+  // attached; off, monitored runs pay zero profiling cost.
+  bool collect_profile = false;
 };
 
 class GistServer {
@@ -168,6 +173,13 @@ struct RunObsSample {
   uint64_t watch_denied_arms = 0; // arm requests refused (all slots busy)
   uint32_t watch_peak_active = 0; // most debug registers simultaneously armed
   uint64_t unarmed_accesses = 0;  // tracked accesses left to fleet rotation
+  // Profiler attribution (DESIGN.md §10): the declared SubscribedEvents()
+  // mask of each attached observer, per-debug-register contention, and trap
+  // counts per trapping instruction.
+  std::vector<uint32_t> observer_masks;
+  std::vector<uint64_t> watch_slot_arms;
+  std::vector<uint64_t> watch_slot_traps;
+  std::vector<std::pair<InstrId, uint64_t>> watch_traps_by_instr;
 };
 
 // One monitored production run: executes `workload` under the plan's
@@ -176,16 +188,66 @@ struct MonitoredRun {
   RunResult result;
   RunTrace trace;
   RunObsSample obs;
+  // Per-run profile shard; populated only when GistOptions::collect_profile.
+  BlockProfile profile;
 };
 
-// Publishes one run's mode-independent VM counters ("vm.") and the
-// dispatch-engine telemetry ("engine.") into `metrics`.
-void PublishVmStats(const RunStats& stats, MetricsRegistry* metrics);
+// Publishes per-run metrics into one registry. The publisher resolves every
+// metric name to its storage slot once at construction (the registry's maps
+// are node-based, so the slots stay valid) — the fleet coordinator publishes
+// one run at a time for 10^3+ runs per diagnosis, and re-walking the sorted
+// map for ~20 names per run was the hottest coordinator-side cost.
+class RunMetricsPublisher {
+ public:
+  explicit RunMetricsPublisher(MetricsRegistry* metrics);
 
-// Publishes everything a consumed monitored run contributes to a fleet
-// metrics snapshot: PublishVmStats plus PT-encode ("pt.encode.") and
-// watchpoint ("hw.watch.") activity from the trace and the obs sample.
+  // Mode-independent VM counters ("vm.") + dispatch-engine telemetry
+  // ("engine.") of one run.
+  void PublishVm(const RunStats& stats);
+  // Everything a consumed monitored run contributes: PublishVm plus
+  // PT-encode ("pt.encode.") and watchpoint ("hw.watch.") activity.
+  void Publish(const MonitoredRun& run);
+
+ private:
+  MetricsRegistry* metrics_;
+  // "vm." / "engine." slots.
+  uint64_t* vm_retired_;
+  uint64_t* vm_mem_accesses_;
+  uint64_t* vm_branches_;
+  uint64_t* vm_context_switches_;
+  uint64_t* vm_threads_created_;
+  uint64_t* vm_block_enters_;
+  uint64_t* vm_returns_;
+  uint64_t* vm_thread_events_;
+  Histogram* vm_run_steps_;
+  uint64_t* engine_bursts_;
+  uint64_t* engine_batch_deliveries_;
+  uint64_t* engine_flushed_retired_;
+  uint64_t* engine_flushed_mem_;
+  uint64_t* engine_dispatched_;
+  Histogram* engine_flush_size_;
+  // Monitored-run slots.
+  uint64_t* monitored_runs_;
+  uint64_t* pt_bytes_;
+  uint64_t* pt_toggles_;
+  uint64_t* pt_traced_branches_;
+  uint64_t* watch_traps_;
+  uint64_t* watch_arms_;
+  uint64_t* watch_denied_arms_;
+  uint64_t* watch_unarmed_accesses_;
+  int64_t* watch_peak_active_;
+};
+
+// One-shot wrappers over RunMetricsPublisher, for callers that publish a
+// single run (tests, ad-hoc tools). Hot loops construct the publisher once.
+void PublishVmStats(const RunStats& stats, MetricsRegistry* metrics);
 void PublishRunMetrics(const MonitoredRun& run, MetricsRegistry* metrics);
+
+// Builds the profiler's per-run sample (src/obs/profiler.h). The RunStats
+// flavor covers unmonitored phase-1 probes (event tallies only); the
+// MonitoredRun flavor adds the observer masks and watchpoint attribution.
+ProfiledRunSample MakeProfiledSample(const RunStats& stats);
+ProfiledRunSample MakeProfiledSample(const MonitoredRun& run);
 
 MonitoredRun RunMonitored(const Module& module, const InstrumentationPlan& plan,
                           const Workload& workload, const GistOptions& options = {},

@@ -17,11 +17,13 @@ bool WatchpointUnit::Arm(Addr addr, WatchTrigger trigger) {
       return true;
     }
   }
-  for (Slot& slot : slots_) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
     if (slot.addr == kNullAddr) {
       slot.addr = addr;
       slot.trigger = trigger;
       ++arm_operations_;
+      ++slot_arms_[i];  // fresh claim of this debug register
       const uint32_t active = active_count();
       if (active > peak_active_) {
         peak_active_ = active;
@@ -71,13 +73,16 @@ uint32_t WatchpointUnit::active_count() const {
 }
 
 void WatchpointUnit::OnMemAccess(const MemAccessEvent& event) {
-  for (const Slot& slot : slots_) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
     if (slot.addr != event.addr || slot.addr == kNullAddr) {
       continue;
     }
     if (slot.trigger == WatchTrigger::kWriteOnly && !event.is_write) {
       return;
     }
+    ++slot_traps_[i];
+    ++traps_by_instr_[event.instr];
     events_.push_back(WatchEvent{event.seq, event.tid, event.instr, event.addr, event.value,
                                  event.is_write});
     return;

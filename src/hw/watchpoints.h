@@ -9,6 +9,7 @@
 #ifndef GIST_SRC_HW_WATCHPOINTS_H_
 #define GIST_SRC_HW_WATCHPOINTS_H_
 
+#include <map>
 #include <vector>
 
 #include "src/vm/observer.h"
@@ -40,7 +41,8 @@ class WatchpointUnit : public ExecutionObserver {
  public:
   // `num_slots` defaults to the x86 debug-register count; the ablation bench
   // explores smaller and (hypothetical-hardware) larger budgets.
-  explicit WatchpointUnit(uint32_t num_slots = kNumWatchpointSlots) : slots_(num_slots) {}
+  explicit WatchpointUnit(uint32_t num_slots = kNumWatchpointSlots)
+      : slots_(num_slots), slot_arms_(num_slots, 0), slot_traps_(num_slots, 0) {}
 
   // Arms a watchpoint on `addr` with the given trigger condition. Returns
   // true if the address is now watched (including when it already was);
@@ -68,6 +70,16 @@ class WatchpointUnit : public ExecutionObserver {
   // slot-occupancy figure the flight recorder reports (DESIGN.md §9).
   uint32_t peak_active() const { return peak_active_; }
 
+  // --- profiler attribution (DESIGN.md §10) ---------------------------------
+  // Per-debug-register contention: how often each slot was claimed by a fresh
+  // arm, and how many traps each slot delivered. Index-aligned with the
+  // physical slots, so slot 0 is DR0.
+  const std::vector<uint64_t>& slot_arms() const { return slot_arms_; }
+  const std::vector<uint64_t>& slot_traps() const { return slot_traps_; }
+  // Trap counts attributed to the trapping instruction — the profiler prices
+  // these at CostModel::cycles_per_watch_trap each.
+  const std::map<InstrId, uint64_t>& traps_by_instr() const { return traps_by_instr_; }
+
   // --- ExecutionObserver ----------------------------------------------------
   // Debug registers only see data accesses; trap order is carried by the
   // events' `seq` fields, so batched delivery preserves the log exactly.
@@ -94,6 +106,9 @@ class WatchpointUnit : public ExecutionObserver {
   uint64_t arm_operations_ = 0;
   uint64_t denied_arms_ = 0;
   uint32_t peak_active_ = 0;
+  std::vector<uint64_t> slot_arms_;
+  std::vector<uint64_t> slot_traps_;
+  std::map<InstrId, uint64_t> traps_by_instr_;
 };
 
 }  // namespace gist

@@ -101,6 +101,30 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   }
 }
 
+uint64_t* MetricsRegistry::CounterSlot(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+int64_t* MetricsRegistry::GaugeSlot(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::HistogramSlot(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return &it->second;
+}
+
 uint64_t MetricsRegistry::counter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

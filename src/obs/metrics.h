@@ -59,6 +59,17 @@ class MetricsRegistry {
   // "other" is always the later shard).
   void Merge(const MetricsRegistry& other);
 
+  // Stable-slot accessors: return a pointer to the named metric's storage,
+  // creating a zeroed entry when absent (same creation semantics as
+  // Add(name, 0) / Set(name, 0) / Observe-never, so a slot whose value stays
+  // untouched still serializes). The maps are node-based, so the pointers
+  // stay valid for the registry's lifetime — hot publishers (one publish per
+  // consumed run on 10^3+ run fleets) resolve each name once and then bump
+  // through the slot instead of re-walking the map.
+  uint64_t* CounterSlot(std::string_view name);
+  int64_t* GaugeSlot(std::string_view name);
+  Histogram* HistogramSlot(std::string_view name);
+
   // Lookups (0 / nullptr when the name was never recorded).
   uint64_t counter(std::string_view name) const;
   int64_t gauge(std::string_view name) const;

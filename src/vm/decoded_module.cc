@@ -158,8 +158,8 @@ DecodedModule::DecodedModule(const Module& module) : module_(module) {
         }
         decoded.instrs.push_back(di);
       }
-      decoded.blocks[bid] =
-          DecodedBlock{bid, decoded.instrs.data() + offset, static_cast<uint32_t>(block.size())};
+      decoded.blocks[bid] = DecodedBlock{bid, decoded.instrs.data() + offset,
+                                         static_cast<uint32_t>(block.size()), num_blocks_++};
     }
 
     // Second pass: resolve branch targets to block pointers.

@@ -114,6 +114,10 @@ struct DecodedBlock {
   BlockId id = kNoBlock;
   const DecodedInstr* instrs = nullptr;
   uint32_t size = 0;
+  // Dense module-wide block index (function-major, block order), assigned at
+  // decode time. BlockProfile arrays (src/obs/profiler.h) are indexed by it,
+  // so the interpreter can bump profile counters with one add.
+  uint32_t profile_index = 0;
 };
 
 struct DecodedFunction {
@@ -143,9 +147,14 @@ class DecodedModule {
   }
   size_t num_functions() const { return functions_.size(); }
 
+  // Total basic blocks across all functions == 1 + max profile_index. Sizes
+  // the BlockProfile arrays.
+  uint32_t num_blocks() const { return num_blocks_; }
+
  private:
   const Module& module_;
   std::vector<DecodedFunction> functions_;
+  uint32_t num_blocks_ = 0;
 };
 
 }  // namespace gist

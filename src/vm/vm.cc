@@ -33,6 +33,10 @@ Vm::Vm(const Module& module, Workload workload, VmOptions options)
     owned_decoded_ = std::make_unique<DecodedModule>(module_);
     decoded_ = owned_decoded_.get();
   }
+  if (options_.profile != nullptr) {
+    // Size the shard once so StepBurst can index it unchecked.
+    options_.profile->EnsureSize(decoded_->num_blocks());
+  }
   core_occupant_.assign(options_.num_cores, kNoThread);
   threads_.reserve(kMaxThreads);
   BuildDispatch();
@@ -128,6 +132,7 @@ ThreadId Vm::SpawnThread(FunctionId function, const std::vector<Word>& args, boo
   threads_.push_back(std::move(thread));
   ++result_.stats.threads_created;
   if (!is_main) {
+    ++result_.stats.thread_events;
     Dispatch(on_thread_event_, [&](ExecutionObserver& o) { o.OnThreadStart(tid); });
   }
   return tid;
@@ -163,6 +168,7 @@ void Vm::NotifyBlockEnter(ThreadState& thread) {
 
 void Vm::ExitThread(ThreadState& thread) {
   thread.status = ThreadStatus::kExited;
+  ++result_.stats.thread_events;
   Dispatch(on_thread_event_, [&](ExecutionObserver& o) { o.OnThreadExit(thread.id); });
   // Wake joiners.
   for (ThreadState& other : threads_) {
@@ -196,6 +202,13 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
   uint32_t index = frame->index;
   Word* regs = frame->regs.data();
 
+  // Profiling (src/obs/profiler.h): the retired counter of the *current*
+  // block stays in a hoisted pointer, so the per-instruction cost with
+  // profiling on is one increment; it is re-aimed only at control transfers.
+  // Null when no profile shard is attached.
+  BlockProfile* const prof = options_.profile;
+  uint64_t* prof_retired = prof != nullptr ? &prof->retired[block->profile_index] : nullptr;
+
   auto sync_frame = [&]() {
     frame->block = block;
     frame->index = index;
@@ -207,12 +220,20 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
     block_size = block->size;
     index = frame->index;
     regs = frame->regs.data();
+    if (prof != nullptr) {
+      prof_retired = &prof->retired[block->profile_index];
+    }
   };
   auto enter_block = [&](const DecodedBlock* b) {
     block = b;
     instrs = b->instrs;
     block_size = b->size;
     index = 0;
+    ++result_.stats.block_enters;
+    if (prof != nullptr) {
+      ++prof->exec[b->profile_index];
+      prof_retired = &prof->retired[b->profile_index];
+    }
   };
   // Register indices were validated when the module was decoded, so access
   // is unchecked here.
@@ -237,6 +258,9 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
     GIST_CHECK_LT(index, block_size);
     const DecodedInstr& instr = instrs[index];
     ++executed;
+    if (prof_retired != nullptr) {
+      ++*prof_retired;
+    }
 
     auto mem_fault = [&](MemFault fault, Addr addr) {
       const Instruction& full = *instr.src;
@@ -430,6 +454,12 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
         sync_frame();
         thread.stack.push_back(std::move(callee));
         load_frame();
+        // Entering the callee's entry block (load_frame re-aimed the retired
+        // pointer; the entry still needs its execution count).
+        ++result_.stats.block_enters;
+        if (prof != nullptr) {
+          ++prof->exec[block->profile_index];
+        }
         if (!quiet) {
           notify_block_enter();
         }
@@ -438,6 +468,7 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
       case ExecOp::kRet: {
         const Word value = instr.num_operands == 0 ? 0 : reg(instr.op0);
         const Reg ret_dst = frame->ret_dst;
+        ++result_.stats.returns;
         retire();
         thread.stack.pop_back();
         if (thread.stack.empty()) {
@@ -461,6 +492,11 @@ uint64_t Vm::StepBurst(ThreadState& thread, uint64_t max_count) {
       case ExecOp::kBr: {
         const bool taken = reg(instr.op0) != 0;
         ++result_.stats.branches;
+        if (prof != nullptr) {
+          // Edge profile: charged to the branching block, before enter_block
+          // re-aims the block pointer.
+          ++(taken ? prof->taken : prof->not_taken)[block->profile_index];
+        }
         if (quiet) {
           enter_block(taken ? instr.target0 : instr.target1);
           continue;
@@ -684,6 +720,11 @@ RunResult Vm::Run() {
 
     if (!thread->started) {
       thread->started = true;
+      // First schedule of this thread: it enters its entry block now.
+      ++result_.stats.block_enters;
+      if (options_.profile != nullptr) {
+        ++options_.profile->exec[thread->stack.back().block->profile_index];
+      }
       NotifyBlockEnter(*thread);
     }
     // Execute the whole quantum as one burst. A zero quantum (possible when

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/ir/module.h"
+#include "src/obs/profiler.h"
 #include "src/support/rng.h"
 #include "src/vm/decoded_module.h"
 #include "src/vm/failure.h"
@@ -61,6 +62,12 @@ struct VmOptions {
   // the semantics the fast path must match byte-for-byte. Used by
   // tests/vm_fastpath_test.cc; keep off otherwise.
   bool reference_dispatch = false;
+  // Caller-owned profile shard (src/obs/profiler.h): when set, the
+  // interpreter bumps per-block exec/retired/taken/not_taken counters in it,
+  // indexed by DecodedBlock::profile_index. BlockProfile is header-only, so
+  // this adds no link dependency on the obs library. The VM sizes the shard
+  // at construction; counts accumulate across runs if the caller reuses it.
+  BlockProfile* profile = nullptr;
 };
 
 // Hard cap on concurrently created threads per run. The thread table is
@@ -74,6 +81,12 @@ struct RunStats {
   uint64_t branches = 0;
   uint64_t context_switches = 0;
   uint32_t threads_created = 0;
+  // Mode-independent event-class tallies (the profiler's dispatch breakdown
+  // divides per-mask delivery cost by these): basic-block entries, function
+  // returns, and thread start/exit events.
+  uint64_t block_enters = 0;
+  uint64_t returns = 0;
+  uint64_t thread_events = 0;
 
   // --- dispatch-engine telemetry (DESIGN.md §9) -----------------------------
   // Counted per burst / per flush, never per instruction, so the fast path's

@@ -1,0 +1,228 @@
+// Unit-level contract of the deterministic hot-path profiler (DESIGN.md §10):
+//   1. the JSON and collapsed-stack exports are byte-identical between the
+//      pre-decoded fast path and the reference dispatch on every Table 1 app;
+//   2. the per-block retired histogram accounts every retired instruction and
+//      the edge profile every conditional branch;
+//   3. DiffProfiles accepts byte-equal exports, flags drifted blocks, and
+//      rejects malformed input;
+//   4. PublishSummary mirrors the aggregate into the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/core/gist.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/vm/vm.h"
+
+namespace gist {
+namespace {
+
+// One monitored run of `snapshot` with the interpreter mode pinned — the
+// pre-decoded fast path when `reference` is false, one-virtual-call-per-event
+// dispatch when true — plus the profile shard and obs sample the fleet
+// coordinator would hand to the profiler.
+MonitoredRun RunProfiledWith(const Module& module, const PlanSnapshot& snapshot,
+                             const Workload& workload, const GistOptions& options,
+                             bool reference) {
+  ClientRuntime runtime(module, snapshot, /*client_index=*/0, options.num_cores,
+                        options.pt_buffer_bytes);
+  MonitoredRun run;
+  VmOptions vm_options;
+  vm_options.num_cores = options.num_cores;
+  vm_options.observers = {&runtime};
+  vm_options.hook = &runtime;
+  vm_options.profile = &run.profile;
+  if (reference) {
+    vm_options.reference_dispatch = true;
+  } else {
+    vm_options.decoded = snapshot.decoded().get();
+  }
+  Vm vm(module, workload, vm_options);
+  run.result = vm.Run();
+  run.trace = runtime.TakeTrace(/*run_id=*/0, run.result);
+  run.obs.watch_denied_arms = runtime.watchpoints().denied_arms();
+  run.obs.observer_masks.push_back(runtime.SubscribedEvents());
+  run.obs.watch_slot_arms = runtime.watchpoints().slot_arms();
+  run.obs.watch_slot_traps = runtime.watchpoints().slot_traps();
+  run.obs.watch_traps_by_instr.assign(runtime.watchpoints().traps_by_instr().begin(),
+                                      runtime.watchpoints().traps_by_instr().end());
+  return run;
+}
+
+// Finds a failing workload for `app` with cheap unmonitored probes (the
+// fleet_obs_test probe stream), or fails the test.
+bool FindFailingWorkload(const BugApp& app, FailureReport* report, Workload* workload) {
+  for (uint64_t run = 0; run < 400; ++run) {
+    Rng rng(0x9e3779b97f4a7c15ull ^ (run * 0x45d9f3b5ull));
+    const Workload probe = app.MakeWorkload(run, rng);
+    Vm vm(app.module(), probe, VmOptions{});
+    const RunResult result = vm.Run();
+    if (!result.ok() && result.failure.failing_instr != kNoInstr) {
+      *report = result.failure;
+      *workload = probe;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ProfilerTest, FastPathAndReferenceExportIdenticalProfilesOnAllApps) {
+  // The dispatch breakdown derives from DECLARED observer masks and
+  // mode-independent RunStats tallies, so both exports must be byte-equal.
+  for (const std::unique_ptr<BugApp>& app : MakeAllApps()) {
+    SCOPED_TRACE(app->info().name);
+    const Module& module = app->module();
+    FailureReport first_failure;
+    Workload failing_workload;
+    ASSERT_TRUE(FindFailingWorkload(*app, &first_failure, &failing_workload))
+        << "no failing workload among probes";
+
+    GistOptions options;
+    GistServer server(module, options);
+    server.ReportFailure(first_failure);
+    const PlanSnapshot snapshot = server.Snapshot();
+    ASSERT_NE(snapshot.decoded(), nullptr);
+
+    std::vector<Workload> workloads = {failing_workload};
+    for (uint64_t run = 0; run < 2; ++run) {
+      Rng rng(0x9e3779b97f4a7c15ull ^ (run * 0x45d9f3b5ull));
+      workloads.push_back(app->MakeWorkload(run, rng));
+    }
+
+    HotPathProfiler fast;
+    HotPathProfiler reference;
+    fast.Attach(*snapshot.decoded(), app->info().name);
+    reference.Attach(*snapshot.decoded(), app->info().name);
+    for (const Workload& workload : workloads) {
+      const MonitoredRun fast_run = RunProfiledWith(module, snapshot, workload, options, false);
+      const MonitoredRun ref_run = RunProfiledWith(module, snapshot, workload, options, true);
+      fast.AddRun(fast_run.profile, MakeProfiledSample(fast_run));
+      reference.AddRun(ref_run.profile, MakeProfiledSample(ref_run));
+    }
+    EXPECT_GT(fast.totals().total_retired(), 0u);
+    EXPECT_EQ(fast.ProfileJson(), reference.ProfileJson());
+    EXPECT_EQ(fast.ProfileCollapsed(), reference.ProfileCollapsed());
+  }
+}
+
+TEST(ProfilerTest, RetiredHistogramAccountsEveryInstruction) {
+  // The per-block histogram is not a sample: summed over blocks it equals the
+  // interpreter's retired-instruction count exactly, run by run.
+  std::unique_ptr<BugApp> app = MakeAppByName("memcached");
+  ASSERT_NE(app, nullptr);
+  DecodedModule decoded(app->module());
+  HotPathProfiler profiler;
+  profiler.Attach(decoded, app->info().name);
+  uint64_t steps = 0;
+  uint64_t branches = 0;
+  for (uint64_t run = 0; run < 4; ++run) {
+    Rng rng(run + 1);
+    const Workload workload = app->MakeWorkload(run, rng);
+    BlockProfile shard;
+    VmOptions options;
+    options.decoded = &decoded;
+    options.profile = &shard;
+    Vm vm(app->module(), workload, options);
+    const RunResult result = vm.Run();
+    EXPECT_EQ(shard.total_retired(), result.stats.steps);
+    steps += result.stats.steps;
+    branches += result.stats.branches;
+    profiler.AddRun(shard, MakeProfiledSample(result.stats));
+  }
+  ASSERT_GT(steps, 0u);
+  EXPECT_EQ(profiler.totals().total_retired(), steps);
+  EXPECT_EQ(profiler.runs(), 4u);
+  // Every conditional branch lands in exactly one of taken/not_taken.
+  uint64_t edges = 0;
+  for (size_t i = 0; i < profiler.totals().taken.size(); ++i) {
+    edges += profiler.totals().taken[i] + profiler.totals().not_taken[i];
+  }
+  EXPECT_EQ(edges, branches);
+  const std::string json = profiler.ProfileJson();
+  EXPECT_NE(json.find("\"schema\": \"gist.profile.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hot_chains\""), std::string::npos);
+  const std::string collapsed = profiler.ProfileCollapsed();
+  EXPECT_EQ(collapsed.compare(0, app->info().name.size() + 1, app->info().name + ";"), 0);
+}
+
+TEST(ProfilerTest, DiffAcceptsEqualProfilesAndFlagsDrift) {
+  std::unique_ptr<BugApp> app = MakeAppByName("memcached");
+  ASSERT_NE(app, nullptr);
+  DecodedModule decoded(app->module());
+  auto run_into = [&](HotPathProfiler& profiler, uint64_t runs) {
+    profiler.Attach(decoded, app->info().name);
+    for (uint64_t run = 0; run < runs; ++run) {
+      Rng rng(run + 1);
+      const Workload workload = app->MakeWorkload(run, rng);
+      BlockProfile shard;
+      VmOptions options;
+      options.decoded = &decoded;
+      options.profile = &shard;
+      Vm vm(app->module(), workload, options);
+      const RunResult result = vm.Run();
+      profiler.AddRun(shard, MakeProfiledSample(result.stats));
+    }
+  };
+  HotPathProfiler baseline;
+  HotPathProfiler more_runs;
+  run_into(baseline, 2);
+  run_into(more_runs, 3);
+
+  const ProfileDiffResult same = DiffProfiles(baseline.ProfileJson(), baseline.ProfileJson());
+  EXPECT_TRUE(same.parsed);
+  EXPECT_TRUE(same.ok) << same.report;
+
+  const ProfileDiffResult drift = DiffProfiles(baseline.ProfileJson(), more_runs.ProfileJson());
+  EXPECT_TRUE(drift.parsed);
+  EXPECT_FALSE(drift.ok);
+  EXPECT_NE(drift.report.find("regressed"), std::string::npos);
+
+  // A generous drift allowance turns the same delta into a pass.
+  ProfileDiffOptions loose;
+  loose.max_drift_permille = 1000;
+  const ProfileDiffResult tolerated =
+      DiffProfiles(baseline.ProfileJson(), more_runs.ProfileJson(), loose);
+  EXPECT_TRUE(tolerated.parsed);
+  EXPECT_TRUE(tolerated.ok) << tolerated.report;
+
+  const ProfileDiffResult garbage = DiffProfiles("not json at all", baseline.ProfileJson());
+  EXPECT_FALSE(garbage.parsed);
+  EXPECT_FALSE(garbage.ok);
+  EXPECT_FALSE(garbage.error.empty());
+
+  const ProfileDiffResult wrong_schema =
+      DiffProfiles("{\"schema\": \"something.else\"}", baseline.ProfileJson());
+  EXPECT_FALSE(wrong_schema.parsed);
+  EXPECT_FALSE(wrong_schema.ok);
+}
+
+TEST(ProfilerTest, PublishSummaryMirrorsAggregateIntoRegistry) {
+  std::unique_ptr<BugApp> app = MakeAppByName("memcached");
+  ASSERT_NE(app, nullptr);
+  DecodedModule decoded(app->module());
+  HotPathProfiler profiler;
+  profiler.Attach(decoded, app->info().name);
+  Rng rng(7);
+  const Workload workload = app->MakeWorkload(0, rng);
+  BlockProfile shard;
+  VmOptions options;
+  options.decoded = &decoded;
+  options.profile = &shard;
+  Vm vm(app->module(), workload, options);
+  const RunResult result = vm.Run();
+  profiler.AddRun(shard, MakeProfiledSample(result.stats));
+
+  MetricsRegistry metrics;
+  profiler.PublishSummary(&metrics);
+  EXPECT_EQ(metrics.counter("profile.runs"), profiler.runs());
+  EXPECT_EQ(metrics.counter("profile.retired_total"), profiler.totals().total_retired());
+  EXPECT_EQ(metrics.counter("profile.retired_total"), result.stats.steps);
+}
+
+}  // namespace
+}  // namespace gist

@@ -66,7 +66,9 @@ stage_release() {
   echo "=== [release] flight recorder smoke ==="
   ./build-ci-release/gist diagnose-app sqlite --fleet-seed 3 \
     --metrics-json build-ci-release/obs_metrics.json \
-    --trace-json build-ci-release/obs_trace.json >/dev/null
+    --trace-json build-ci-release/obs_trace.json \
+    --profile-json build-ci-release/profile.json \
+    --profile-collapsed build-ci-release/profile.collapsed >/dev/null
   python3 - <<'EOF'
 import json
 with open("build-ci-release/obs_metrics.json") as f:
@@ -79,6 +81,38 @@ assert events, "empty trace"
 assert any(e["ph"] == "X" for e in events), "no spans in trace"
 print(f"flight recorder smoke OK: {len(metrics['counters'])} counters, {len(events)} events")
 EOF
+  # Profile schema check (DESIGN.md §10): the exported gist.profile.v1 JSON
+  # must be internally consistent — the per-block retired histogram sums to
+  # the totals — and every collapsed-stack line must parse as
+  # "app;function;block count".
+  echo "=== [release] profile schema check ==="
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/profile.json") as f:
+    profile = json.load(f)
+assert profile["schema"] == "gist.profile.v1", profile.get("schema")
+for key in ("app", "runs", "totals", "blocks", "edges", "hot_chains", "watch", "dispatch"):
+    assert key in profile, f"missing {key}"
+assert profile["runs"] > 0, "no runs profiled"
+retired = sum(b["retired"] for b in profile["blocks"])
+assert retired == profile["totals"]["retired"], (retired, profile["totals"]["retired"])
+with open("build-ci-release/profile.collapsed") as f:
+    lines = f.read().splitlines()
+assert lines, "empty collapsed export"
+for line in lines:
+    stack, count = line.rsplit(" ", 1)
+    assert len(stack.split(";")) == 3, line
+    int(count)
+print(f"profile schema OK: {len(profile['blocks'])} blocks, {len(lines)} collapsed stacks")
+EOF
+  # Profile-diff gate (DESIGN.md §10): the deterministic profile must match
+  # the committed BENCH_profile.json baseline bit-for-bit — any drifted block
+  # means different instructions executed, which the throughput floor would
+  # never catch. Regenerate the baseline with:
+  #   ./build-ci-release/gist diagnose-app sqlite --fleet-seed 3 \
+  #     --profile-json BENCH_profile.json
+  echo "=== [release] profile diff gate ==="
+  ./build-ci-release/gist profdiff BENCH_profile.json build-ci-release/profile.json --top 5
 }
 
 stage_tsan() {

@@ -26,10 +26,15 @@
 //   gist dump-app <name>
 //       Print a bundled bug's MiniIR module as parseable text (pipe it to a
 //       .gir file to experiment with the generic commands).
+//   gist profdiff <baseline.json> <current.json> [--top N] [--max-drift-permille P]
+//       Diff two deterministic profile exports (--profile-json); exit 1 when
+//       any block's retired count drifts past the threshold. tools/ci.sh
+//       runs this as the perf gate against the committed BENCH_profile.json.
 //
 // Programs are MiniIR text files (see src/ir/parser.h for the grammar).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -39,6 +44,7 @@
 #include "src/core/gist.h"
 #include "src/ir/parser.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
 #include "src/pt/dump.h"
 #include "src/pt/tracer.h"
 #include "src/support/logging.h"
@@ -58,6 +64,8 @@ struct CliOptions {
   std::vector<Word> inputs;
   std::string metrics_json;  // write the flight recorder's metrics here
   std::string trace_json;    // write the Chrome trace-event stream here
+  std::string profile_json;       // write the hot-path profile (gist.profile.v1)
+  std::string profile_collapsed;  // write collapsed stacks for flamegraph tools
   std::string log_level;     // debug|info|warning|error
 };
 
@@ -69,12 +77,18 @@ int Usage() {
                "       gist diagnose-app <name> [--fleet-seed N] [--jobs N]\n"
                "       gist fix-app <name> [--fleet-seed N] [--jobs N]\n"
                "       gist dump-app <name>\n"
+               "       gist profdiff <baseline.json> <current.json> [--top N] "
+               "[--max-drift-permille P]\n"
                "common flags:\n"
                "  --log-level debug|info|warning|error   stderr verbosity (default info)\n"
                "  --metrics-json <path>   write the flight recorder's deterministic\n"
                "                          metrics snapshot (diagnose/diagnose-app/fix-app)\n"
                "  --trace-json <path>     write the virtual-time span trace in Chrome\n"
-               "                          trace-event format (diagnose-app/fix-app)\n");
+               "                          trace-event format (diagnose-app/fix-app)\n"
+               "  --profile-json <path>   write the deterministic hot-path profile\n"
+               "                          (gist.profile.v1; diagnose-app/fix-app)\n"
+               "  --profile-collapsed <path>  write collapsed flamegraph stacks\n"
+               "                          (app;function;block count per line)\n");
   return 2;
 }
 
@@ -98,6 +112,18 @@ bool ExportRecorder(const FlightRecorder& recorder, const CliOptions& options) {
   }
   if (!options.trace_json.empty()) {
     ok = WriteFileOrWarn(options.trace_json, recorder.TraceJson()) && ok;
+  }
+  return ok;
+}
+
+// Exports the hot-path profile artifacts requested on the command line.
+bool ExportProfiler(const HotPathProfiler& profiler, const CliOptions& options) {
+  bool ok = true;
+  if (!options.profile_json.empty()) {
+    ok = WriteFileOrWarn(options.profile_json, profiler.ProfileJson()) && ok;
+  }
+  if (!options.profile_collapsed.empty()) {
+    ok = WriteFileOrWarn(options.profile_collapsed, profiler.ProfileCollapsed()) && ok;
   }
   return ok;
 }
@@ -145,6 +171,16 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
         return false;
       }
       options->trace_json = argv[++i];
+    } else if (arg == "--profile-json") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->profile_json = argv[++i];
+    } else if (arg == "--profile-collapsed") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->profile_collapsed = argv[++i];
     } else if (arg == "--log-level") {
       if (i + 1 >= argc) {
         return false;
@@ -364,11 +400,15 @@ int CmdDiagnoseApp(const CliOptions& options) {
     return 1;
   }
   FlightRecorder recorder;
+  HotPathProfiler profiler;
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   fleet_options.gist.title = app->info().name;
   fleet_options.recorder = &recorder;
+  if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
+    fleet_options.profiler = &profiler;
+  }
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
   const std::vector<InstrId>& root_cause = app->root_cause_instrs();
@@ -380,7 +420,7 @@ int CmdDiagnoseApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options)) {
+  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options)) {
     return 1;
   }
   if (!result.first_failure_found) {
@@ -416,10 +456,15 @@ int CmdFixApp(const CliOptions& options) {
     return 1;
   }
   FlightRecorder recorder;
+  HotPathProfiler profiler;
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
+  fleet_options.gist.title = app->info().name;
   fleet_options.recorder = &recorder;
+  if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
+    fleet_options.profiler = &profiler;
+  }
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
   const std::vector<InstrId>& root_cause = app->root_cause_instrs();
@@ -431,7 +476,7 @@ int CmdFixApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options)) {
+  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options)) {
     return 1;
   }
   if (!result.root_cause_found) {
@@ -468,6 +513,54 @@ int CmdFixApp(const CliOptions& options) {
   return after == 0 && before > 0 ? 0 : 1;
 }
 
+// `gist profdiff baseline.json current.json [--top N] [--max-drift-permille P]`
+// — the CI perf gate. Exit 0: within thresholds; 1: drift or parse failure;
+// 2: usage error.
+int CmdProfDiff(int argc, char** argv) {
+  std::vector<std::string> paths;
+  ProfileDiffOptions diff_options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      diff_options.top_n = static_cast<uint32_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--max-drift-permille") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      diff_options.max_drift_permille = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    return Usage();
+  }
+  std::string contents[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream file(paths[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", paths[i].c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    contents[i] = text.str();
+  }
+  const ProfileDiffResult diff = DiffProfiles(contents[0], contents[1], diff_options);
+  if (!diff.parsed) {
+    std::fprintf(stderr, "profdiff: %s\n", diff.error.c_str());
+    return 1;
+  }
+  std::printf("%s", diff.report.c_str());
+  std::printf("profdiff: %s\n", diff.ok ? "OK" : "DRIFT");
+  return diff.ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -475,6 +568,9 @@ int Main(int argc, char** argv) {
   const std::string_view command = argv[1];
   if (command == "apps") {
     return CmdApps();
+  }
+  if (command == "profdiff") {
+    return CmdProfDiff(argc, argv);
   }
   CliOptions options;
   if (!ParseArgs(argc, argv, 2, &options)) {
