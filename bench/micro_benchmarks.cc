@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string_view>
@@ -274,11 +275,13 @@ int Main(int argc, char** argv) {
   if (!emit_path.empty()) {
     const double steps_per_sec = MeasureVmStepsPerSecond();
     const double profiler_overhead = MeasureProfilerOverheadRatio();
+    const WarmStartMeasurement warm = MeasureWarmStartSpeedup(/*jobs=*/1);
     const InvariantCounters counters = MeasureInvariantCounters();
     if (!UpdateBenchJson(
             emit_path,
             {{"vm_interp_steps_per_sec", steps_per_sec},
              {"vm_profiler_overhead_ratio", profiler_overhead},
+             {"vm_warm_start_speedup", warm.speedup},
              {"obs_instructions_retired", static_cast<double>(counters.instructions_retired)},
              {"obs_pt_packets_decoded", static_cast<double>(counters.pt_packets_decoded)},
              {"obs_watch_traps", static_cast<double>(counters.watch_traps)}})) {
@@ -287,6 +290,9 @@ int Main(int argc, char** argv) {
     }
     std::printf("vm_interp_steps_per_sec: %.3g -> %s\n", steps_per_sec, emit_path.c_str());
     std::printf("vm_profiler_overhead_ratio: %.3f -> %s\n", profiler_overhead, emit_path.c_str());
+    std::printf("vm_warm_start_speedup: %.2f (uncached %.3fs, warm %.3fs, %llu warm hits) -> %s\n",
+                warm.speedup, warm.uncached_seconds, warm.warm_seconds,
+                static_cast<unsigned long long>(warm.warm_hits), emit_path.c_str());
     std::printf("obs counters: retired=%llu pt_packets=%llu watch_traps=%llu -> %s\n",
                 static_cast<unsigned long long>(counters.instructions_retired),
                 static_cast<unsigned long long>(counters.pt_packets_decoded),
@@ -334,6 +340,39 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "perf smoke FAILED: profiler overhead ratio %.3f exceeds 1.25\n",
                    overhead);
       return 1;
+    }
+
+    // Warm-start gate: the artifact store must keep paying for itself. The
+    // floor is cushioned (70% of baseline, never below 1.10x) so machine
+    // noise cannot flake it while a cache that stopped hitting — e.g. a key
+    // derivation that no longer matches across campaigns — still fails. A
+    // zero-hit warm sweep fails outright regardless of wall-clock.
+    const auto warm_it = baseline.find("vm_warm_start_speedup");
+    if (warm_it == baseline.end()) {
+      if (smoke_strict) {
+        std::fprintf(stderr,
+                     "perf smoke FAILED: no vm_warm_start_speedup baseline in %s "
+                     "(--perf-smoke-strict)\n",
+                     smoke_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "perf smoke: no vm_warm_start_speedup in %s; skipping gate\n",
+                   smoke_path.c_str());
+    } else {
+      const WarmStartMeasurement warm = MeasureWarmStartSpeedup(/*jobs=*/1);
+      const double warm_floor = std::max(1.10, warm_it->second * 0.7);
+      std::printf("perf smoke: warm-start speedup %.2f vs %.2f baseline (floor %.2f, %llu hits)\n",
+                  warm.speedup, warm_it->second, warm_floor,
+                  static_cast<unsigned long long>(warm.warm_hits));
+      if (warm.warm_hits == 0) {
+        std::fprintf(stderr, "perf smoke FAILED: warm sweep had zero cache hits\n");
+        return 1;
+      }
+      if (warm.speedup < warm_floor) {
+        std::fprintf(stderr, "perf smoke FAILED: warm-start speedup %.2f below floor %.2f\n",
+                     warm.speedup, warm_floor);
+        return 1;
+      }
     }
 
     // Invariant-counter gate: the recorder's deterministic fleet counters

@@ -17,10 +17,6 @@
 namespace gist {
 namespace {
 
-const char* kApps[] = {"apache-1",   "apache-2",  "apache-3", "apache-4",
-                       "cppcheck-1", "cppcheck-2", "curl",     "transmission",
-                       "sqlite",     "memcached",  "pbzip2"};
-
 // The bugs whose sketches the paper renders as figures.
 bool RendersFigure(const std::string& name) {
   return name == "pbzip2" || name == "curl" || name == "apache-3";
@@ -33,7 +29,7 @@ std::vector<AppFleetOutcome> RunAllFleets(uint32_t jobs, double* seconds) {
   options.jobs = jobs;
   std::vector<AppFleetOutcome> outcomes;
   const auto start = std::chrono::steady_clock::now();
-  for (const char* name : kApps) {
+  for (const std::string& name : Table1Apps()) {
     outcomes.push_back(RunAppFleet(name, options));
   }
   const auto end = std::chrono::steady_clock::now();

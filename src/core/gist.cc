@@ -6,17 +6,34 @@
 
 namespace gist {
 
+GistServer::IngestSlots::IngestSlots(MetricsRegistry* metrics)
+    : decode_packets(metrics->CounterSlot("pt.decode.packets")),
+      decode_bytes(metrics->CounterSlot("pt.decode.bytes")),
+      decode_tnt_bits(metrics->CounterSlot("pt.decode.tnt_bits")),
+      rejected_foreign(metrics->CounterSlot("server.traces.rejected_foreign")),
+      quarantined(metrics->CounterSlot("server.traces.quarantined")),
+      accepted(metrics->CounterSlot("server.traces.accepted")),
+      recurrences(metrics->CounterSlot("server.failure_recurrences")),
+      upload_bytes(metrics->HistogramSlot("pt.upload_bytes")) {
+  for (size_t fault = 0; fault < kNumPtDecodeFaults; ++fault) {
+    decode_errors[fault] = metrics->CounterSlot(
+        std::string("pt.decode.errors.") + PtDecodeFaultKey(static_cast<PtDecodeFault>(fault)));
+  }
+}
+
 GistServer::GistServer(const Module& module, GistOptions options)
     : module_(module),
       options_(std::move(options)),
-      ticfg_(module),
-      decoded_(std::make_shared<const DecodedModule>(module)) {}
+      module_hash_(options_.store != nullptr ? HashModule(module) : ContentHash{}),
+      ticfg_(GetOrBuildTicfg(options_.store, module, module_hash_)),
+      decoded_(GetOrDecodeModule(options_.store, module, module_hash_)),
+      ingest_(&metrics_) {}
 
 void GistServer::ReportFailure(const FailureReport& report) {
   GIST_CHECK_NE(report.failing_instr, kNoInstr) << "failure report lacks a failing statement";
   has_target_ = true;
   target_hash_ = report.MatchHash();
-  slice_ = ComputeBackwardSlice(ticfg_, report.failing_instr);
+  slice_ = *GetOrComputeSlice(options_.store, *ticfg_, module_hash_, report.failing_instr);
   ast_ = std::make_unique<AstController>(slice_, options_.initial_sigma, options_.ast_growth);
   traces_.clear();
   discovered_.clear();
@@ -33,7 +50,7 @@ void GistServer::Replan() {
       window.push_back(id);
     }
   }
-  plan_ = PlanInstrumentation(ticfg_, window);
+  plan_ = PlanInstrumentation(*ticfg_, window);
   ++plan_version_;
   metrics_.Add("ast.replans");
   metrics_.Set("ast.sigma", static_cast<int64_t>(ast_->sigma()));
@@ -44,7 +61,7 @@ void GistServer::Replan() {
 GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   GIST_CHECK(has_target_);
   if (trace.failed && trace.failure.MatchHash() != target_hash_) {
-    metrics_.Add("server.traces.rejected_foreign");
+    *ingest_.rejected_foreign += 1;
     return TraceIngest::kRejectedForeign;  // a different bug; not our target
   }
 
@@ -53,32 +70,35 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   // rejects quarantines the whole trace (DESIGN.md §8). All cores are decoded
   // even after the first rejection: the decode-shape and error-class counters
   // must account every stream of the upload, or chaos fleets under-report
-  // exactly the traffic they were injected to produce.
+  // exactly the traffic they were injected to produce. With an artifact
+  // store the decode itself may be a cache hit — the counters still add the
+  // (cached) stream's stats, so the metrics export is identical either way,
+  // and sketch builds later hit the same keys.
   uint64_t upload_bytes = 0;
   bool quarantine = false;
   for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
     upload_bytes += trace.pt_buffers[core].size();
-    PtDecodeResult decode =
-        DecodePt(module_, static_cast<CoreId>(core), trace.pt_buffers[core]);
-    metrics_.Add("pt.decode.packets", static_cast<uint64_t>(decode.stats.packets));
-    metrics_.Add("pt.decode.bytes", static_cast<uint64_t>(decode.stats.bytes));
-    metrics_.Add("pt.decode.tnt_bits", static_cast<uint64_t>(decode.stats.tnt_bits));
-    if (!decode.ok()) {
+    const std::shared_ptr<const PtDecodeResult> decode = GetOrDecodePt(
+        options_.store, module_, module_hash_, static_cast<CoreId>(core), trace.pt_buffers[core]);
+    *ingest_.decode_packets += decode->stats.packets;
+    *ingest_.decode_bytes += decode->stats.bytes;
+    *ingest_.decode_tnt_bits += decode->stats.tnt_bits;
+    if (!decode->ok()) {
       quarantine = true;
-      metrics_.Add(std::string("pt.decode.errors.") + PtDecodeFaultKey(decode.error->fault));
+      *ingest_.decode_errors[static_cast<size_t>(decode->error->fault)] += 1;
     }
   }
   if (quarantine) {
     ++quarantined_traces_;
-    metrics_.Add("server.traces.quarantined");
+    *ingest_.quarantined += 1;
     return TraceIngest::kQuarantined;
   }
-  metrics_.Add("server.traces.accepted");
-  metrics_.Observe("pt.upload_bytes", upload_bytes);
+  *ingest_.accepted += 1;
+  ingest_.upload_bytes->Observe(upload_bytes);
 
   if (trace.failed) {
     ++failure_recurrences_;
-    metrics_.Add("server.failure_recurrences");
+    *ingest_.recurrences += 1;
   }
 
   // Data-flow refinement: watchpoint-caught statements outside the static
@@ -99,6 +119,24 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   return TraceIngest::kAccepted;
 }
 
+PlanSnapshot GistServer::Snapshot() const {
+  GIST_CHECK(has_target_);
+  std::shared_ptr<const PlanSnapshot::RotationList> rotations;
+  if (options_.store != nullptr && plan_.watch_instrs.size() > options_.watchpoint_slots) {
+    // Re-freezes of an unchanged plan (iterations without a replan, warm
+    // campaigns on the same failure) reuse one materialized rotation list.
+    const ArtifactKey key =
+        PlanRotationsKey(module_hash_, HashPlan(plan_), options_.watchpoint_slots);
+    rotations = options_.store->GetOrBuildObject<PlanSnapshot::RotationList>(
+        key, &module_, ApproxPlanBytes(plan_) * (plan_.watch_instrs.size() + 1), [&] {
+          return std::make_shared<const PlanSnapshot::RotationList>(
+              PlanSnapshot::BuildRotations(plan_, options_.watchpoint_slots));
+        });
+  }
+  return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma(), decoded_,
+                      std::move(rotations));
+}
+
 Result<FailureSketch> GistServer::BuildSketch() const {
   GIST_CHECK(has_target_);
   SketchOptions sketch_options;
@@ -106,6 +144,8 @@ Result<FailureSketch> GistServer::BuildSketch() const {
   sketch_options.title = options_.title;
   sketch_options.discovered = &discovered_;
   sketch_options.quarantined = quarantined_traces_;
+  sketch_options.store = options_.store;
+  sketch_options.module_hash = module_hash_;
   Result<FailureSketch> sketch =
       BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
   metrics_.Add("stats.sketch_builds");

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/analysis/slicer.h"
+#include "src/cache/factories.h"
 #include "src/core/ast_controller.h"
 #include "src/core/client_runtime.h"
 #include "src/core/instrumentation.h"
@@ -45,6 +46,12 @@ struct GistOptions {
   // (DESIGN.md §10). The fleet turns this on when a HotPathProfiler is
   // attached; off, monitored runs pay zero profiling cost.
   bool collect_profile = false;
+  // Optional content-addressed artifact store (DESIGN.md §11): Ticfg,
+  // DecodedModule, slices, PT decodes, and rotation lists are served from it
+  // when present, so repeated campaigns on the same module warm-start. Must
+  // outlive the server. Null: every artifact is built fresh — behavior and
+  // every export are byte-identical either way.
+  ArtifactStore* store = nullptr;
 };
 
 class GistServer {
@@ -52,7 +59,7 @@ class GistServer {
   explicit GistServer(const Module& module, GistOptions options = {});
 
   const Module& module() const { return module_; }
-  const Ticfg& ticfg() const { return ticfg_; }
+  const Ticfg& ticfg() const { return *ticfg_; }
 
   // Registers the target failure: computes the static backward slice from the
   // failing statement and the initial instrumentation plan.
@@ -79,10 +86,9 @@ class GistServer {
   // execution engine hands to monitored runs; the server itself stays on the
   // coordinator thread. The snapshot carries the server's pre-decoded module
   // cache, so every fleet run of it interprets from the same DecodedModule.
-  PlanSnapshot Snapshot() const {
-    GIST_CHECK(has_target_);
-    return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma(), decoded_);
-  }
+  // With an artifact store, re-freezes of an unchanged plan reuse one
+  // materialized rotation list instead of rebuilding it per iteration.
+  PlanSnapshot Snapshot() const;
 
   // The server's pre-decoded interpreter cache for module() (built once at
   // construction; immutable and safe to share across concurrent runs).
@@ -148,9 +154,31 @@ class GistServer {
   // refinement has added to the slice.
   void Replan();
 
+  // Ingest-path metric slots, resolved once per server (the PR 6 discipline
+  // RunMetricsPublisher established): AddTrace runs once per upload on 10^3+
+  // run fleets, and looking the names up per trace re-walked the sorted
+  // registry map — with a heap-allocated "pt.decode.errors." + key string
+  // per faulty stream on the error path.
+  struct IngestSlots {
+    explicit IngestSlots(MetricsRegistry* metrics);
+
+    uint64_t* decode_packets;
+    uint64_t* decode_bytes;
+    uint64_t* decode_tnt_bits;
+    uint64_t* decode_errors[kNumPtDecodeFaults];
+    uint64_t* rejected_foreign;
+    uint64_t* quarantined;
+    uint64_t* accepted;
+    uint64_t* recurrences;
+    Histogram* upload_bytes;
+  };
+
   const Module& module_;
   GistOptions options_;
-  Ticfg ticfg_;
+  // Content identity of module_; keys every artifact-store lookup. Only
+  // computed when a store is attached.
+  ContentHash module_hash_;
+  std::shared_ptr<const Ticfg> ticfg_;
   std::shared_ptr<const DecodedModule> decoded_;
   bool has_target_ = false;
   uint64_t target_hash_ = 0;
@@ -163,6 +191,7 @@ class GistServer {
   uint32_t failure_recurrences_ = 0;
   uint64_t quarantined_traces_ = 0;
   mutable MetricsRegistry metrics_;
+  IngestSlots ingest_;  // after metrics_: slots resolve into it
 };
 
 // Client-side observability sample for one monitored run (DESIGN.md §9).

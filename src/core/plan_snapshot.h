@@ -30,14 +30,24 @@ namespace gist {
 
 class PlanSnapshot {
  public:
+  using RotationList = std::vector<InstrumentationPlan>;
+
   // Freezes `plan` for clients with `watchpoint_slots` hardware slots.
   // `version` counts the server's replans (any refinement discovery or AsT
   // advance bumps it); `sigma` records the AsT window size the plan tracks.
   // `decoded` optionally ships the server's pre-decoded module cache so every
   // run of the snapshot interprets from the same read-only DecodedModule
-  // instead of re-decoding (DESIGN.md §7).
+  // instead of re-decoding (DESIGN.md §7). `rotations` optionally supplies
+  // an already-materialized rotation list for exactly this (plan, slots) —
+  // the artifact store hands the same list to every re-freeze of an
+  // unchanged plan (DESIGN.md §11); when null the snapshot builds its own.
   PlanSnapshot(InstrumentationPlan plan, uint32_t watchpoint_slots, uint64_t version,
-               uint32_t sigma, std::shared_ptr<const DecodedModule> decoded = nullptr);
+               uint32_t sigma, std::shared_ptr<const DecodedModule> decoded = nullptr,
+               std::shared_ptr<const RotationList> rotations = nullptr);
+
+  // Materializes the §3.2.3 rotation windows of `plan` for `slots`-register
+  // clients; empty when the watch set fits the slots.
+  static RotationList BuildRotations(const InstrumentationPlan& plan, uint32_t slots);
 
   // The unrestricted plan (what the server would ship to a lone client).
   const InstrumentationPlan& base() const { return plan_; }
@@ -51,7 +61,7 @@ class PlanSnapshot {
   uint32_t watchpoint_slots() const { return slots_; }
 
   // Number of distinct rotated plans (0 when no rotation is needed).
-  size_t rotation_count() const { return rotations_.size(); }
+  size_t rotation_count() const { return rotations_ == nullptr ? 0 : rotations_->size(); }
 
   // The shared pre-decoded module cache, or null when the snapshot was built
   // without one (runs then decode privately).
@@ -65,7 +75,8 @@ class PlanSnapshot {
   std::shared_ptr<const DecodedModule> decoded_;
   // Rotation r restricts the watch set to sorted accesses
   // [r, r + slots) mod |accesses|; indexed by (client * slots) mod size.
-  std::vector<InstrumentationPlan> rotations_;
+  // Shared immutably: re-freezes of an unchanged plan reuse one list.
+  std::shared_ptr<const RotationList> rotations_;
 };
 
 }  // namespace gist

@@ -48,6 +48,51 @@ struct LayoutEntry {
   bool discovered = false;
 };
 
+// Borrowed views over shared cached decodes, for the pointer-view overloads.
+std::vector<const DecodedCoreTrace*> TraceViews(
+    const std::vector<std::shared_ptr<const PtDecodeResult>>& decoded) {
+  std::vector<const DecodedCoreTrace*> views;
+  views.reserve(decoded.size());
+  for (const auto& result : decoded) views.push_back(&result->trace);
+  return views;
+}
+
+// Cache key for one trace's extracted predictor set: a pure function of
+// (module, PT buffers, watch log). Without a cache every sketch rebuild
+// re-extracts all accumulated traces, which is quadratic across iterations.
+ArtifactKey PredictorsKey(const ContentHash& module_hash, const RunTrace& trace) {
+  uint64_t hi = module_hash.hi;
+  uint64_t lo = module_hash.lo;
+  for (const std::vector<uint8_t>& bytes : trace.pt_buffers) {
+    const ContentHash stream = HashContent(bytes.data(), bytes.size());
+    hi = HashCombine(hi, stream.hi);
+    lo = HashCombine(lo, stream.lo);
+  }
+  for (const WatchEvent& event : trace.watch_events) {
+    hi = HashCombine(hi, HashCombine(event.seq, HashCombine(event.instr, event.tid)));
+    lo = HashCombine(lo, HashCombine(static_cast<uint64_t>(event.addr),
+                                     HashCombine(static_cast<uint64_t>(event.value),
+                                                 event.is_write ? 1u : 0u)));
+  }
+  return ArtifactKey{ArtifactKind::kPredictors, hi, lo};
+}
+
+// Extracts one trace's predictor set through the store when available.
+std::shared_ptr<const std::vector<Predictor>> GetOrExtractPredictors(
+    const Module& module, const SketchOptions& options,
+    const std::vector<std::shared_ptr<const PtDecodeResult>>& decoded, const RunTrace& trace) {
+  auto build = [&] {
+    return std::make_shared<const std::vector<Predictor>>(
+        ExtractPredictorsViews(TraceViews(decoded), trace.watch_events));
+  };
+  if (options.store == nullptr) {
+    return build();
+  }
+  const size_t approx_bytes = 128 + trace.watch_events.size() * 3 * sizeof(Predictor);
+  return options.store->GetOrBuildObject<std::vector<Predictor>>(
+      PredictorsKey(options.module_hash, trace), &module, approx_bytes, build);
+}
+
 }  // namespace
 
 Result<FailureSketch> BuildFailureSketch(const Module& module,
@@ -65,28 +110,34 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   PredictorStats stats(options.beta);
   const RunTrace* reference = nullptr;
   size_t reference_coverage = 0;
-  std::vector<DecodedCoreTrace> reference_decoded;
+  std::vector<std::shared_ptr<const PtDecodeResult>> reference_decoded;
   uint64_t quarantined = options.quarantined;
   for (const RunTrace& trace : traces) {
-    std::vector<DecodedCoreTrace> decoded;
+    std::vector<std::shared_ptr<const PtDecodeResult>> decoded;
     bool decodable = true;
     for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
-      PtDecodeResult one = DecodePt(module, static_cast<CoreId>(core), trace.pt_buffers[core]);
-      if (!one.ok()) {
+      // Decodes share the artifact store with ingest: the same (module,
+      // core, bytes) key the server decoded at AddTrace time hits here, so
+      // per-recurrence rebuilds stop being quadratic in stored traces.
+      std::shared_ptr<const PtDecodeResult> one = GetOrDecodePt(
+          options.store, module, options.module_hash, static_cast<CoreId>(core),
+          trace.pt_buffers[core]);
+      if (!one->ok()) {
         // Corrupt upload that bypassed server ingestion: quarantine it here
         // rather than abandoning the sketch (DESIGN.md §8).
         decodable = false;
         break;
       }
-      decoded.push_back(std::move(one.trace));
+      decoded.push_back(std::move(one));
     }
     if (!decodable) {
       ++quarantined;
       continue;
     }
-    stats.RecordRun(ExtractPredictors(decoded, trace.watch_events), trace.failed);
+    stats.RecordRun(*GetOrExtractPredictors(module, options, decoded, trace), trace.failed);
     if (trace.failed) {
-      const std::unordered_set<InstrId> trace_executed = ExecutedInstrs(module, decoded);
+      const std::unordered_set<InstrId> trace_executed =
+          ExecutedInstrsViews(module, TraceViews(decoded));
       size_t coverage = 0;
       for (InstrId id : window) {
         coverage += trace_executed.count(id);
@@ -113,7 +164,8 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   //     reference failing run;
   // (b) data flow: statements the watchpoints caught that static slicing
   //     missed (no alias analysis), added to the sketch.
-  const std::unordered_set<InstrId> executed = ExecutedInstrs(module, reference_decoded);
+  const std::unordered_set<InstrId> executed =
+      ExecutedInstrsViews(module, TraceViews(reference_decoded));
   std::set<InstrId> members;
   for (InstrId id : window) {
     if (executed.count(id) != 0 || id == reference->failure.failing_instr) {
@@ -137,7 +189,8 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   std::map<std::pair<ThreadId, InstrId>, LayoutEntry> entries;
 
   std::map<ThreadId, int64_t> thread_pos;
-  for (const DecodedCoreTrace& trace : reference_decoded) {
+  for (const auto& decode_result : reference_decoded) {
+    const DecodedCoreTrace& trace = decode_result->trace;
     for (const PtVisit& visit : trace.visits) {
       if (visit.first_index > visit.last_index) {
         continue;

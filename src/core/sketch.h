@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/factories.h"
 #include "src/core/run_trace.h"
 #include "src/core/statistics.h"
 #include "src/ir/module.h"
@@ -89,6 +90,13 @@ struct SketchOptions {
   // Uploads the server already quarantined before `traces`; carried into
   // FailureSketch::quarantined_traces so the sketch reports the full count.
   uint64_t quarantined = 0;
+  // Optional artifact store (DESIGN.md §11): sketch construction re-decodes
+  // every stored trace's PT buffers per recurrence — quadratic in traces
+  // without the cache, and the keys match ingest's, so even a cold campaign
+  // hits here. `module_hash` must be the content hash of the module passed
+  // to BuildFailureSketch; ignored when `store` is null.
+  ArtifactStore* store = nullptr;
+  ContentHash module_hash;
 };
 
 // Builds a sketch from the monitored runs. `window` is the slice portion AsT

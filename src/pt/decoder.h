@@ -59,6 +59,7 @@ enum class PtDecodeFault : uint8_t {
   kProtocol,         // well-formed packets in an impossible order
   kRunawayWalk,      // a walk cycled without consuming packets (corrupt IP)
 };
+inline constexpr size_t kNumPtDecodeFaults = 4;
 
 const char* PtDecodeFaultName(PtDecodeFault fault);
 // Stable snake_case identifier for metric names ("pt.decode.errors.<key>").
@@ -106,6 +107,11 @@ Result<DecodedCoreTrace> DecodePtStream(const Module& module, CoreId core,
 // Union of all instruction ids covered by the visits.
 std::unordered_set<InstrId> ExecutedInstrs(const Module& module,
                                            const std::vector<DecodedCoreTrace>& traces);
+// Pointer-view flavor: callers holding shared cached decodes (DESIGN.md §11)
+// pass views instead of copying traces into a contiguous vector. Named
+// distinctly so braced-init-list calls of the value flavor stay unambiguous.
+std::unordered_set<InstrId> ExecutedInstrsViews(const Module& module,
+                                                const std::vector<const DecodedCoreTrace*>& traces);
 
 }  // namespace gist
 

@@ -1,0 +1,438 @@
+// Unit contract of the content-addressed artifact store (DESIGN.md §11):
+//   1. a hit is exactly what a cold build would produce — same object for
+//      memory hits, byte-identical decode for disk hits, and GIST_CACHE_VERIFY
+//      cross-checks hits against a fresh rebuild;
+//   2. eviction is FIFO over insertion order and a pure function of the
+//      insertion sequence — two stores fed the same operations report the
+//      same stats, byte for byte;
+//   3. the disk tier never trusts its own records: a flipped byte means the
+//      record is quarantined and the artifact rebuilt, not a wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/slice.h"
+#include "src/apps/app.h"
+#include "src/cache/artifact_store.h"
+#include "src/cache/factories.h"
+#include "src/cfg/ticfg.h"
+#include "src/pt/decoder.h"
+
+namespace gist {
+namespace {
+
+ArtifactKey Key(uint64_t hi, uint64_t lo, ArtifactKind kind = ArtifactKind::kSlice) {
+  return ArtifactKey{kind, hi, lo};
+}
+
+// Identity codec for std::string payloads: the memory charge equals the
+// string size, which makes eviction arithmetic exact in the tests below.
+std::string IdEncode(const std::string& value) { return value; }
+std::optional<std::string> IdDecode(std::string_view bytes) {
+  return std::string(bytes);
+}
+
+// Fetches `payload` under `key`, counting how often the builder actually ran.
+std::shared_ptr<const std::string> PutString(ArtifactStore& store, const ArtifactKey& key,
+                                             const std::string& payload, int* builds = nullptr) {
+  return store.GetOrBuild<std::string>(
+      key,
+      [&] {
+        if (builds != nullptr) {
+          ++*builds;
+        }
+        return payload;
+      },
+      IdEncode, IdDecode);
+}
+
+// Per-test scratch directory under the gtest temp root, wiped on entry so
+// reruns never see a previous run's records.
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) / "gist_cache" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(CacheTest, MemoryHitReturnsTheSameObject) {
+  ArtifactStore store;
+  int builds = 0;
+  auto first = PutString(store, Key(1, 2), "artifact-a", &builds);
+  auto second = PutString(store, Key(1, 2), "artifact-a", &builds);
+  EXPECT_EQ(builds, 1);               // the second fetch never ran the builder
+  EXPECT_EQ(first.get(), second.get());  // memory hits share the object
+  const StoreStats stats = store.Snapshot();
+  const ArtifactKindStats& slice = stats.kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_EQ(slice.misses, 1u);
+  EXPECT_EQ(slice.hits_mem, 1u);
+  EXPECT_EQ(slice.hits_disk, 0u);
+  EXPECT_EQ(slice.inserts, 1u);
+  EXPECT_EQ(slice.bytes, 10u);  // strlen("artifact-a")
+}
+
+TEST(CacheTest, FifoEvictionDropsOldestAndKeepsNewest) {
+  ArtifactStoreOptions options;
+  options.shards = 1;  // one shard so the budget arithmetic is exact
+  options.mem_budget_bytes = 100;
+  ArtifactStore store(options);
+
+  PutString(store, Key(1, 0), std::string(60, 'a'));
+  PutString(store, Key(2, 0), std::string(60, 'b'));  // 120 > 100: evicts key 1
+
+  int rebuilds = 0;
+  PutString(store, Key(2, 0), std::string(60, 'b'), &rebuilds);
+  EXPECT_EQ(rebuilds, 0);  // the newest entry survived
+  PutString(store, Key(1, 0), std::string(60, 'a'), &rebuilds);
+  EXPECT_EQ(rebuilds, 1);  // the oldest was evicted and had to rebuild
+
+  const ArtifactKindStats slice =
+      store.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_GE(slice.evictions, 1u);
+  EXPECT_LE(slice.bytes, 120u);  // newest entry always retained, even over budget
+}
+
+TEST(CacheTest, OversizedNewestEntryIsStillServed) {
+  ArtifactStoreOptions options;
+  options.shards = 1;
+  options.mem_budget_bytes = 16;  // smaller than any artifact below
+  ArtifactStore store(options);
+  PutString(store, Key(7, 7), std::string(64, 'x'));
+  int rebuilds = 0;
+  PutString(store, Key(7, 7), std::string(64, 'x'), &rebuilds);
+  // A shard always retains its newest entry, so the single oversized artifact
+  // still serves the campaign that built it.
+  EXPECT_EQ(rebuilds, 0);
+}
+
+TEST(CacheTest, EvictionAndStatsAreAPureFunctionOfTheInsertionSequence) {
+  auto run_sequence = [] {
+    ArtifactStoreOptions options;
+    options.shards = 1;
+    options.mem_budget_bytes = 128;
+    ArtifactStore store(options);
+    for (uint64_t i = 0; i < 12; ++i) {
+      PutString(store, Key(i, i * 3), std::string(40 + i, static_cast<char>('a' + i)));
+      if (i % 3 == 0) {  // interleave hits: they must not reorder FIFO entries
+        PutString(store, Key(i, i * 3), std::string(40 + i, static_cast<char>('a' + i)));
+      }
+    }
+    return store.StatsJson();
+  };
+  EXPECT_EQ(run_sequence(), run_sequence());
+}
+
+TEST(CacheTest, DiskRoundTripServesASecondStoreWithoutRebuilding) {
+  const std::string dir = FreshDir("disk_roundtrip");
+  int builds = 0;
+  {
+    ArtifactStoreOptions options;
+    options.disk_dir = dir;
+    ArtifactStore writer(options);
+    PutString(writer, Key(3, 4), "persisted-artifact", &builds);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(writer.Snapshot().Total().disk_writes, 1u);
+  }
+  ArtifactStoreOptions options;
+  options.disk_dir = dir;
+  ArtifactStore reader(options);
+  auto value = PutString(reader, Key(3, 4), "SHOULD NOT BE BUILT", &builds);
+  EXPECT_EQ(builds, 1);  // served from disk; the second builder never ran
+  EXPECT_EQ(*value, "persisted-artifact");
+  const ArtifactKindStats slice =
+      reader.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_EQ(slice.hits_disk, 1u);
+  EXPECT_EQ(slice.misses, 0u);
+}
+
+TEST(CacheTest, CorruptDiskRecordIsQuarantinedAndRebuilt) {
+  const std::string dir = FreshDir("quarantine");
+  {
+    ArtifactStoreOptions options;
+    options.disk_dir = dir;
+    ArtifactStore writer(options);
+    PutString(writer, Key(5, 6), "fragile-artifact");
+  }
+  // Flip one payload byte in the single record on disk.
+  std::filesystem::path record;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    record = entry.path();
+  }
+  ASSERT_FALSE(record.empty());
+  {
+    std::fstream file(record, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(-1, std::ios::end);
+    const char flipped = '~';
+    file.write(&flipped, 1);
+  }
+
+  ArtifactStoreOptions options;
+  options.disk_dir = dir;
+  ArtifactStore reader(options);
+  int builds = 0;
+  auto value = PutString(reader, Key(5, 6), "fragile-artifact", &builds);
+  EXPECT_EQ(builds, 1);  // checksum mismatch: rebuilt, never trusted
+  EXPECT_EQ(*value, "fragile-artifact");
+  const ArtifactKindStats slice =
+      reader.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_EQ(slice.corrupt, 1u);
+  EXPECT_EQ(slice.hits_disk, 0u);
+
+  // The bad record was quarantined, and the rebuilt one written next to it.
+  uint64_t quarantined = 0;
+  uint64_t live = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".corrupt") {
+      ++quarantined;
+    } else {
+      ++live;
+    }
+  }
+  EXPECT_EQ(quarantined, 1u);
+  EXPECT_EQ(live, 1u);
+
+  const auto scan = ArtifactStore::ScanDisk(dir);
+  const auto it = scan.find("slice");
+  ASSERT_NE(it, scan.end());
+  EXPECT_EQ(it->second.records, 1u);
+  EXPECT_EQ(it->second.corrupt, 1u);
+}
+
+TEST(CacheTest, VerifyModeCrossChecksEveryHit) {
+  ArtifactStoreOptions options;
+  options.verify = true;
+  ArtifactStore store(options);
+  ASSERT_TRUE(store.verify());
+  PutString(store, Key(8, 9), "verified-artifact");
+  PutString(store, Key(8, 9), "verified-artifact");  // hit: rebuild + compare
+  const ArtifactKindStats slice =
+      store.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_EQ(slice.verified, 1u);
+}
+
+TEST(CacheTest, ObjectTierHonorsTheOwnerContract) {
+  ArtifactStore store;
+  const int owner_a = 0;
+  const int owner_b = 0;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<const std::string>("borrowed");
+  };
+  const ArtifactKey key = Key(11, 12, ArtifactKind::kDecodedModule);
+
+  auto first = store.GetOrBuildObject<std::string>(key, &owner_a, 64, build);
+  auto hit = store.GetOrBuildObject<std::string>(key, &owner_a, 64, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), hit.get());
+
+  // Same key under a different owner must miss: the cached value borrows from
+  // owner_a and handing it to owner_b would be a use-after-free in waiting.
+  // (Real keys cover the module hash, so this only happens on hash collision;
+  // the owner check is the safety net that turns it into a rebuild.)
+  store.GetOrBuildObject<std::string>(key, &owner_b, 64, build);
+  EXPECT_EQ(builds, 2);
+
+  // Purging one owner leaves other owners' entries untouched.
+  const ArtifactKey key_b = Key(21, 22, ArtifactKind::kTicfg);
+  store.GetOrBuildObject<std::string>(key_b, &owner_b, 64, build);
+  EXPECT_EQ(builds, 3);
+  store.PurgeOwner(&owner_a);
+  store.GetOrBuildObject<std::string>(key_b, &owner_b, 64, build);
+  EXPECT_EQ(builds, 3);  // owner_b's entry survived the purge of owner_a
+  store.PurgeOwner(&owner_b);
+  store.GetOrBuildObject<std::string>(key_b, &owner_b, 64, build);
+  EXPECT_EQ(builds, 4);  // and is gone after its own
+}
+
+TEST(CacheTest, PurgeMemoryDropsEverythingButDiskSurvives) {
+  const std::string dir = FreshDir("purge_memory");
+  ArtifactStoreOptions options;
+  options.disk_dir = dir;
+  ArtifactStore store(options);
+  int builds = 0;
+  PutString(store, Key(13, 14), "durable", &builds);
+  store.PurgeMemory();
+  EXPECT_EQ(store.Snapshot().Total().bytes, 0u);
+  PutString(store, Key(13, 14), "durable", &builds);
+  EXPECT_EQ(builds, 1);  // memory entry gone, but the disk record answered
+  EXPECT_EQ(store.Snapshot().Total().hits_disk, 1u);
+}
+
+TEST(CacheTest, PurgeDiskRemovesEveryRecord) {
+  const std::string dir = FreshDir("purge_disk");
+  {
+    ArtifactStoreOptions options;
+    options.disk_dir = dir;
+    ArtifactStore store(options);
+    PutString(store, Key(1, 1), "a");
+    PutString(store, Key(2, 2), "bb");
+  }
+  auto scan = ArtifactStore::ScanDisk(dir);
+  ASSERT_NE(scan.find("slice"), scan.end());
+  EXPECT_EQ(scan["slice"].records, 2u);
+  EXPECT_EQ(ArtifactStore::PurgeDisk(dir), 2u);
+  scan = ArtifactStore::ScanDisk(dir);
+  EXPECT_TRUE(scan.empty());
+}
+
+TEST(CacheTest, StatsJsonIsFlatAndVersioned) {
+  ArtifactStore store;
+  PutString(store, Key(1, 1), "x");
+  const std::string json = store.StatsJson();
+  EXPECT_NE(json.find("gist.cachestats.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.misses.slice\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hits\": 0"), std::string::npos);
+}
+
+// --- key derivation ----------------------------------------------------------
+
+TEST(CacheTest, KeysSeparateEveryInputOfTheBuild) {
+  const ContentHash module_a = HashContent("module-a", 8);
+  const ContentHash module_b = HashContent("module-b", 8);
+  EXPECT_FALSE(SliceKey(module_a, InstrId{1}) == SliceKey(module_b, InstrId{1}));
+  EXPECT_FALSE(SliceKey(module_a, InstrId{1}) == SliceKey(module_a, InstrId{2}));
+
+  const std::vector<uint8_t> bytes_a = {1, 2, 3};
+  const std::vector<uint8_t> bytes_b = {1, 2, 4};
+  EXPECT_FALSE(PtDecodeKey(module_a, /*core=*/0, bytes_a) ==
+               PtDecodeKey(module_a, /*core=*/1, bytes_a));
+  EXPECT_FALSE(PtDecodeKey(module_a, /*core=*/0, bytes_a) ==
+               PtDecodeKey(module_a, /*core=*/0, bytes_b));
+  EXPECT_TRUE(PtDecodeKey(module_a, /*core=*/0, bytes_a) ==
+              PtDecodeKey(module_a, /*core=*/0, bytes_a));
+
+  EXPECT_FALSE(PlanRotationsKey(module_a, /*plan_hash=*/1, /*slots=*/4) ==
+               PlanRotationsKey(module_a, /*plan_hash=*/2, /*slots=*/4));
+  EXPECT_FALSE(PlanRotationsKey(module_a, /*plan_hash=*/1, /*slots=*/4) ==
+               PlanRotationsKey(module_a, /*plan_hash=*/1, /*slots=*/2));
+
+  // Kinds partition the key space even on identical hashes.
+  EXPECT_FALSE(DecodedModuleKey(module_a) == TicfgKey(module_a));
+}
+
+// --- codec round trips -------------------------------------------------------
+
+TEST(CacheTest, SliceCodecRoundTripsTheRealSlicerOutput) {
+  std::unique_ptr<BugApp> app = MakeAppByName("sqlite");
+  ASSERT_NE(app, nullptr);
+  const ContentHash hash = HashModule(app->module());
+  auto ticfg = GetOrBuildTicfg(/*store=*/nullptr, app->module(), hash);
+  const InstrId failure = app->root_cause_instrs().front();
+  auto slice = GetOrComputeSlice(/*store=*/nullptr, *ticfg, hash, failure);
+
+  const std::string encoded = EncodeSlice(*slice);
+  std::optional<StaticSlice> decoded = DecodeSliceBytes(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->failure, slice->failure);
+  EXPECT_EQ(decoded->instrs, slice->instrs);
+  ASSERT_EQ(decoded->members.size(), slice->members.size());
+  for (InstrId id : slice->instrs) {
+    EXPECT_TRUE(decoded->Contains(id));
+  }
+  // Truncated bytes decode to nullopt, never to a wrong slice.
+  EXPECT_FALSE(DecodeSliceBytes(std::string_view(encoded).substr(0, encoded.size() / 2))
+                   .has_value());
+}
+
+TEST(CacheTest, PtDecodeCodecRoundTripsIncludingTheErrorArm) {
+  PtDecodeResult ok;
+  ok.trace.core = 3;
+  ok.trace.visits.push_back(PtVisit{ThreadId{2}, FunctionId{1}, BlockId{4}, 0, 7});
+  ok.trace.branches.push_back(PtBranch{ThreadId{2}, InstrId{9}, true});
+  ok.trace.overflow = true;
+  ok.stats.packets = 17;
+  ok.stats.bytes = 110;
+  ok.stats.tnt_bits = 5;
+
+  std::optional<PtDecodeResult> round = DecodePtDecodeResultBytes(EncodePtDecodeResult(ok));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_TRUE(round->ok());
+  EXPECT_EQ(round->trace.core, ok.trace.core);
+  ASSERT_EQ(round->trace.visits.size(), 1u);
+  EXPECT_EQ(round->trace.visits[0].last_index, 7u);
+  ASSERT_EQ(round->trace.branches.size(), 1u);
+  EXPECT_TRUE(round->trace.branches[0].taken);
+  EXPECT_TRUE(round->trace.overflow);
+  EXPECT_EQ(round->stats.packets, 17u);
+  EXPECT_EQ(round->stats.bytes, 110u);
+
+  // The salvaged-prefix + structured-error case must survive the disk tier
+  // too: quarantine decisions in sketch building depend on it.
+  PtDecodeResult bad = ok;
+  bad.error = PtDecodeError{PtDecodeFault::kBadIp, 42, "ip outside module"};
+  round = DecodePtDecodeResultBytes(EncodePtDecodeResult(bad));
+  ASSERT_TRUE(round.has_value());
+  ASSERT_FALSE(round->ok());
+  EXPECT_EQ(round->error->fault, PtDecodeFault::kBadIp);
+  EXPECT_EQ(round->error->offset, 42u);
+  EXPECT_EQ(round->error->message, "ip outside module");
+}
+
+// --- factories ---------------------------------------------------------------
+
+TEST(CacheTest, FactoryHitIsIdenticalToAColdBuild) {
+  std::unique_ptr<BugApp> app = MakeAppByName("apache-2");
+  ASSERT_NE(app, nullptr);
+  const ContentHash hash = HashModule(app->module());
+  ArtifactStore store;
+  auto ticfg = GetOrBuildTicfg(&store, app->module(), hash);
+  const InstrId failure = app->root_cause_instrs().front();
+
+  auto cold = GetOrComputeSlice(/*store=*/nullptr, *ticfg, hash, failure);
+  auto via_store = GetOrComputeSlice(&store, *ticfg, hash, failure);
+  auto warm = GetOrComputeSlice(&store, *ticfg, hash, failure);
+  EXPECT_EQ(via_store.get(), warm.get());  // second fetch is a memory hit
+  EXPECT_EQ(cold->failure, warm->failure);
+  EXPECT_EQ(cold->instrs, warm->instrs);
+
+  const ArtifactKindStats slice =
+      store.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kSlice)];
+  EXPECT_EQ(slice.misses, 1u);
+  EXPECT_EQ(slice.hits_mem, 1u);
+}
+
+TEST(CacheTest, EmptyPtBuffersBypassTheStore) {
+  std::unique_ptr<BugApp> app = MakeAppByName("curl");
+  ASSERT_NE(app, nullptr);
+  const ContentHash hash = HashModule(app->module());
+  ArtifactStore store;
+  auto result = GetOrDecodePt(&store, app->module(), hash, /*core=*/0, {});
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->ok());
+  const ArtifactKindStats pt =
+      store.Snapshot().kinds[static_cast<size_t>(ArtifactKind::kPtDecode)];
+  EXPECT_EQ(pt.misses, 0u);  // decoding nothing never touches the store
+  EXPECT_EQ(pt.inserts, 0u);
+}
+
+TEST(CacheTest, DecodedModuleAndTicfgShareAcrossFetchesOfTheSameModule) {
+  std::unique_ptr<BugApp> app = MakeAppByName("pbzip2");
+  ASSERT_NE(app, nullptr);
+  const ContentHash hash = HashModule(app->module());
+  ArtifactStore store;
+  auto decoded_a = GetOrDecodeModule(&store, app->module(), hash);
+  auto decoded_b = GetOrDecodeModule(&store, app->module(), hash);
+  EXPECT_EQ(decoded_a.get(), decoded_b.get());
+  auto ticfg_a = GetOrBuildTicfg(&store, app->module(), hash);
+  auto ticfg_b = GetOrBuildTicfg(&store, app->module(), hash);
+  EXPECT_EQ(ticfg_a.get(), ticfg_b.get());
+  // Tearing the module down while the store lives on requires PurgeOwner;
+  // after it, a fetch for the same content rebuilds instead of handing out
+  // dangling borrows.
+  store.PurgeOwner(&app->module());
+  auto rebuilt = GetOrDecodeModule(&store, app->module(), hash);
+  EXPECT_NE(rebuilt.get(), decoded_a.get());
+}
+
+}  // namespace
+}  // namespace gist

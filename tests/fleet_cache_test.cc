@@ -1,0 +1,219 @@
+// Fleet-level determinism contract of the artifact store (DESIGN.md §11):
+// attaching a store — empty, warm, memory-only, disk-backed, or in verify
+// mode — must not change a single bit of any campaign artifact. The exports
+// compared here are the FlightRecorder metrics + trace JSON, the hot-path
+// profile JSON, and a serialized FleetResult summary, across --jobs values
+// and with fault injection on.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/cache/artifact_store.h"
+#include "src/coop/fleet.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
+
+namespace gist {
+namespace {
+
+FleetOptions BaseOptions(uint64_t fleet_seed, uint32_t jobs) {
+  FleetOptions options;
+  options.runs_per_iteration = 400;
+  options.max_iterations = 8;
+  options.fleet_seed = fleet_seed;
+  options.jobs = jobs;
+  return options;
+}
+
+// Same moderate attrition profile as the chaos suite: every fault class
+// fires, quorum holds.
+FaultOptions ModerateFaults() {
+  FaultOptions faults;
+  faults.enabled = true;
+  faults.kill_permille = 40;
+  faults.truncate_pt_permille = 30;
+  faults.corrupt_pt_permille = 30;
+  faults.drop_wire_permille = 30;
+  faults.reorder_wire_permille = 150;
+  faults.exhaust_watchpoints_permille = 40;
+  faults.delay_result_permille = 50;
+  faults.wire_mtu_bytes = 512;
+  return faults;
+}
+
+// Everything a campaign exports, as comparable strings. The summary folds in
+// every FleetResult field a bench or the CLI prints.
+struct CampaignArtifacts {
+  std::string summary;
+  std::string metrics_json;
+  std::string trace_json;
+  std::string profile_json;
+};
+
+std::string Summarize(const FleetResult& result) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "first=%d root=%d recurrences=%u sim=%.9f overhead=%.9f sigma=%u "
+                "lost=%u quarantined=%u retries=%u iterations=%zu statements=%zu "
+                "threads=%zu predictors=%u",
+                result.first_failure_found ? 1 : 0, result.root_cause_found ? 1 : 0,
+                result.failure_recurrences, result.sim_seconds, result.avg_overhead_percent,
+                result.sigma_final, result.lost_runs, result.quarantined_runs, result.retries,
+                result.iterations.size(), result.sketch.statements.size(),
+                result.sketch.threads.size(), result.sketch.predictors_evaluated);
+  return std::string(buffer);
+}
+
+// Runs one full campaign over `app` with recorder + profiler attached and the
+// given store (null = cache off).
+CampaignArtifacts RunCampaign(const BugApp& app, FleetOptions options, ArtifactStore* store) {
+  FlightRecorder recorder;
+  HotPathProfiler profiler;
+  options.recorder = &recorder;
+  options.profiler = &profiler;
+  options.gist.store = store;
+  Fleet fleet(
+      app.module(),
+      [&app](uint64_t run_index, Rng& rng) { return app.MakeWorkload(run_index, rng); },
+      options);
+  const std::vector<InstrId>& root_cause = app.root_cause_instrs();
+  const FleetResult result = fleet.Run([&](const FailureSketch& sketch) {
+    for (InstrId id : root_cause) {
+      if (!sketch.Contains(id)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  CampaignArtifacts artifacts;
+  artifacts.summary = Summarize(result);
+  artifacts.metrics_json = recorder.MetricsJson();
+  artifacts.trace_json = recorder.TraceJson();
+  artifacts.profile_json = profiler.ProfileJson();
+  return artifacts;
+}
+
+void ExpectIdentical(const CampaignArtifacts& a, const CampaignArtifacts& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.summary, b.summary) << label;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << label;
+  EXPECT_EQ(a.trace_json, b.trace_json) << label;
+  EXPECT_EQ(a.profile_json, b.profile_json) << label;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "gist_fleet_cache" / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(FleetCacheTest, WarmColdAndCacheOffAreBitIdenticalAcrossWorkerCounts) {
+  std::unique_ptr<BugApp> app = MakeAppByName("apache-2");
+  ASSERT_NE(app, nullptr);
+
+  // The --jobs 1, cache-off campaign is the reference every variant must
+  // reproduce exactly.
+  const CampaignArtifacts reference =
+      RunCampaign(*app, BaseOptions(/*fleet_seed=*/11, /*jobs=*/1), /*store=*/nullptr);
+  EXPECT_NE(reference.summary.find("first=1"), std::string::npos);
+
+  for (uint32_t jobs : {1u, 2u, 8u}) {
+    const FleetOptions options = BaseOptions(/*fleet_seed=*/11, jobs);
+    const CampaignArtifacts off = RunCampaign(*app, options, /*store=*/nullptr);
+    ArtifactStore store;
+    const CampaignArtifacts cold = RunCampaign(*app, options, &store);
+    const uint64_t hits_after_cold = store.Snapshot().Total().hits();
+    const CampaignArtifacts warm = RunCampaign(*app, options, &store);
+    const uint64_t warm_hits = store.Snapshot().Total().hits() - hits_after_cold;
+
+    const std::string label = "jobs=" + std::to_string(jobs);
+    ExpectIdentical(off, reference, label + " cache-off vs reference");
+    ExpectIdentical(cold, reference, label + " cold store vs reference");
+    ExpectIdentical(warm, reference, label + " warm store vs reference");
+    // The warm campaign must actually exercise the store, not bypass it.
+    EXPECT_GT(warm_hits, 0u) << label;
+  }
+}
+
+TEST(FleetCacheTest, FaultInjectionDoesNotPerturbTheCacheContract) {
+  std::unique_ptr<BugApp> app = MakeAppByName("sqlite");
+  ASSERT_NE(app, nullptr);
+  for (uint32_t jobs : {1u, 8u}) {
+    FleetOptions options = BaseOptions(/*fleet_seed=*/23, jobs);
+    options.faults = ModerateFaults();
+    const CampaignArtifacts off = RunCampaign(*app, options, /*store=*/nullptr);
+    ArtifactStore store;
+    const CampaignArtifacts cold = RunCampaign(*app, options, &store);
+    const CampaignArtifacts warm = RunCampaign(*app, options, &store);
+    const std::string label = "faults jobs=" + std::to_string(jobs);
+    ExpectIdentical(cold, off, label + " cold");
+    ExpectIdentical(warm, off, label + " warm");
+    // Corrupt uploads were quarantined, not cached as truth: the summaries
+    // being equal already proves the quarantine counts match cache-off.
+    EXPECT_NE(off.summary.find("first=1"), std::string::npos) << label;
+  }
+}
+
+TEST(FleetCacheTest, DiskTierWarmStartsAFreshStore) {
+  std::unique_ptr<BugApp> app = MakeAppByName("apache-2");
+  ASSERT_NE(app, nullptr);
+  const FleetOptions options = BaseOptions(/*fleet_seed=*/5, /*jobs=*/2);
+  const CampaignArtifacts off = RunCampaign(*app, options, /*store=*/nullptr);
+
+  const std::string dir = FreshDir("disk_warm");
+  ArtifactStoreOptions first_options;
+  first_options.disk_dir = dir;
+  {
+    ArtifactStore writer(first_options);
+    ExpectIdentical(RunCampaign(*app, options, &writer), off, "disk cold");
+    EXPECT_GT(writer.Snapshot().Total().disk_writes, 0u);
+  }
+
+  // A brand-new store over the same directory — the cross-process warm-start
+  // scenario `gist diagnose-app --cache-dir` relies on. Only serialized
+  // artifacts (slices, PT decodes) persist; object artifacts rebuild.
+  ArtifactStore reader(first_options);
+  ExpectIdentical(RunCampaign(*app, options, &reader), off, "disk warm");
+  EXPECT_GT(reader.Snapshot().Total().hits_disk, 0u);
+}
+
+TEST(FleetCacheTest, VerifyModeHoldsAcrossAWarmFleet) {
+  std::unique_ptr<BugApp> app = MakeAppByName("cppcheck-1");
+  ASSERT_NE(app, nullptr);
+  const FleetOptions options = BaseOptions(/*fleet_seed=*/7, /*jobs=*/2);
+  const CampaignArtifacts off = RunCampaign(*app, options, /*store=*/nullptr);
+
+  ArtifactStoreOptions store_options;
+  store_options.verify = true;
+  ArtifactStore store(store_options);
+  ExpectIdentical(RunCampaign(*app, options, &store), off, "verify cold");
+  ExpectIdentical(RunCampaign(*app, options, &store), off, "verify warm");
+  // Every serialized-artifact hit was rebuilt and byte-compared; a mismatch
+  // would have CHECK-failed the test outright.
+  EXPECT_GT(store.Snapshot().Total().verified, 0u);
+}
+
+TEST(FleetCacheTest, PredictorExtractionIsServedFromTheStoreWithinACampaign) {
+  // Predictor sets accumulate hits *within* a single campaign: every AsT
+  // iteration rebuilds the sketch over all stored traces, and with the store
+  // attached only new traces pay extraction.
+  std::unique_ptr<BugApp> app = MakeAppByName("apache-3");
+  ASSERT_NE(app, nullptr);
+  ArtifactStore store;
+  RunCampaign(*app, BaseOptions(/*fleet_seed=*/3, /*jobs=*/1), &store);
+  const StoreStats stats = store.Snapshot();
+  const ArtifactKindStats& predictors =
+      stats.kinds[static_cast<size_t>(ArtifactKind::kPredictors)];
+  EXPECT_GT(predictors.misses, 0u);
+  EXPECT_GT(predictors.hits_mem, 0u);
+}
+
+}  // namespace
+}  // namespace gist

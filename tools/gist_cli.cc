@@ -30,16 +30,24 @@
 //       Diff two deterministic profile exports (--profile-json); exit 1 when
 //       any block's retired count drifts past the threshold. tools/ci.sh
 //       runs this as the perf gate against the committed BENCH_profile.json.
+//   gist cache [stats.json] [--cache-dir DIR] [--cache-purge]
+//       Summarize an artifact-store stats export (--cache-stats-json) as a
+//       per-artifact hit-rate table, report what a --cache-dir holds on disk,
+//       and optionally purge it.
 //
 // Programs are MiniIR text files (see src/ir/parser.h for the grammar).
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "src/apps/app.h"
+#include "src/cache/artifact_store.h"
 #include "src/coop/fleet.h"
 #include "src/core/gist.h"
 #include "src/ir/parser.h"
@@ -67,6 +75,11 @@ struct CliOptions {
   std::string profile_json;       // write the hot-path profile (gist.profile.v1)
   std::string profile_collapsed;  // write collapsed stacks for flamegraph tools
   std::string log_level;     // debug|info|warning|error
+  std::string cache_dir;          // on-disk artifact-store tier (DESIGN.md §11)
+  uint64_t cache_mem_mb = 256;    // in-memory artifact budget
+  std::string cache_stats_json;   // write the store's gist.cachestats.v1 export
+  bool cache_verify = false;      // byte-verify every serialized cache hit
+  bool use_cache = false;         // any cache flag given: build a store
 };
 
 int Usage() {
@@ -79,6 +92,7 @@ int Usage() {
                "       gist dump-app <name>\n"
                "       gist profdiff <baseline.json> <current.json> [--top N] "
                "[--max-drift-permille P]\n"
+               "       gist cache [stats.json] [--cache-dir DIR] [--cache-purge]\n"
                "common flags:\n"
                "  --log-level debug|info|warning|error   stderr verbosity (default info)\n"
                "  --metrics-json <path>   write the flight recorder's deterministic\n"
@@ -88,7 +102,14 @@ int Usage() {
                "  --profile-json <path>   write the deterministic hot-path profile\n"
                "                          (gist.profile.v1; diagnose-app/fix-app)\n"
                "  --profile-collapsed <path>  write collapsed flamegraph stacks\n"
-               "                          (app;function;block count per line)\n");
+               "                          (app;function;block count per line)\n"
+               "  --cache-dir <dir>       persist slices and PT decodes across runs in a\n"
+               "                          content-addressed on-disk store (warm starts)\n"
+               "  --cache-mem-mb <N>      in-memory artifact budget in MiB (default 256)\n"
+               "  --cache-stats-json <path>  write the store's hit/miss/eviction stats\n"
+               "                          (gist.cachestats.v1; readable by `gist cache`)\n"
+               "  --cache-verify          rebuild every serialized cache hit and require\n"
+               "                          byte equality (also via GIST_CACHE_VERIFY=1)\n");
   return 2;
 }
 
@@ -126,6 +147,27 @@ bool ExportProfiler(const HotPathProfiler& profiler, const CliOptions& options) 
     ok = WriteFileOrWarn(options.profile_collapsed, profiler.ProfileCollapsed()) && ok;
   }
   return ok;
+}
+
+// Builds the artifact store requested by the cache flags; null when none was
+// given (the library then builds everything fresh — byte-identical results).
+std::unique_ptr<ArtifactStore> MakeStore(const CliOptions& options) {
+  if (!options.use_cache) {
+    return nullptr;
+  }
+  ArtifactStoreOptions store_options;
+  store_options.mem_budget_bytes = options.cache_mem_mb * 1024 * 1024;
+  store_options.disk_dir = options.cache_dir;
+  store_options.verify = options.cache_verify;
+  return std::make_unique<ArtifactStore>(store_options);
+}
+
+// Writes the store's stats export when --cache-stats-json was given.
+bool ExportCacheStats(const ArtifactStore* store, const CliOptions& options) {
+  if (store == nullptr || options.cache_stats_json.empty()) {
+    return true;
+  }
+  return WriteFileOrWarn(options.cache_stats_json, store->StatsJson());
 }
 
 bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
@@ -186,6 +228,26 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
         return false;
       }
       options->log_level = argv[++i];
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->cache_dir = argv[++i];
+      options->use_cache = true;
+    } else if (arg == "--cache-mem-mb") {
+      if (!next_value(&options->cache_mem_mb)) {
+        return false;
+      }
+      options->use_cache = true;
+    } else if (arg == "--cache-stats-json") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->cache_stats_json = argv[++i];
+      options->use_cache = true;
+    } else if (arg == "--cache-verify") {
+      options->cache_verify = true;
+      options->use_cache = true;
     } else if (options->path.empty()) {
       options->path = std::string(arg);
     } else {
@@ -353,8 +415,10 @@ int CmdDiagnose(const CliOptions& options) {
     return 1;
   }
 
+  std::unique_ptr<ArtifactStore> store = MakeStore(options);
   GistOptions gist_options;
   gist_options.title = options.path;
+  gist_options.store = store.get();
   GistServer server(**module, gist_options);
   server.ReportFailure(report);
 
@@ -381,6 +445,9 @@ int CmdDiagnose(const CliOptions& options) {
       !WriteFileOrWarn(options.metrics_json, server.metrics().ToJson())) {
     return 1;
   }
+  if (!ExportCacheStats(store.get(), options)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -401,10 +468,12 @@ int CmdDiagnoseApp(const CliOptions& options) {
   }
   FlightRecorder recorder;
   HotPathProfiler profiler;
+  std::unique_ptr<ArtifactStore> store = MakeStore(options);
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   fleet_options.gist.title = app->info().name;
+  fleet_options.gist.store = store.get();
   fleet_options.recorder = &recorder;
   if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
     fleet_options.profiler = &profiler;
@@ -420,7 +489,8 @@ int CmdDiagnoseApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options)) {
+  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options) ||
+      !ExportCacheStats(store.get(), options)) {
     return 1;
   }
   if (!result.first_failure_found) {
@@ -457,10 +527,12 @@ int CmdFixApp(const CliOptions& options) {
   }
   FlightRecorder recorder;
   HotPathProfiler profiler;
+  std::unique_ptr<ArtifactStore> store = MakeStore(options);
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
   fleet_options.jobs = static_cast<uint32_t>(options.jobs);
   fleet_options.gist.title = app->info().name;
+  fleet_options.gist.store = store.get();
   fleet_options.recorder = &recorder;
   if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
     fleet_options.profiler = &profiler;
@@ -476,7 +548,8 @@ int CmdFixApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options)) {
+  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options) ||
+      !ExportCacheStats(store.get(), options)) {
     return 1;
   }
   if (!result.root_cause_found) {
@@ -561,6 +634,131 @@ int CmdProfDiff(int argc, char** argv) {
   return diff.ok ? 0 : 1;
 }
 
+// Parses a flat key→number JSON object (the gist.cachestats.v1 shape: one
+// scalar per line, no nesting). String-valued entries like "schema" are
+// skipped. Returns false when nothing numeric parsed.
+bool ParseFlatNumberJson(const std::string& text, std::map<std::string, uint64_t>* out) {
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) {
+      break;
+    }
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    size_t value_pos = text.find(':', key_end);
+    if (value_pos == std::string::npos) {
+      break;
+    }
+    ++value_pos;
+    while (value_pos < text.size() && std::isspace(static_cast<unsigned char>(text[value_pos]))) {
+      ++value_pos;
+    }
+    if (value_pos < text.size() && text[value_pos] == '"') {
+      // String value (e.g. the schema tag): skip past it.
+      pos = text.find('"', value_pos + 1);
+      if (pos == std::string::npos) {
+        break;
+      }
+      ++pos;
+      continue;
+    }
+    (*out)[key] = std::strtoull(text.c_str() + value_pos, nullptr, 10);
+    pos = value_pos;
+  }
+  return !out->empty();
+}
+
+// `gist cache [stats.json] [--cache-dir DIR] [--cache-purge]` — inspect a
+// store's stats export and/or its on-disk tier.
+int CmdCache(int argc, char** argv) {
+  std::string stats_path;
+  std::string cache_dir;
+  bool purge = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      cache_dir = argv[++i];
+    } else if (arg == "--cache-purge") {
+      purge = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (stats_path.empty()) {
+      stats_path = std::string(arg);
+    } else {
+      return Usage();
+    }
+  }
+  if (stats_path.empty() && cache_dir.empty()) {
+    return Usage();
+  }
+  if (purge && cache_dir.empty()) {
+    std::fprintf(stderr, "error: --cache-purge needs --cache-dir\n");
+    return 2;
+  }
+
+  if (!stats_path.empty()) {
+    std::ifstream file(stats_path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", stats_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    std::map<std::string, uint64_t> stats;
+    if (!ParseFlatNumberJson(text.str(), &stats)) {
+      std::fprintf(stderr, "error: %s has no cache stats\n", stats_path.c_str());
+      return 1;
+    }
+    auto value = [&](const std::string& key) {
+      auto it = stats.find(key);
+      return it == stats.end() ? uint64_t{0} : it->second;
+    };
+    std::printf("%-16s %10s %10s %8s %10s %12s\n", "artifact", "hits", "misses", "hit%",
+                "evictions", "bytes");
+    for (size_t kind = 0; kind < kNumArtifactKinds; ++kind) {
+      const std::string name = ArtifactKindName(static_cast<ArtifactKind>(kind));
+      const uint64_t hits = value("cache.hits." + name);
+      const uint64_t misses = value("cache.misses." + name);
+      const uint64_t lookups = hits + misses;
+      std::printf("%-16s %10llu %10llu %7.1f%% %10llu %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(hits), static_cast<unsigned long long>(misses),
+                  lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / lookups,
+                  static_cast<unsigned long long>(value("cache.evictions." + name)),
+                  static_cast<unsigned long long>(value("cache.bytes." + name)));
+    }
+    const uint64_t hits = value("cache.hits");
+    const uint64_t lookups = hits + value("cache.misses");
+    std::printf("%-16s %10llu %10llu %7.1f%% %10llu %12llu\n", "total",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(value("cache.misses")),
+                lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / lookups,
+                static_cast<unsigned long long>(value("cache.evictions")),
+                static_cast<unsigned long long>(value("cache.bytes")));
+  }
+
+  if (!cache_dir.empty()) {
+    const auto scan = ArtifactStore::ScanDisk(cache_dir);
+    std::printf("\ndisk tier %s:\n", cache_dir.c_str());
+    if (scan.empty()) {
+      std::printf("  (empty)\n");
+    }
+    for (const auto& [name, entry] : scan) {
+      std::printf("  %-16s %6llu records %12llu bytes %llu corrupt\n", name.c_str(),
+                  static_cast<unsigned long long>(entry.records),
+                  static_cast<unsigned long long>(entry.bytes),
+                  static_cast<unsigned long long>(entry.corrupt));
+    }
+    if (purge) {
+      const uint64_t removed = ArtifactStore::PurgeDisk(cache_dir);
+      std::printf("purged %llu files\n", static_cast<unsigned long long>(removed));
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -571,6 +769,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "profdiff") {
     return CmdProfDiff(argc, argv);
+  }
+  if (command == "cache") {
+    return CmdCache(argc, argv);
   }
   CliOptions options;
   if (!ParseArgs(argc, argv, 2, &options)) {
