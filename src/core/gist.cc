@@ -134,7 +134,11 @@ PlanSnapshot GistServer::Snapshot() const {
         });
   }
   return PlanSnapshot(plan_, options_.watchpoint_slots, plan_version_, sigma(), decoded_,
-                      std::move(rotations));
+                      std::move(rotations), fused_);
+}
+
+void GistServer::BuildFusedTier(const BlockProfile& profile) {
+  fused_ = GetOrBuildFusedModule(options_.store, decoded_, module_hash_, profile, options_.super);
 }
 
 Result<FailureSketch> GistServer::BuildSketch() const {
@@ -313,6 +317,13 @@ MonitoredRun RunMonitored(const Module& module, const PlanSnapshot& snapshot,
   vm_options.observers = {&runtime};
   vm_options.hook = &runtime;
   vm_options.decoded = snapshot.decoded().get();  // shared fleet-wide cache
+  if (options.tier == ExecTier::kSuper) {
+    // Null when the server never built the tier: the run then executes the
+    // fast path — same bytes either way, just without fusion (DESIGN.md §12).
+    vm_options.fused = snapshot.fused().get();
+  } else if (options.tier == ExecTier::kReference) {
+    vm_options.reference_dispatch = true;  // the always-dispatch oracle
+  }
   if (options.collect_profile) {
     vm_options.profile = &run.profile;
   }

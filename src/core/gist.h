@@ -29,6 +29,7 @@
 #include "src/core/sketch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/vm/superinstr.h"
 
 namespace gist {
 
@@ -52,6 +53,14 @@ struct GistOptions {
   // outlive the server. Null: every artifact is built fresh — behavior and
   // every export are byte-identical either way.
   ArtifactStore* store = nullptr;
+  // Execution tier for monitored runs (DESIGN.md §12). kSuper additionally
+  // requires the server to have built a FusedModule (BuildFusedTier) and the
+  // snapshot to carry it; until then super-tier runs execute exactly like
+  // kFast. Tier choice never changes any run result or export byte.
+  ExecTier tier = ExecTier::kFast;
+  // Superinstruction selection policy; `super.min_block_retired = 0` fuses
+  // every fusable block (the deopt-stress configuration tests use).
+  SuperInstrOptions super;
 };
 
 class GistServer {
@@ -93,6 +102,16 @@ class GistServer {
   // The server's pre-decoded interpreter cache for module() (built once at
   // construction; immutable and safe to share across concurrent runs).
   const std::shared_ptr<const DecodedModule>& decoded() const { return decoded_; }
+
+  // Compiles (or re-fetches from the artifact store) the superinstruction
+  // tier from an aggregated block profile (DESIGN.md §12). Idempotent per
+  // profile: subsequent Snapshot() calls carry the result, and super-tier
+  // runs of those snapshots execute fused bodies. Coordinator-thread only,
+  // like every other server mutation.
+  void BuildFusedTier(const BlockProfile& profile);
+
+  // The compiled superinstruction tier, or null before BuildFusedTier.
+  const std::shared_ptr<const FusedModule>& fused() const { return fused_; }
   uint32_t sigma() const {
     GIST_CHECK(has_target_);
     return ast_->sigma();
@@ -180,6 +199,7 @@ class GistServer {
   ContentHash module_hash_;
   std::shared_ptr<const Ticfg> ticfg_;
   std::shared_ptr<const DecodedModule> decoded_;
+  std::shared_ptr<const FusedModule> fused_;
   bool has_target_ = false;
   uint64_t target_hash_ = 0;
   StaticSlice slice_;

@@ -34,6 +34,7 @@
 #include "src/vm/failure.h"
 #include "src/vm/memory.h"
 #include "src/vm/observer.h"
+#include "src/vm/superinstr.h"
 #include "src/vm/workload.h"
 
 namespace gist {
@@ -57,6 +58,12 @@ struct VmOptions {
   // Shared pre-decoded cache for `module` (must be decoded from the same
   // Module instance and outlive the VM). Null: the VM decodes privately.
   const DecodedModule* decoded = nullptr;
+  // Superinstruction tier (DESIGN.md §12): profile-selected fused block
+  // bodies compiled from the same DecodedModule as `decoded` (must outlive
+  // the VM). Engaged only when the observer set permits batching everywhere
+  // (no immediate retired/mem subscribers, no reference dispatch); blocks
+  // containing hook sites deopt per-block. Null: fast path only.
+  const FusedModule* fused = nullptr;
   // Reference dispatch: ignore batching opt-ins and deliver every event as
   // one virtual call per event, and call the hook at every instruction —
   // the semantics the fast path must match byte-for-byte. Used by
@@ -103,6 +110,14 @@ struct RunStats {
   // bucket i holds sizes with bit_width == i, last bucket absorbs wider).
   static constexpr uint32_t kFlushSizeBuckets = 17;
   uint32_t flush_size_log2[kFlushSizeBuckets] = {};
+
+  // --- superinstruction-tier telemetry (DESIGN.md §12) ----------------------
+  // Tier-dependent by definition (zero on the fast path), so these never
+  // enter the deterministic metrics export — the fleet surfaces them through
+  // the flight recorder's annotation side channel only, like cache stats.
+  uint64_t fused_chains = 0;   // fusion-region entries (each exits via deopt)
+  uint64_t fused_blocks = 0;   // fused block bodies executed
+  uint64_t fused_retired = 0;  // instructions retired inside fused bodies
 };
 
 struct RunResult {
@@ -159,6 +174,31 @@ class Vm {
   // number of instructions executed; the caller charges them to the step
   // budget and the remaining quantum.
   uint64_t StepBurst(ThreadState& thread, uint64_t max_count);
+  // Superinstruction executor (DESIGN.md §12): runs fused block bodies
+  // starting at instruction `index` of `fb`, staying inside fusion regions
+  // while successors are fused. When the burst budget dies inside the region
+  // it consumes the scheduler boundary itself (RenewQuantum) and keeps going
+  // if the same thread is rescheduled, so hot single-threaded chains span
+  // many quanta. Returns the instructions retired and the deopt position
+  // (block + index, enter accounting already done) via `resume`/
+  // `resume_index`; `steps_base` is the run's retired count at chain entry
+  // (the renewal budget checks need it live). kObserved replicates the fast
+  // path's exact batch pushes and boundary dispatches; !kObserved is the
+  // pure-compute loop. kProfiled mirrors options_.profile != nullptr so the
+  // common unprofiled configuration carries no per-block profile tests. On a
+  // fault the frame is synced to the faulting op and done_ is set.
+  template <bool kObserved, bool kProfiled>
+  uint64_t RunFusedChain(ThreadState& thread, const FusedBlock* fb, uint32_t index,
+                         uint64_t budget, uint64_t steps_base, const DecodedBlock** resume,
+                         uint32_t* resume_index);
+  // Scheduler boundary run in place by the fused executor when its quantum is
+  // exactly spent (DESIGN.md §12): replicates Run()'s loop top bit for bit —
+  // budget checks, one PickNext() draw, context-switch accounting/dispatch,
+  // quantum re-roll, burst count — and returns the renewed burst when
+  // `thread` itself is rescheduled. Returns 0 when the chain must unwind: the
+  // run is out of budget (Run()'s loop top re-detects it on unchanged state)
+  // or another thread was picked (the chain_* channel carries the handoff).
+  uint64_t RenewQuantum(ThreadState& thread, uint64_t steps_now);
   void ExitThread(ThreadState& thread);
   // Selects the next thread to run; kNoThread if none are runnable.
   ThreadId PickNext();
@@ -194,6 +234,11 @@ class Vm {
   const DecodedModule* decoded_ = nullptr;
   Memory memory_;
   Rng rng_;
+  // Quantum re-roll span (max_quantum - min_quantum + 1) with its per-draw
+  // divisions precomputed — this draw runs once per scheduling quantum, both
+  // in Run()'s boundary and in the fused executor's renewals. Re-aimed at the
+  // workload's span on Run() entry.
+  FixedBound quantum_draw_{1};
   std::vector<ThreadState> threads_;
   std::map<Addr, Mutex> mutexes_;
   std::vector<ThreadId> core_occupant_;  // per core, for context-switch events
@@ -223,6 +268,21 @@ class Vm {
   // hook_sites_[id] != 0: the hook wants BeforeInstr/AfterInstr at `id`.
   std::vector<uint8_t> hook_sites_;
   bool hook_everywhere_ = false;  // reference mode or hook without site info
+
+  // Superinstruction entry table by profile_index (empty: tier disabled for
+  // this run). Built in BuildDispatch from options_.fused minus the per-run
+  // deopt exclusions (hook-site blocks).
+  std::vector<const FusedBlock*> fused_entry_;
+
+  // Quantum-renewal channel between the fused executor and Run()'s scheduler
+  // loop (DESIGN.md §12). When RunFusedChain consumes scheduler boundaries in
+  // place, these carry the resulting scheduler state back so Run() adopts it
+  // instead of running the boundary a second time. Reset before every burst.
+  bool chain_renewed_ = false;   // ≥1 boundary consumed inside the chain
+  bool chain_switched_ = false;  // ...and the last one picked another thread
+  ThreadId chain_next_ = 0;      // the last boundary's pick
+  uint64_t chain_quantum_ = 0;   // switched: its fresh quantum; else steps owed
+  uint64_t chain_extended_ = 0;  // budget renewals added to the running burst
 };
 
 }  // namespace gist

@@ -1,0 +1,169 @@
+// Tier-mixing determinism contract of the superinstruction tier (DESIGN.md
+// §12): the execution tier is a pure throughput knob. A fleet whose workers
+// mix reference dispatch, the pre-decoded fast path, and the fused super
+// tier — per run, via FleetOptions::tier_for_run — must produce the same
+// FleetResult and byte-identical metrics (modulo the dispatcher's own
+// "engine." batching bookkeeping) / trace / profile exports as an all-fast
+// fleet, at every worker count, faults on and off. The TSan stage
+// runs this suite too: the shared FusedModule is immutable after Build and
+// concurrently read by every worker, which is exactly the aliasing a race
+// would hide in.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/coop/fleet.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
+#include "src/vm/superinstr.h"
+
+namespace gist {
+namespace {
+
+// Same moderate attrition profile as the chaos suite: every fault class
+// fires, quorum holds.
+FaultOptions ModerateFaults() {
+  FaultOptions faults;
+  faults.enabled = true;
+  faults.kill_permille = 40;
+  faults.truncate_pt_permille = 30;
+  faults.corrupt_pt_permille = 30;
+  faults.drop_wire_permille = 30;
+  faults.reorder_wire_permille = 150;
+  faults.exhaust_watchpoints_permille = 40;
+  faults.delay_result_permille = 50;
+  faults.wire_mtu_bytes = 512;
+  return faults;
+}
+
+struct TieredFleet {
+  FleetResult result;
+  std::string metrics_json;
+  std::string trace_json;
+  std::string profile_json;
+};
+
+TieredFleet RunTieredFleet(const BugApp& app, uint64_t fleet_seed, uint32_t jobs,
+                           std::function<ExecTier(uint64_t)> tier_for_run, bool faulted,
+                           std::string_view metrics_exclude = {}) {
+  FlightRecorder recorder;
+  HotPathProfiler profiler;
+  FleetOptions options;
+  options.runs_per_iteration = 400;
+  options.max_iterations = 8;
+  options.fleet_seed = fleet_seed;
+  options.jobs = jobs;
+  options.recorder = &recorder;
+  options.profiler = &profiler;
+  options.tier_for_run = std::move(tier_for_run);
+  if (faulted) {
+    options.faults = ModerateFaults();
+  }
+  Fleet fleet(
+      app.module(),
+      [&app](uint64_t run_index, Rng& rng) { return app.MakeWorkload(run_index, rng); },
+      options);
+  const std::vector<InstrId>& root_cause = app.root_cause_instrs();
+  TieredFleet tiered;
+  tiered.result = fleet.Run([&](const FailureSketch& sketch) {
+    for (InstrId id : root_cause) {
+      if (!sketch.Contains(id)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  tiered.metrics_json = recorder.MetricsJson(metrics_exclude);
+  tiered.trace_json = recorder.TraceJson();
+  tiered.profile_json = profiler.ProfileJson();
+  return tiered;
+}
+
+// Deterministic per-run tier mix: workers pulling adjacent run indices off
+// the queue land on different interpreters, so one fleet exercises every
+// tier pairing across threads. A pure function of the run index, never of
+// worker identity — the contract tier_for_run documents.
+ExecTier MixedTier(uint64_t run_index) {
+  switch (run_index % 3) {
+    case 0:
+      return ExecTier::kSuper;
+    case 1:
+      return ExecTier::kFast;
+    default:
+      return ExecTier::kReference;
+  }
+}
+
+void ExpectIdentical(const TieredFleet& a, const TieredFleet& b) {
+  EXPECT_EQ(a.result.first_failure_found, b.result.first_failure_found);
+  EXPECT_EQ(a.result.root_cause_found, b.result.root_cause_found);
+  EXPECT_EQ(a.result.first_failure.failing_instr, b.result.first_failure.failing_instr);
+  EXPECT_EQ(a.result.first_failure.MatchHash(), b.result.first_failure.MatchHash());
+  EXPECT_EQ(a.result.failure_recurrences, b.result.failure_recurrences);
+  EXPECT_EQ(a.result.sigma_final, b.result.sigma_final);
+  EXPECT_EQ(a.result.sim_seconds, b.result.sim_seconds);
+  EXPECT_EQ(a.result.avg_overhead_percent, b.result.avg_overhead_percent);
+  ASSERT_EQ(a.result.sketch.statements.size(), b.result.sketch.statements.size());
+  for (size_t i = 0; i < a.result.sketch.statements.size(); ++i) {
+    const SketchStatement& sa = a.result.sketch.statements[i];
+    const SketchStatement& sb = b.result.sketch.statements[i];
+    EXPECT_EQ(sa.instr, sb.instr);
+    EXPECT_EQ(sa.tid, sb.tid);
+    EXPECT_EQ(sa.step, sb.step);
+    EXPECT_EQ(sa.value, sb.value);
+    EXPECT_EQ(sa.highlighted, sb.highlighted);
+  }
+  // Byte-identical exports, not field-wise similarity: any divergence in
+  // counter values, span timing, or profile counts shows up here.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.profile_json, b.profile_json);
+}
+
+// apache-2 exercises mid-iteration refinement replans; transmission the
+// watchpoint rotation — both under every tier mix.
+class FleetTierTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FleetTierTest, MixedTierFleetMatchesAllFastByteForByte) {
+  std::unique_ptr<BugApp> app = MakeAppByName(GetParam());
+  ASSERT_NE(app, nullptr);
+  // Cross-tier comparisons filter the "engine." namespace, exactly like the
+  // fast-vs-reference check in fleet_obs_test: those counters are the
+  // dispatcher's own batching bookkeeping (flush counts, batch sizes) and
+  // legitimately differ between dispatch modes. Every pipeline-visible
+  // namespace — vm.*, profile.*, pt.*, hw.*, fleet.*, server.* — must match
+  // byte for byte, as must the span trace and the profile export.
+  for (const bool faulted : {false, true}) {
+    SCOPED_TRACE(faulted ? "faulted" : "healthy");
+    const TieredFleet all_fast =
+        RunTieredFleet(*app, 2015, /*jobs=*/4, /*tier_for_run=*/nullptr, faulted, "engine.");
+    ASSERT_TRUE(all_fast.result.first_failure_found);
+    const TieredFleet mixed =
+        RunTieredFleet(*app, 2015, /*jobs=*/4, MixedTier, faulted, "engine.");
+    ExpectIdentical(all_fast, mixed);
+    const TieredFleet all_super = RunTieredFleet(
+        *app, 2015, /*jobs=*/4, [](uint64_t) { return ExecTier::kSuper; }, faulted, "engine.");
+    ExpectIdentical(all_fast, all_super);
+  }
+}
+
+TEST_P(FleetTierTest, MixedTierFleetIsWorkerCountInvariant) {
+  std::unique_ptr<BugApp> app = MakeAppByName(GetParam());
+  ASSERT_NE(app, nullptr);
+  const TieredFleet sequential =
+      RunTieredFleet(*app, 11, /*jobs=*/1, MixedTier, /*faulted=*/true);
+  for (const uint32_t jobs : {2u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const TieredFleet parallel = RunTieredFleet(*app, 11, jobs, MixedTier, /*faulted=*/true);
+    ExpectIdentical(sequential, parallel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engine, FleetTierTest, ::testing::Values("apache-2", "transmission"));
+
+}  // namespace
+}  // namespace gist

@@ -75,6 +75,7 @@ struct CliOptions {
   std::string profile_json;       // write the hot-path profile (gist.profile.v1)
   std::string profile_collapsed;  // write collapsed stacks for flamegraph tools
   std::string log_level;     // debug|info|warning|error
+  std::string tier;          // fast|ref|super execution tier (DESIGN.md §12)
   std::string cache_dir;          // on-disk artifact-store tier (DESIGN.md §11)
   uint64_t cache_mem_mb = 256;    // in-memory artifact budget
   std::string cache_stats_json;   // write the store's gist.cachestats.v1 export
@@ -95,6 +96,10 @@ int Usage() {
                "       gist cache [stats.json] [--cache-dir DIR] [--cache-purge]\n"
                "common flags:\n"
                "  --log-level debug|info|warning|error   stderr verbosity (default info)\n"
+               "  --tier fast|ref|super   monitored-run execution tier (default fast;\n"
+               "                          super fuses profile-hot blocks, ref is the\n"
+               "                          always-dispatch oracle — results are\n"
+               "                          byte-identical across tiers)\n"
                "  --metrics-json <path>   write the flight recorder's deterministic\n"
                "                          metrics snapshot (diagnose/diagnose-app/fix-app)\n"
                "  --trace-json <path>     write the virtual-time span trace in Chrome\n"
@@ -147,6 +152,20 @@ bool ExportProfiler(const HotPathProfiler& profiler, const CliOptions& options) 
     ok = WriteFileOrWarn(options.profile_collapsed, profiler.ProfileCollapsed()) && ok;
   }
   return ok;
+}
+
+// Applies --tier to the fleet's GistOptions; false (with a message) on an
+// unknown tier name.
+bool ApplyTier(const CliOptions& options, FleetOptions* fleet_options) {
+  if (options.tier.empty()) {
+    return true;
+  }
+  if (!ParseExecTier(options.tier, &fleet_options->gist.tier)) {
+    std::fprintf(stderr, "unknown tier '%s' (expected fast, ref, or super)\n",
+                 options.tier.c_str());
+    return false;
+  }
+  return true;
 }
 
 // Builds the artifact store requested by the cache flags; null when none was
@@ -228,6 +247,11 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
         return false;
       }
       options->log_level = argv[++i];
+    } else if (arg == "--tier") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      options->tier = argv[++i];
     } else if (arg == "--cache-dir") {
       if (i + 1 >= argc) {
         return false;
@@ -475,6 +499,9 @@ int CmdDiagnoseApp(const CliOptions& options) {
   fleet_options.gist.title = app->info().name;
   fleet_options.gist.store = store.get();
   fleet_options.recorder = &recorder;
+  if (!ApplyTier(options, &fleet_options)) {
+    return 2;
+  }
   if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
     fleet_options.profiler = &profiler;
   }
@@ -534,6 +561,9 @@ int CmdFixApp(const CliOptions& options) {
   fleet_options.gist.title = app->info().name;
   fleet_options.gist.store = store.get();
   fleet_options.recorder = &recorder;
+  if (!ApplyTier(options, &fleet_options)) {
+    return 2;
+  }
   if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
     fleet_options.profiler = &profiler;
   }
