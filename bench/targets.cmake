@@ -25,3 +25,8 @@ target_link_libraries(micro_benchmarks PRIVATE gist_apps gist_replay
 set_target_properties(micro_benchmarks PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${GIST_BENCH_OUTPUT_DIR})
 gist_add_bench(ablations)
+
+# corpus_sweep scores synthesized corpora, so it needs gist_corpus on top of
+# the shared bench link set.
+gist_add_bench(corpus_sweep)
+target_link_libraries(corpus_sweep PRIVATE gist_corpus)

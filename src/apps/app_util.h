@@ -1,34 +1,12 @@
 // Shared construction helpers for the bug-reproduction apps.
+//
+// The loop-emission patterns themselves moved to src/ir/emit.h so the
+// synthesized failure corpus (src/corpus) can build on them without linking
+// the 11 hand-ported apps; this header remains as the apps' include point.
 
 #ifndef GIST_SRC_APPS_APP_UTIL_H_
 #define GIST_SRC_APPS_APP_UTIL_H_
 
-#include <string>
-
-#include "src/ir/builder.h"
-
-namespace gist {
-
-// Emits a register-only busy loop of `iterations` rounds (~8 instructions
-// each) into the current insertion point and leaves the builder positioned in
-// the loop's exit block. Models the application work surrounding the buggy
-// region; its volume is what makes full-program tracing expensive relative to
-// Gist's toggled tracing.
-void EmitBusyLoop(IrBuilder& b, int64_t iterations, const std::string& label_prefix);
-
-// Emits a busy loop whose iteration count is `base + (input #input_index)`,
-// so workloads control how long a thread dallies — the knob apps use to set
-// race-window win/lose probabilities per run.
-void EmitInputScaledLoop(IrBuilder& b, int64_t base, int64_t input_index,
-                         const std::string& label_prefix);
-
-// Like EmitInputScaledLoop, but each iteration also reads and writes the
-// `scratch` global — models memory-bound server work (page cache, buffers).
-// Memory-heavy workloads are what make software record/replay catastrophically
-// slower than hardware tracing (paper Fig. 13's SQLite/Transmission bars).
-void EmitInputScaledMemoryLoop(IrBuilder& b, GlobalId scratch, int64_t base,
-                               int64_t input_index, const std::string& label_prefix);
-
-}  // namespace gist
+#include "src/ir/emit.h"
 
 #endif  // GIST_SRC_APPS_APP_UTIL_H_

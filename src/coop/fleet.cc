@@ -137,7 +137,11 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
 
 FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
   FleetResult result;
-  ThreadPool pool(options_.jobs);
+  std::optional<ThreadPool> owned_pool;
+  if (options_.shared_pool == nullptr) {
+    owned_pool.emplace(options_.jobs);
+  }
+  ThreadPool& pool = options_.shared_pool != nullptr ? *options_.shared_pool : *owned_pool;
   const uint32_t batch_size = BatchSize(pool);
   FlightRecorder* recorder = options_.recorder;
   HotPathProfiler* profiler = options_.profiler;

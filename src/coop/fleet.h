@@ -76,6 +76,13 @@ struct FleetOptions {
   // Worker threads executing monitored runs (0 = hardware concurrency).
   // Results are identical for every value; only wall-clock changes.
   uint32_t jobs = 1;
+  // Optional caller-owned worker pool. When set, Run() fans out on it instead
+  // of constructing a pool of `jobs` threads per call — corpus sweeps
+  // (src/corpus) run hundreds of fleets back to back, and spawning/joining a
+  // fresh pool per program dominated small-program sweeps. The pool's size
+  // plays the role of `jobs`; as with `jobs`, every FleetResult byte is
+  // identical for any pool size. Must outlive Run().
+  ThreadPool* shared_pool = nullptr;
   // Deterministic fault injection over monitored runs (DESIGN.md §8). Each
   // monitored run's FaultPlan derives from (faults, fleet_seed, run_index),
   // so an injected fleet stays bit-identical at every `jobs`. Disabled (the

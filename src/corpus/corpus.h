@@ -1,0 +1,80 @@
+// Seed-pure failure-corpus generator (ROADMAP item 3, DESIGN.md §13).
+//
+// GenerateCorpus synthesizes MiniIR programs from the parameterized bug
+// templates in templates.cc — one per BugFamily — and pairs each with its
+// gist.manifest.v1 ground truth. Generation is a pure function of
+// (corpus_seed, index): program #i's template knobs and instruction stream
+// derive from DeriveSeed(corpus_seed ^ salt, i), so the same seed always
+// yields byte-identical `.gir` text and manifest JSON, independent of how
+// many programs are generated around it. That purity is what lets the scorer
+// (score.h) regenerate a corpus from its index file and byte-verify the
+// on-disk artifacts instead of trusting them — re-parsing `.gir` could
+// renumber instruction ids, which would silently desynchronize every
+// manifest id.
+
+#ifndef GIST_SRC_CORPUS_CORPUS_H_
+#define GIST_SRC_CORPUS_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/corpus/manifest.h"
+#include "src/support/rng.h"
+#include "src/vm/workload.h"
+
+namespace gist {
+
+struct CorpusOptions {
+  uint64_t seed = 2015;
+  uint32_t count = kNumBugFamilies;
+  // Families to draw from, assigned round-robin by program index. Empty
+  // means all seven in enum order.
+  std::vector<BugFamily> families;
+};
+
+struct GeneratedProgram {
+  uint32_t index = 0;
+  std::unique_ptr<Module> module;
+  CorpusManifest manifest;
+};
+
+// Seed of program `index` under `corpus_seed`; depends only on the pair, so
+// any subset of a corpus regenerates identically.
+uint64_t CorpusProgramSeed(uint64_t corpus_seed, uint32_t index);
+
+// Synthesizes one program. `name` becomes manifest.name (the generator uses
+// "<NNN>_<family>"). CHECK-fails if the generated manifest does not validate
+// against its own module — a template bug, not an input error.
+GeneratedProgram GenerateProgram(BugFamily family, uint64_t program_seed,
+                                 const std::string& name, uint32_t index = 0);
+
+std::vector<GeneratedProgram> GenerateCorpus(const CorpusOptions& options);
+
+// The canonical production workload of one run: schedule_seed then each
+// input, drawn from `rng` in manifest order. The fleet hands every run a
+// generator seeded by DeriveSeed(fleet_seed, run_index), so a program's runs
+// are identical across --jobs and generation order.
+Workload CorpusWorkload(const CorpusManifest& manifest, uint64_t run_index, Rng& rng);
+
+// --- on-disk corpus layout --------------------------------------------------
+// <dir>/corpus.json                   gist.corpus.v1 index (seed/count/families)
+// <dir>/<NNN>_<family>.gir            Module::ToString() of program NNN
+// <dir>/<NNN>_<family>.manifest.json  CorpusManifest::ToJson() of program NNN
+
+// Writes the corpus; returns false (with `*error` set) on the first I/O
+// failure. `dir` must already exist or be creatable.
+bool WriteCorpusDir(const std::string& dir, const std::vector<GeneratedProgram>& programs,
+                    const CorpusOptions& options, std::string* error);
+
+// Reads <dir>/corpus.json back into generation options. The scorer uses this
+// to regenerate the corpus, then byte-verifies each on-disk artifact against
+// the regeneration.
+bool LoadCorpusIndex(const std::string& dir, CorpusOptions* options, std::string* error);
+
+// "<NNN>_<family>" — shared by the generator, the on-disk layout, and tests.
+std::string CorpusProgramName(uint32_t index, BugFamily family);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORPUS_CORPUS_H_

@@ -1,0 +1,181 @@
+#include "src/corpus/manifest.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/ir/instruction.h"
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+const char* const kFamilyNames[kNumBugFamilies] = {
+    "data_race",     "atomicity_violation", "order_violation", "use_after_free",
+    "double_free",   "deadlock",            "null_deref",
+};
+
+void AppendIdList(std::ostringstream& out, const std::vector<InstrId>& ids) {
+  out << "[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << ids[i];
+  }
+  out << "]";
+}
+
+// Can `op` raise `type`? The planted failing PC must be an instruction the VM
+// can actually fault at with the manifest's failure type.
+bool OpcodeCanRaise(Opcode op, FailureType type) {
+  switch (type) {
+    case FailureType::kAssertViolation:
+      return op == Opcode::kAssert;
+    case FailureType::kSegFault:
+    case FailureType::kUseAfterFree:
+      return op == Opcode::kLoad || op == Opcode::kStore;
+    case FailureType::kDoubleFree:
+    case FailureType::kInvalidFree:
+      return op == Opcode::kFree;
+    case FailureType::kArithmeticFault:
+      return op == Opcode::kBinOp;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* BugFamilyName(BugFamily family) {
+  const size_t index = static_cast<size_t>(family);
+  GIST_CHECK_LT(index, kNumBugFamilies);
+  return kFamilyNames[index];
+}
+
+bool ParseBugFamily(const std::string& name, BugFamily* family) {
+  for (size_t i = 0; i < kNumBugFamilies; ++i) {
+    if (name == kFamilyNames[i]) {
+      *family = static_cast<BugFamily>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CorpusManifest::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"gist.manifest.v1\",\n";
+  out << "  \"name\": \"" << name << "\",\n";
+  out << "  \"family\": \"" << BugFamilyName(family) << "\",\n";
+  out << "  \"program_seed\": " << program_seed << ",\n";
+  out << "  \"params\": {\"threads\": " << params.threads
+      << ", \"heap_cells\": " << params.heap_cells
+      << ", \"branch_depth\": " << params.branch_depth
+      << ", \"noise_iters\": " << params.noise_iters << "},\n";
+  out << "  \"failure_type\": \"" << FailureTypeName(failure_type) << "\",\n";
+  out << "  \"failing_instr\": " << failing_instr << ",\n";
+  out << "  \"access_pair\": [" << access_pair[0] << ", " << access_pair[1] << "],\n";
+  out << "  \"root_cause\": ";
+  AppendIdList(out, root_cause);
+  out << ",\n";
+  out << "  \"ideal_instrs\": ";
+  AppendIdList(out, ideal.instrs);
+  out << ",\n";
+  out << "  \"access_order\": ";
+  AppendIdList(out, ideal.access_order);
+  out << ",\n";
+  out << "  \"sketch_edges\": [";
+  for (size_t i = 0; i < sketch_edges.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "[" << sketch_edges[i].first << ", "
+        << sketch_edges[i].second << "]";
+  }
+  out << "],\n";
+  out << "  \"inputs\": [";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "{\"lo\": " << inputs[i].lo << ", \"hi\": " << inputs[i].hi
+        << "}";
+  }
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string ValidateManifest(const CorpusManifest& manifest, const Module& module) {
+  const size_t num_instrs = module.num_instructions();
+  auto in_range = [&](InstrId id) { return id != kNoInstr && id < num_instrs; };
+  auto in_ideal = [&](InstrId id) {
+    return std::find(manifest.ideal.instrs.begin(), manifest.ideal.instrs.end(), id) !=
+           manifest.ideal.instrs.end();
+  };
+
+  if (manifest.name.empty()) {
+    return "empty program name";
+  }
+  if (manifest.failure_type == FailureType::kNone) {
+    return "manifest plants no failure";
+  }
+  if (!in_range(manifest.failing_instr)) {
+    return "failing_instr out of range";
+  }
+  if (!OpcodeCanRaise(module.instr(manifest.failing_instr).op, manifest.failure_type)) {
+    return StrFormat("failing_instr opcode %s cannot raise %s",
+                     OpcodeName(module.instr(manifest.failing_instr).op),
+                     FailureTypeName(manifest.failure_type));
+  }
+  for (InstrId id : manifest.access_pair) {
+    if (id == kNoInstr) {
+      continue;  // a family without a meaningful pair leaves slots empty
+    }
+    if (!in_range(id)) {
+      return "access_pair id out of range";
+    }
+    const Instruction& instr = module.instr(id);
+    // Deadlocks pair the inverted lock acquisitions; lifetime bugs pair the
+    // offending free against the access it invalidates.
+    if (!instr.IsMemoryAccess() && instr.op != Opcode::kLock && instr.op != Opcode::kFree) {
+      return StrFormat("access_pair id %u is not a memory access, lock, or free", id);
+    }
+  }
+  if (manifest.root_cause.empty()) {
+    return "empty root_cause set";
+  }
+  for (InstrId id : manifest.root_cause) {
+    if (!in_range(id)) {
+      return "root_cause id out of range";
+    }
+  }
+  if (manifest.ideal.instrs.empty()) {
+    return "empty ideal sketch";
+  }
+  for (InstrId id : manifest.ideal.instrs) {
+    if (!in_range(id)) {
+      return "ideal instr out of range";
+    }
+  }
+  for (InstrId id : manifest.ideal.access_order) {
+    if (!in_ideal(id)) {
+      return StrFormat("access_order id %u not in ideal statement set", id);
+    }
+    if (!module.instr(id).IsSharedAccess()) {
+      return StrFormat("access_order id %u is not a shared-memory access", id);
+    }
+  }
+  for (const auto& [from, to] : manifest.sketch_edges) {
+    if (!in_ideal(from) || !in_ideal(to)) {
+      return "sketch edge endpoint not in ideal statement set";
+    }
+    if (from == to) {
+      return "self-loop sketch edge";
+    }
+  }
+  if (manifest.inputs.empty()) {
+    return "no workload input specs";
+  }
+  for (const InputSpec& spec : manifest.inputs) {
+    if (spec.lo > spec.hi) {
+      return "empty workload input range";
+    }
+  }
+  return "";
+}
+
+}  // namespace gist

@@ -1,0 +1,103 @@
+// Ground-truth manifests for the synthesized failure corpus (ROADMAP item 3,
+// DESIGN.md §13).
+//
+// Every generated program is paired with a `gist.manifest.v1` record of the
+// planted root cause: the failure's type and failing PC, the racing or
+// violating access pair, the statements a developer must see to fix the bug
+// (the fleet's stopping criterion), the ideal failure sketch the §5.2
+// accuracy metrics grade against, the ordered sketch edges the failing
+// schedule is expected to exhibit, and the canonical workload input ranges.
+// Manifests are byte-deterministic: the same program seed always serializes
+// to the same JSON, which is what lets `gist corpus run` verify an on-disk
+// corpus against regeneration instead of trusting it.
+
+#ifndef GIST_SRC_CORPUS_MANIFEST_H_
+#define GIST_SRC_CORPUS_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/accuracy.h"
+#include "src/ir/module.h"
+#include "src/vm/failure.h"
+
+namespace gist {
+
+// The parameterized bug-template families (paper Table 1's failure classes
+// plus Casper-motivated null propagation; DESIGN.md §13).
+enum class BugFamily : uint8_t {
+  kDataRace,            // unsynchronized RMW, lost update caught by an assert
+  kAtomicityViolation,  // WWR: publish .. remote clear .. reload (NULL deref)
+  kOrderViolation,      // use-before-init across threads (NULL deref)
+  kUseAfterFree,        // remote free between publish and use
+  kDoubleFree,          // racy error-path free of an already-freed block
+  kDeadlock,            // lock-order inversion caught by a watchdog assert
+  kNullDeref,           // error-path null propagated through a global chain
+};
+inline constexpr size_t kNumBugFamilies = 7;
+
+// Stable lowercase identifier, e.g. "data_race"; used in program names,
+// manifests, and score reports.
+const char* BugFamilyName(BugFamily family);
+// False when `name` is not a family identifier.
+bool ParseBugFamily(const std::string& name, BugFamily* family);
+
+// Tunable shape knobs, drawn per program from its seed (DESIGN.md §13).
+struct TemplateParams {
+  uint32_t threads = 0;       // benign extra threads beyond the bug's minimum
+  uint32_t heap_cells = 1;    // words per heap allocation / propagation depth
+  uint32_t branch_depth = 0;  // benign input-dependent branch nesting
+  uint32_t noise_iters = 0;   // benign busy-loop rounds around the bug
+};
+
+// Canonical workload input range: input #i is uniform in [lo, hi].
+struct InputSpec {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct CorpusManifest {
+  std::string name;  // e.g. "017_use_after_free"
+  BugFamily family = BugFamily::kDataRace;
+  uint64_t program_seed = 0;
+  TemplateParams params;
+
+  // The planted failure: where and how the program crashes.
+  FailureType failure_type = FailureType::kNone;
+  InstrId failing_instr = kNoInstr;
+  // The racing / violating access pair (kNoInstr when the family has none).
+  // For races and atomicity violations these are the two memory accesses a
+  // fix must synchronize; for deadlocks the two inverted lock acquisitions.
+  InstrId access_pair[2] = {kNoInstr, kNoInstr};
+
+  // Statements whose presence in the sketch lets a developer fix the bug —
+  // the fleet's root-cause stopping criterion, like BugApp::root_cause_instrs.
+  std::vector<InstrId> root_cause;
+  // Ground truth for the §5.2 accuracy metrics (relevance + ordering).
+  IdealSketch ideal;
+  // Ordered statement pairs the failing schedule is expected to exhibit; the
+  // scorer reports the fraction honored by the sketch's step order.
+  std::vector<std::pair<InstrId, InstrId>> sketch_edges;
+
+  // Canonical workload: input #i of every production run is uniform in
+  // [inputs[i].lo, inputs[i].hi] (see CorpusWorkload).
+  std::vector<InputSpec> inputs;
+
+  // Canonical gist.manifest.v1 bytes (sorted-stable layout, newline per key).
+  std::string ToJson() const;
+};
+
+// Structural schema validation, used by corpus_test and the generator's
+// self-check: every id must be in range, the failing instruction's opcode
+// must be able to raise the planted failure type, the access pair must be
+// memory operations (or lock acquisitions / frees for deadlock and lifetime
+// bugs), the access order
+// and sketch edges must draw from the ideal statement set, and every input
+// range must be non-empty. Returns an empty string when valid, else a
+// description of the first violation.
+std::string ValidateManifest(const CorpusManifest& manifest, const Module& module);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORPUS_MANIFEST_H_

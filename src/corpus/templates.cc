@@ -1,0 +1,775 @@
+// The seven parameterized bug templates (DESIGN.md §13). Each Build*
+// function emits a complete MiniIR program — benign surrounding work plus
+// one planted bug — and records the ground truth a manifest needs: the
+// failure's type and PC, the racing/violating pair, the statements a fix
+// needs visible (root_cause, the fleet's stopping criterion), the §5.2 ideal
+// sketch, and the expected sketch edges.
+//
+// Design rules the templates follow:
+//   * One manifestation per program. A template must fail only with the
+//     planted type at the planted PC (FailureReport::MatchHash covers both),
+//     so e.g. the use-after-free closer never nulls the pointer (which would
+//     sometimes manifest as a segfault instead) and the double-free closers
+//     share one function (so the losing thread's free is the same PC no
+//     matter which thread loses).
+//   * root_cause only contains statements Gist can actually recover. The
+//     static slice is alias-free (§3.2), so a statement in another thread
+//     enters the sketch only through runtime watchpoint discovery — and the
+//     fleet stops once the window covers the static slice, which bounds
+//     discovery to about one writer-hop past it. Two consequences: a spawn
+//     site appears only when the spawned function contains statically-sliced
+//     statements (the failing function's own statements plus register
+//     dataflow), and a null propagated through N globals only exposes the
+//     last writer, not the error store N hops back. The ideal sketch still
+//     lists the full story; the gap models the paper's sub-100% relevance.
+//   * sketch_edges only pair accesses that carry observed watchpoint values
+//     in failing runs (SharedAccessOrder drops value-less statements), in an
+//     order every failing schedule shares.
+//   * Deadlocks are diagnosed through a watchdog: a VM-detected deadlock
+//     carries no failing PC (kNoInstr), which no fleet can target, so the
+//     template converts "no progress" into an assert with a real PC.
+//   * Input layout is template inputs first, then a benign-branch selector,
+//     then a work-scale input shared by main's prologue and the background
+//     threads.
+
+#include "src/corpus/templates.h"
+
+#include "src/corpus/manifest.h"
+#include "src/ir/builder.h"
+#include "src/ir/emit.h"
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace gist {
+namespace {
+
+// Benign-shape scaffolding shared by every template.
+struct Scaffold {
+  GlobalId scratch = 0;            // background threads' memory traffic target
+  FunctionId noise = kNoFunction;  // background function; kNoFunction if none
+  int64_t branch_input = 0;        // selector for the benign branch nest
+  int64_t scale_input = 0;         // prologue / background work scale
+};
+
+// Creates the scratch global and (when params ask for background threads)
+// the background function. Must run before the template's own functions so
+// FunctionIds stay in emission order.
+Scaffold EmitScaffold(IrBuilder& b, const TemplateParams& params, int64_t num_template_inputs) {
+  Scaffold s;
+  s.branch_input = num_template_inputs;
+  s.scale_input = num_template_inputs + 1;
+  s.scratch = b.module().CreateGlobal("scratch", 1, 0);
+  if (params.threads > 0) {
+    b.StartFunction("background", 1);
+    b.Src(5, "background request traffic;");
+    EmitInputScaledMemoryLoop(b, s.scratch, 2 + params.noise_iters, s.scale_input, "bg");
+    b.Ret();
+    s.noise = b.current_function().id();
+  }
+  return s;
+}
+
+// Nested benign input-dependent branches: control-flow noise around the bug.
+void EmitBenignBranches(IrBuilder& b, const Scaffold& s, uint32_t depth) {
+  for (uint32_t d = 0; d < depth; ++d) {
+    b.Src(10 + d, "if (request_flags > threshold) { /* slow path */ }");
+    const Reg in = b.Input(s.branch_input);
+    const Reg threshold = b.Const(static_cast<int64_t>(d) + 2);
+    const Reg cond = b.Gt(in, threshold);
+    BasicBlock& slow = b.NewBlock(StrFormat("slow%u", d));
+    BasicBlock& join = b.NewBlock(StrFormat("join%u", d));
+    b.Br(cond, slow.id(), join.id());
+    b.SetInsertBlock(slow);
+    EmitBusyLoop(b, 2, StrFormat("slowwork%u", d));
+    b.Jmp(join.id());
+    b.SetInsertBlock(join);
+  }
+}
+
+// Main's opening: bulk work, branch noise, background spawns. Returns the
+// background tids to join in the epilogue.
+std::vector<Reg> EmitMainPrologue(IrBuilder& b, const Scaffold& s, const TemplateParams& params) {
+  b.Src(1, "startup and request intake;");
+  EmitInputScaledMemoryLoop(b, s.scratch, 3 + params.noise_iters, s.scale_input, "intake");
+  EmitBenignBranches(b, s, params.branch_depth);
+  std::vector<Reg> tids;
+  for (uint32_t t = 0; t < params.threads; ++t) {
+    b.Src(8, "spawn background worker;");
+    const Reg zero = b.Const(0);
+    tids.push_back(b.ThreadCreate(s.noise, zero));
+  }
+  return tids;
+}
+
+void EmitMainEpilogue(IrBuilder& b, const std::vector<Reg>& tids) {
+  for (Reg tid : tids) {
+    b.ThreadJoin(tid);
+  }
+  b.Src(90, "}");
+  b.Ret();
+}
+
+// Shared tail: the benign-branch selector and work-scale input ranges.
+void AppendCommonInputs(CorpusManifest& m) {
+  m.inputs.push_back({0, 4});   // branch selector
+  m.inputs.push_back({4, 12});  // work scale
+}
+
+// --- data_race: unsynchronized counter RMW, lost update caught by an assert
+CorpusManifest BuildDataRace(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId counter = module.CreateGlobal("hit_counter", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  const uint32_t window = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+
+  InstrId rmw_load[2];
+  InstrId rmw_store[2];
+  FunctionId worker[2];
+  for (int i = 0; i < 2; ++i) {
+    b.StartFunction(i == 0 ? "handle_get" : "handle_put", 1);
+    b.Src(20, "parse request;");
+    EmitInputScaledLoop(b, 1, i, "parse");
+    b.Src(22, "n = hit_counter;");
+    const Reg slot = b.AddrOfGlobal(counter);
+    const Reg value = b.Load(slot);
+    rmw_load[i] = b.last_instr_id();
+    b.Src(23, "format response;  /* inside the RMW window */");
+    EmitBusyLoop(b, window, "respond");
+    b.Src(24, "hit_counter = n + 1;");
+    const Reg one = b.Const(1);
+    const Reg bumped = b.Add(value, one);
+    const Reg slot2 = b.AddrOfGlobal(counter);
+    b.Store(slot2, bumped);
+    rmw_store[i] = b.last_instr_id();
+    b.Ret();
+    worker[i] = b.current_function().id();
+  }
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "spawn both request handlers;");
+  const Reg zero = b.Const(0);
+  const Reg t1 = b.ThreadCreate(worker[0], zero);
+  const Reg t2 = b.ThreadCreate(worker[1], zero);
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  b.Src(44, "assert(hit_counter == 2);");
+  const Reg slot = b.AddrOfGlobal(counter);
+  const InstrId final_addr = b.last_instr_id();
+  const Reg final_value = b.Load(slot);
+  const InstrId final_load = b.last_instr_id();
+  const Reg two = b.Const(2);
+  const InstrId two_id = b.last_instr_id();
+  const Reg ok = b.Eq(final_value, two);
+  const InstrId eq_id = b.last_instr_id();
+  b.Assert(ok, "lost update: hit_counter != 2");
+  const InstrId assert_id = b.last_instr_id();
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kDataRace;
+  m.failure_type = FailureType::kAssertViolation;
+  m.failing_instr = assert_id;
+  m.access_pair[0] = rmw_store[0];
+  m.access_pair[1] = rmw_store[1];
+  // The handlers are never statically sliced (the assert only reaches them
+  // through the counter's memory), so their spawn sites stay out of reach;
+  // the racing accesses themselves arrive via watchpoint discovery.
+  m.root_cause = {rmw_store[0], rmw_store[1], final_load};
+  m.ideal.instrs = {rmw_load[0], rmw_store[0], rmw_load[1], rmw_store[1], final_addr,
+                    final_load,  two_id,       eq_id,       assert_id};
+  // Which handler runs first is schedule-dependent; only same-thread order
+  // and stores-before-the-final-read hold in every failing run.
+  m.ideal.access_order = {rmw_load[0], rmw_store[0], final_load};
+  m.sketch_edges = {{rmw_load[0], rmw_store[0]},
+                    {rmw_load[1], rmw_store[1]},
+                    {rmw_store[0], final_load},
+                    {rmw_store[1], final_load}};
+  m.inputs = {{0, 3}, {0, 3}};  // per-handler parse jitter
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- atomicity_violation: WWR — owner publishes, remote clears, owner reloads
+CorpusManifest BuildAtomicityViolation(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId slot = module.CreateGlobal("cache_slot", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  const uint32_t window = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+
+  b.StartFunction("run_query", 1);
+  b.Src(20, "prepare statement;");
+  EmitInputScaledLoop(b, 1, 0, "prepare");
+  b.Src(22, "db->cache = cache_open();");
+  const Reg cells = b.Const(static_cast<int64_t>(params.heap_cells));
+  const Reg cache = b.Alloc(cells);
+  const InstrId alloc_id = b.last_instr_id();
+  const Reg pages = b.Const(64);
+  b.Store(cache, pages);
+  const Reg owner_slot = b.AddrOfGlobal(slot);
+  b.Store(owner_slot, cache);
+  const InstrId publish = b.last_instr_id();
+  b.Src(24, "evaluate query plan;  /* the atomicity window */");
+  EmitBusyLoop(b, window, "evaluate");
+  b.Src(26, "n = db->cache->pages;");
+  const Reg owner_slot2 = b.AddrOfGlobal(slot);
+  const InstrId reload_addr = b.last_instr_id();
+  const Reg current = b.Load(owner_slot2);
+  const InstrId reload = b.last_instr_id();
+  const Reg n = b.Load(current);
+  const InstrId deref = b.last_instr_id();
+  b.Print(n);
+  b.Ret();
+  const FunctionId owner = b.current_function().id();
+
+  b.StartFunction("close_session", 1);
+  b.Src(30, "tear down session state;");
+  EmitInputScaledLoop(b, 2, 1, "teardown");
+  b.Src(32, "db->cache = 0;  /* error path clears the shared cache */");
+  const Reg breaker_slot = b.AddrOfGlobal(slot);
+  const Reg zero = b.Const(0);
+  b.Store(breaker_slot, zero);
+  const InstrId clear = b.last_instr_id();
+  b.Ret();
+  const FunctionId breaker = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "spawn both users of the shared session;");
+  const Reg arg = b.Const(0);
+  const Reg t1 = b.ThreadCreate(owner, arg);
+  const InstrId spawn_owner = b.last_instr_id();
+  const Reg t2 = b.ThreadCreate(breaker, arg);
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kAtomicityViolation;
+  m.failure_type = FailureType::kSegFault;
+  m.failing_instr = deref;
+  m.access_pair[0] = publish;
+  m.access_pair[1] = clear;
+  m.root_cause = {spawn_owner, publish, clear, reload};
+  // alloc_id is an honest miss: the owner's allocation feeds publish only
+  // through memory, so the alias-free slice never reaches it.
+  m.ideal.instrs = {spawn_owner, alloc_id, publish, clear, reload_addr, reload, deref};
+  m.ideal.access_order = {publish, clear, reload};
+  m.sketch_edges = {{publish, clear}, {clear, reload}};
+  m.inputs = {{0, 3}, {0, 3}};  // owner prepare / breaker teardown jitter
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- order_violation: consumer reads the shared pointer before init publishes
+CorpusManifest BuildOrderViolation(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId slot = module.CreateGlobal("config_ptr", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  (void)rng;
+
+  b.StartFunction("load_config", 1);
+  b.Src(20, "read configuration file;");
+  EmitInputScaledLoop(b, 2, 0, "readcfg");
+  b.Src(22, "cfg = parse(file); config_ptr = cfg;");
+  const Reg cells = b.Const(static_cast<int64_t>(params.heap_cells));
+  const Reg cfg = b.Alloc(cells);
+  const InstrId alloc_id = b.last_instr_id();
+  const Reg value = b.Const(7);
+  b.Store(cfg, value);
+  const Reg init_slot = b.AddrOfGlobal(slot);
+  b.Store(init_slot, cfg);
+  const InstrId publish = b.last_instr_id();
+  b.Ret();
+  const FunctionId initializer = b.current_function().id();
+
+  b.StartFunction("serve_request", 1);
+  b.Src(30, "accept connection;");
+  EmitInputScaledLoop(b, 1, 1, "accept");
+  b.Src(32, "limit = config_ptr->limit;");
+  const Reg consumer_slot = b.AddrOfGlobal(slot);
+  const InstrId slot_addr = b.last_instr_id();
+  const Reg cfg_ptr = b.Load(consumer_slot);
+  const InstrId slot_load = b.last_instr_id();
+  const Reg limit = b.Load(cfg_ptr);
+  const InstrId deref = b.last_instr_id();
+  b.Print(limit);
+  b.Ret();
+  const FunctionId consumer = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "spawn initializer and server;  /* no ordering between them */");
+  const Reg arg = b.Const(0);
+  const Reg t1 = b.ThreadCreate(initializer, arg);
+  const InstrId spawn_init = b.last_instr_id();
+  const Reg t2 = b.ThreadCreate(consumer, arg);
+  const InstrId spawn_consumer = b.last_instr_id();
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kOrderViolation;
+  m.failure_type = FailureType::kSegFault;
+  m.failing_instr = deref;
+  m.access_pair[0] = publish;
+  m.access_pair[1] = slot_load;
+  // Only the consumer is statically sliced, so only its spawn site is
+  // recoverable; the initializer's spawn and the publish that SHOULD have
+  // happened first stay ideal-only (the run fails before publish is
+  // watch-observed).
+  m.root_cause = {spawn_consumer, slot_load};
+  m.ideal.instrs = {spawn_init, spawn_consumer, alloc_id, publish,
+                    slot_addr,  slot_load,      deref};
+  m.ideal.access_order = {slot_load, publish};
+  // No failing-run pair carries two observed values: publish races the
+  // failure and the deref traps before its watch can report.
+  m.sketch_edges = {};
+  m.inputs = {{1, 4}, {0, 2}};  // init dally / consumer dally
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- use_after_free: main frees the published block while the consumer runs
+CorpusManifest BuildUseAfterFree(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId slot = module.CreateGlobal("buffer_ptr", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  const uint32_t window = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+
+  b.StartFunction("flush_buffer", 1);
+  b.Src(20, "buf = buffer_ptr;");
+  EmitInputScaledLoop(b, 1, 0, "drain");
+  const Reg consumer_slot = b.AddrOfGlobal(slot);
+  const InstrId slot_addr = b.last_instr_id();
+  const Reg buf = b.Load(consumer_slot);
+  const InstrId slot_load = b.last_instr_id();
+  b.Src(22, "compress block;  /* still holding buf */");
+  EmitBusyLoop(b, window, "compress");
+  b.Src(24, "n = buf->len;");
+  const Reg n = b.Load(buf);
+  const InstrId use = b.last_instr_id();
+  b.Print(n);
+  b.Ret();
+  const FunctionId consumer = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "buffer_ptr = alloc_buffer();");
+  const Reg cells = b.Const(static_cast<int64_t>(params.heap_cells));
+  const Reg block = b.Alloc(cells);
+  const InstrId alloc_id = b.last_instr_id();
+  const Reg len = b.Const(9);
+  b.Store(block, len);
+  const Reg main_slot = b.AddrOfGlobal(slot);
+  b.Store(main_slot, block);
+  const InstrId publish = b.last_instr_id();
+  b.Src(42, "spawn flusher;");
+  const Reg arg = b.Const(0);
+  const Reg tid = b.ThreadCreate(consumer, arg);
+  const InstrId spawn_consumer = b.last_instr_id();
+  b.Src(44, "serve a few more requests, then tear down;");
+  EmitInputScaledLoop(b, 1, 1, "serve");
+  b.Src(46, "free(buffer_ptr);  /* pointer is NOT cleared */");
+  const Reg main_slot2 = b.AddrOfGlobal(slot);
+  const Reg stale = b.Load(main_slot2);
+  const InstrId teardown_load = b.last_instr_id();
+  b.Free(stale);
+  const InstrId free_id = b.last_instr_id();
+  b.ThreadJoin(tid);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kUseAfterFree;
+  m.failure_type = FailureType::kUseAfterFree;
+  m.failing_instr = use;
+  m.access_pair[0] = free_id;
+  m.access_pair[1] = use;
+  m.root_cause = {spawn_consumer, slot_load, use};
+  // alloc_id and free_id are honest misses: Alloc/Free never carry watch
+  // values and sit outside the consumer's backward slice.
+  m.ideal.instrs = {alloc_id,  publish, spawn_consumer, slot_addr,
+                    slot_load, teardown_load, free_id,  use};
+  m.ideal.access_order = {publish, slot_load};
+  // Only slot accesses carry observed watch values; the heap-pointer `use`
+  // traps before its watch reports, so it cannot anchor an edge.
+  m.sketch_edges = {{publish, slot_load}};
+  m.inputs = {{0, 2}, {0, 3}};  // consumer drain / main serve dally
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- double_free: two closers race through a check-then-free on one block
+CorpusManifest BuildDoubleFree(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId slot = module.CreateGlobal("object_ptr", 1, 0);
+  const GlobalId flag = module.CreateGlobal("freed_flag", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  const uint32_t window = 2 + static_cast<uint32_t>(rng.NextBelow(3));
+
+  // Both closer threads run this one function, so the losing free is the
+  // same PC no matter which thread arrives second. r0 = approach dally.
+  b.StartFunction("release_object", 1);
+  b.Src(20, "finish request;");
+  EmitWorkLoop(b, 0, "approach");
+  b.Src(22, "if (!obj_freed) {");
+  const Reg flag_addr = b.AddrOfGlobal(flag);
+  const InstrId flag_addr_id = b.last_instr_id();
+  const Reg freed = b.Load(flag_addr);
+  const InstrId flag_load = b.last_instr_id();
+  const Reg not_freed = b.Not(freed);
+  const InstrId not_id = b.last_instr_id();
+  BasicBlock& do_free = b.NewBlock("do_free");
+  BasicBlock& done = b.NewBlock("done");
+  b.Br(not_freed, do_free.id(), done.id());
+  const InstrId br_id = b.last_instr_id();
+  b.SetInsertBlock(do_free);
+  b.Src(23, "log teardown;  /* the check-to-free window */");
+  EmitBusyLoop(b, window, "logging");
+  b.Src(24, "free(object_ptr);");
+  const Reg slot_addr = b.AddrOfGlobal(slot);
+  const InstrId slot_addr_id = b.last_instr_id();
+  const Reg object = b.Load(slot_addr);
+  const InstrId slot_load = b.last_instr_id();
+  b.Free(object);
+  const InstrId free_id = b.last_instr_id();
+  b.Src(25, "obj_freed = 1;");
+  const Reg one = b.Const(1);
+  const Reg flag_addr2 = b.AddrOfGlobal(flag);
+  b.Store(flag_addr2, one);
+  const InstrId flag_store = b.last_instr_id();
+  b.Jmp(done.id());
+  b.SetInsertBlock(done);
+  b.Src(26, "}");
+  b.Ret();
+  const FunctionId closer = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "object_ptr = cache_insert(...);");
+  const Reg cells = b.Const(static_cast<int64_t>(params.heap_cells));
+  const Reg block = b.Alloc(cells);
+  const InstrId alloc_id = b.last_instr_id();
+  const Reg main_slot = b.AddrOfGlobal(slot);
+  b.Store(main_slot, block);
+  const InstrId publish = b.last_instr_id();
+  b.Src(42, "spawn both closers;");
+  const Reg dally1 = b.Input(0);
+  const InstrId input1_id = b.last_instr_id();
+  const Reg t1 = b.ThreadCreate(closer, dally1);
+  const InstrId spawn1 = b.last_instr_id();
+  const Reg dally2 = b.Input(1);
+  const InstrId input2_id = b.last_instr_id();
+  const Reg t2 = b.ThreadCreate(closer, dally2);
+  const InstrId spawn2 = b.last_instr_id();
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kDoubleFree;
+  m.failure_type = FailureType::kDoubleFree;
+  m.failing_instr = free_id;
+  m.access_pair[0] = flag_load;
+  m.access_pair[1] = flag_store;
+  m.root_cause = {spawn1, spawn2, flag_load, slot_load};
+  // The losing closer's slice pulls in the whole check-then-free machinery
+  // (addrofs, Not, Br, the spawn args). alloc_id and flag_store are honest
+  // misses: the winner's flag_store happens after the failing free in program
+  // order, so the backward slice never reaches it.
+  m.ideal.instrs = {alloc_id,  publish,      input1_id, spawn1,  input2_id,
+                    spawn2,    flag_addr_id, flag_load, not_id,  br_id,
+                    slot_addr_id, slot_load, free_id,   flag_store};
+  m.ideal.access_order = {publish, flag_load, slot_load};
+  m.sketch_edges = {{flag_load, slot_load}};
+  m.inputs = {{0, 3}, {0, 3}};  // per-closer approach dally
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- deadlock: lock-order inversion, surfaced by a watchdog assert
+CorpusManifest BuildDeadlock(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  const GlobalId lock_ab = module.CreateGlobal("mutex_ab", 1, 0);
+  const GlobalId lock_ba = module.CreateGlobal("mutex_ba", 1, 0);
+  const GlobalId done_a = module.CreateGlobal("done_a", 1, 0);
+  const GlobalId done_b = module.CreateGlobal("done_b", 1, 0);
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/2);
+  const uint32_t hold = 1 + static_cast<uint32_t>(rng.NextBelow(3));
+
+  InstrId first_lock[2];
+  InstrId second_lock[2];
+  InstrId done_store[2];
+  FunctionId worker[2];
+  for (int i = 0; i < 2; ++i) {
+    const GlobalId first = i == 0 ? lock_ab : lock_ba;
+    const GlobalId second = i == 0 ? lock_ba : lock_ab;
+    const GlobalId mine = i == 0 ? done_a : done_b;
+    b.StartFunction(i == 0 ? "move_funds" : "audit_funds", 1);
+    b.Src(20, "lock(first);");
+    EmitInputScaledLoop(b, 1, i, "enter");
+    const Reg first_addr = b.AddrOfGlobal(first);
+    b.Lock(first_addr);
+    first_lock[i] = b.last_instr_id();
+    b.Src(22, "update ledger;  /* holding one lock */");
+    EmitBusyLoop(b, hold, "ledger");
+    b.Src(24, "lock(second);  /* inverted order across the two threads */");
+    const Reg second_addr = b.AddrOfGlobal(second);
+    b.Lock(second_addr);
+    second_lock[i] = b.last_instr_id();
+    b.Src(26, "unlock both;");
+    b.Unlock(second_addr);
+    b.Unlock(first_addr);
+    b.Src(28, "done = 1;");
+    const Reg one = b.Const(1);
+    const Reg mine_addr = b.AddrOfGlobal(mine);
+    b.Store(mine_addr, one);
+    done_store[i] = b.last_instr_id();
+    b.Ret();
+    worker[i] = b.current_function().id();
+  }
+
+  // Watchdog: polls both done flags for a generous budget, then asserts.
+  // This is what gives the deadlock a diagnosable failing PC: the VM's own
+  // all-threads-blocked detection reports kNoInstr, which no fleet can
+  // target.
+  // The assert's backward slice pulls in this whole poll loop (minus the
+  // Jmps, which carry no dataflow), so every statement below lands in the
+  // sketch; wd_ids records them for the ideal.
+  std::vector<InstrId> wd_ids;
+  const auto mark = [&b, &wd_ids] { wd_ids.push_back(b.last_instr_id()); };
+  b.StartFunction("watchdog", 1);
+  b.Src(30, "for (i = 0; i < BUDGET; i++) {");
+  const Reg budget = b.Const(1200);
+  mark();
+  const Reg i_var = b.DeclareReg();
+  b.AssignConst(i_var, 0);
+  mark();
+  BasicBlock& head = b.NewBlock("poll_head");
+  BasicBlock& body = b.NewBlock("poll_body");
+  BasicBlock& next = b.NewBlock("poll_next");
+  BasicBlock& expired = b.NewBlock("expired");
+  BasicBlock& ok = b.NewBlock("ok");
+  b.Jmp(head.id());
+  b.SetInsertBlock(head);
+  const Reg more = b.Lt(i_var, budget);
+  mark();
+  b.Br(more, body.id(), expired.id());
+  mark();
+  b.SetInsertBlock(body);
+  b.Src(31, "if (done_a + done_b == 2) return;");
+  const Reg poll_a_addr = b.AddrOfGlobal(done_a);
+  mark();
+  const Reg poll_a = b.Load(poll_a_addr);
+  mark();
+  const Reg poll_b_addr = b.AddrOfGlobal(done_b);
+  mark();
+  const Reg poll_b = b.Load(poll_b_addr);
+  mark();
+  const Reg poll_sum = b.Add(poll_a, poll_b);
+  mark();
+  const Reg two = b.Const(2);
+  mark();
+  const Reg all_done = b.Eq(poll_sum, two);
+  mark();
+  b.Br(all_done, ok.id(), next.id());
+  mark();
+  b.SetInsertBlock(next);
+  const Reg one = b.Const(1);
+  mark();
+  const Reg bumped = b.Add(i_var, one);
+  mark();
+  b.AssignMove(i_var, bumped);
+  mark();
+  b.Jmp(head.id());
+  b.SetInsertBlock(expired);
+  b.Src(34, "assert(done_a + done_b == 2);  /* workers stalled */");
+  const Reg check_a_addr = b.AddrOfGlobal(done_a);
+  mark();
+  const Reg check_a = b.Load(check_a_addr);
+  const InstrId wd_load_a = b.last_instr_id();
+  mark();
+  const Reg check_b_addr = b.AddrOfGlobal(done_b);
+  mark();
+  const Reg check_b = b.Load(check_b_addr);
+  const InstrId wd_load_b = b.last_instr_id();
+  mark();
+  const Reg check_sum = b.Add(check_a, check_b);
+  mark();
+  const Reg two2 = b.Const(2);
+  mark();
+  const Reg check_ok = b.Eq(check_sum, two2);
+  mark();
+  b.Assert(check_ok, "deadlock: workers made no progress");
+  const InstrId assert_id = b.last_instr_id();
+  mark();
+  b.Ret();
+  b.SetInsertBlock(ok);
+  b.Ret();
+  const FunctionId watchdog = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "spawn watchdog and both workers;");
+  const Reg arg = b.Const(0);
+  const InstrId arg_id = b.last_instr_id();
+  const Reg tw = b.ThreadCreate(watchdog, arg);
+  const InstrId spawn_watchdog = b.last_instr_id();
+  const Reg t1 = b.ThreadCreate(worker[0], arg);
+  const InstrId spawn1 = b.last_instr_id();
+  const Reg t2 = b.ThreadCreate(worker[1], arg);
+  const InstrId spawn2 = b.last_instr_id();
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  b.ThreadJoin(tw);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kDeadlock;
+  m.failure_type = FailureType::kAssertViolation;
+  m.failing_instr = assert_id;
+  m.access_pair[0] = second_lock[0];
+  m.access_pair[1] = second_lock[1];
+  // Only the watchdog is statically sliced; the worker spawns and their lock
+  // acquisitions never qualify, so the recoverable root cause is the
+  // watchdog's pair of stalled reads. The done-stores DO appear: they run in
+  // successful schedules, and watchpoints on done_a/done_b surface them.
+  m.root_cause = {wd_load_a, wd_load_b};
+  m.ideal.instrs = wd_ids;
+  m.ideal.instrs.push_back(arg_id);
+  m.ideal.instrs.push_back(spawn_watchdog);
+  m.ideal.instrs.push_back(done_store[0]);
+  m.ideal.instrs.push_back(done_store[1]);
+  // Honest misses (ideal-only): the inverted lock pairs and worker spawns a
+  // human would want but no alias-free slice or one-hop discovery reaches.
+  m.ideal.instrs.push_back(spawn1);
+  m.ideal.instrs.push_back(spawn2);
+  m.ideal.instrs.push_back(first_lock[0]);
+  m.ideal.instrs.push_back(second_lock[0]);
+  m.ideal.instrs.push_back(first_lock[1]);
+  m.ideal.instrs.push_back(second_lock[1]);
+  m.ideal.access_order = {wd_load_a, wd_load_b};
+  m.sketch_edges = {{wd_load_a, wd_load_b}};
+  m.inputs = {{0, 2}, {0, 2}};  // per-worker entry dally
+  AppendCommonInputs(m);
+  return m;
+}
+
+// --- null_deref: error path plants NULL, propagated through a global chain
+CorpusManifest BuildNullDeref(const TemplateParams& params, Module& module, Rng& rng) {
+  CorpusManifest m;
+  IrBuilder b(module);
+  // Propagation chain g0 -> g1 -> ... (length scales with heap_cells).
+  const uint32_t chain_len = 1 + params.heap_cells % 3;
+  std::vector<GlobalId> chain;
+  for (uint32_t k = 0; k < chain_len; ++k) {
+    chain.push_back(b.module().CreateGlobal(StrFormat("stage%u", k), 1, 0));
+  }
+  const Scaffold s = EmitScaffold(b, params, /*num_template_inputs=*/1);
+  (void)rng;
+
+  InstrId err_store = kNoInstr;
+  std::vector<InstrId> chain_loads;
+  std::vector<InstrId> chain_stores;
+
+  b.StartFunction("open_session", 0);
+  b.Src(20, "if (auth(token) != OK) { session = NULL; } else { session = new(); }");
+  const Reg token = b.Input(0);
+  const Reg zero = b.Const(0);
+  const Reg bad_token = b.Eq(token, zero);
+  BasicBlock& err = b.NewBlock("auth_fail");
+  BasicBlock& good = b.NewBlock("auth_ok");
+  BasicBlock& cont = b.NewBlock("store_session");
+  b.Br(bad_token, err.id(), good.id());
+  b.SetInsertBlock(err);
+  b.Src(21, "stage0 = NULL;  /* error path forgets to report */");
+  const Reg null_ptr = b.Const(0);
+  const Reg err_addr = b.AddrOfGlobal(chain[0]);
+  b.Store(err_addr, null_ptr);
+  err_store = b.last_instr_id();
+  b.Jmp(cont.id());
+  b.SetInsertBlock(good);
+  b.Src(22, "stage0 = session;");
+  const Reg cells = b.Const(static_cast<int64_t>(params.heap_cells));
+  const Reg session = b.Alloc(cells);
+  const Reg init = b.Const(11);
+  b.Store(session, init);
+  const Reg ok_addr = b.AddrOfGlobal(chain[0]);
+  b.Store(ok_addr, session);
+  b.Jmp(cont.id());
+  b.SetInsertBlock(cont);
+  b.Src(24, "propagate session handle;");
+  for (uint32_t k = 1; k < chain_len; ++k) {
+    const Reg src = b.AddrOfGlobal(chain[k - 1]);
+    const Reg v = b.Load(src);
+    chain_loads.push_back(b.last_instr_id());
+    const Reg dst = b.AddrOfGlobal(chain[k]);
+    b.Store(dst, v);
+    chain_stores.push_back(b.last_instr_id());
+  }
+  b.Ret();
+  const FunctionId opener = b.current_function().id();
+
+  b.StartFunction("main", 0);
+  const std::vector<Reg> noise_tids = EmitMainPrologue(b, s, params);
+  b.Src(40, "open_session(token);");
+  b.CallVoid(opener, {});
+  b.Src(42, "quota = session->quota;");
+  const Reg last_addr = b.AddrOfGlobal(chain[chain_len - 1]);
+  const Reg handle = b.Load(last_addr);
+  const InstrId final_load = b.last_instr_id();
+  const Reg quota = b.Load(handle);
+  const InstrId deref = b.last_instr_id();
+  b.Print(quota);
+  EmitMainEpilogue(b, noise_tids);
+
+  m.family = BugFamily::kNullDeref;
+  m.failure_type = FailureType::kSegFault;
+  m.failing_instr = deref;
+  m.access_pair[0] = err_store;
+  m.access_pair[1] = final_load;
+  // The fleet stops growing the window once it covers the static slice, so
+  // watchpoint discovery reaches exactly one writer-hop behind final_load:
+  // the LAST store in the chain. err_store itself is recoverable only when
+  // the chain is trivial; for longer chains it is an honest ideal-only miss
+  // — accuracy degrades with distance from the root cause, as in the paper.
+  const InstrId last_writer = chain_stores.empty() ? err_store : chain_stores.back();
+  m.root_cause = {last_writer, final_load};
+  m.ideal.instrs = {err_store};
+  m.ideal.instrs.insert(m.ideal.instrs.end(), chain_loads.begin(), chain_loads.end());
+  m.ideal.instrs.insert(m.ideal.instrs.end(), chain_stores.begin(), chain_stores.end());
+  m.ideal.instrs.push_back(final_load);
+  m.ideal.instrs.push_back(deref);
+  m.ideal.access_order = {last_writer, final_load};
+  m.sketch_edges = {{last_writer, final_load}};
+  m.inputs = {{0, 4}};  // auth token; 0 takes the error path (~20%)
+  AppendCommonInputs(m);
+  return m;
+}
+
+}  // namespace
+
+CorpusManifest BuildTemplate(BugFamily family, const TemplateParams& params,
+                             Module& module, Rng& rng) {
+  switch (family) {
+    case BugFamily::kDataRace:
+      return BuildDataRace(params, module, rng);
+    case BugFamily::kAtomicityViolation:
+      return BuildAtomicityViolation(params, module, rng);
+    case BugFamily::kOrderViolation:
+      return BuildOrderViolation(params, module, rng);
+    case BugFamily::kUseAfterFree:
+      return BuildUseAfterFree(params, module, rng);
+    case BugFamily::kDoubleFree:
+      return BuildDoubleFree(params, module, rng);
+    case BugFamily::kDeadlock:
+      return BuildDeadlock(params, module, rng);
+    case BugFamily::kNullDeref:
+      return BuildNullDeref(params, module, rng);
+  }
+  GIST_CHECK(false) << "unknown bug family";
+  return CorpusManifest{};
+}
+
+}  // namespace gist

@@ -1,0 +1,25 @@
+// The seven parameterized bug templates behind the corpus generator
+// (DESIGN.md §13). Internal to src/corpus; callers go through
+// GenerateProgram.
+
+#ifndef GIST_SRC_CORPUS_TEMPLATES_H_
+#define GIST_SRC_CORPUS_TEMPLATES_H_
+
+#include "src/corpus/manifest.h"
+#include "src/support/rng.h"
+
+namespace gist {
+
+// Emits `family`'s program into `module` and fills every ground-truth field
+// of the returned manifest except `name`, `program_seed`, and `params`
+// (stamped by GenerateProgram). `params` shapes the emission — extra benign
+// threads, heap sizes / propagation depth, benign branch nesting, noise
+// volume; `rng` may only be consumed for shape choices, never for anything
+// the manifest doesn't capture, so (family, params, rng state) fully
+// determines the program bytes.
+CorpusManifest BuildTemplate(BugFamily family, const TemplateParams& params,
+                             Module& module, Rng& rng);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_CORPUS_TEMPLATES_H_

@@ -1,10 +1,9 @@
-#include "src/apps/app_util.h"
+#include "src/ir/emit.h"
 
 namespace gist {
-namespace {
 
-void EmitLoopWithBound(IrBuilder& b, Reg bound, const std::string& label_prefix,
-                       GlobalId scratch = 0, bool memory_traffic = false) {
+void EmitWorkLoop(IrBuilder& b, Reg bound, const std::string& label_prefix, GlobalId scratch,
+                  bool memory_traffic) {
   b.Src(0, "");  // loop scaffolding carries no pseudo-source line
   BasicBlock& head = b.NewBlock(label_prefix + "_head");
   BasicBlock& body = b.NewBlock(label_prefix + "_body");
@@ -37,11 +36,9 @@ void EmitLoopWithBound(IrBuilder& b, Reg bound, const std::string& label_prefix,
   b.SetInsertBlock(done);
 }
 
-}  // namespace
-
 void EmitBusyLoop(IrBuilder& b, int64_t iterations, const std::string& label_prefix) {
   const Reg bound = b.Const(iterations);
-  EmitLoopWithBound(b, bound, label_prefix);
+  EmitWorkLoop(b, bound, label_prefix);
 }
 
 void EmitInputScaledLoop(IrBuilder& b, int64_t base, int64_t input_index,
@@ -49,15 +46,15 @@ void EmitInputScaledLoop(IrBuilder& b, int64_t base, int64_t input_index,
   const Reg base_reg = b.Const(base);
   const Reg extra = b.Input(input_index);
   const Reg bound = b.Add(base_reg, extra);
-  EmitLoopWithBound(b, bound, label_prefix);
+  EmitWorkLoop(b, bound, label_prefix);
 }
 
-void EmitInputScaledMemoryLoop(IrBuilder& b, GlobalId scratch, int64_t base,
-                               int64_t input_index, const std::string& label_prefix) {
+void EmitInputScaledMemoryLoop(IrBuilder& b, GlobalId scratch, int64_t base, int64_t input_index,
+                               const std::string& label_prefix) {
   const Reg base_reg = b.Const(base);
   const Reg extra = b.Input(input_index);
   const Reg bound = b.Add(base_reg, extra);
-  EmitLoopWithBound(b, bound, label_prefix, scratch, /*memory_traffic=*/true);
+  EmitWorkLoop(b, bound, label_prefix, scratch, /*memory_traffic=*/true);
 }
 
 }  // namespace gist

@@ -1,0 +1,44 @@
+// Reusable MiniIR emission patterns, shared by the bug-reproduction apps
+// (src/apps) and the synthesized failure corpus (src/corpus). Everything here
+// emits into an IrBuilder's current insertion point and leaves the builder
+// positioned after the emitted construct, so callers can compose patterns
+// linearly — which also keeps emission order equal to textual order, the
+// property that makes ToString/parse round-trips id-stable.
+
+#ifndef GIST_SRC_IR_EMIT_H_
+#define GIST_SRC_IR_EMIT_H_
+
+#include <string>
+
+#include "src/ir/builder.h"
+
+namespace gist {
+
+// Emits a register-only busy loop of `bound` rounds (~8 instructions each)
+// and leaves the builder in the loop's exit block. With `memory_traffic` the
+// body also reads and writes the `scratch` global each round — models
+// memory-bound server work (page caches, buffers). Models the application
+// work surrounding a buggy region; its volume is what makes full-program
+// tracing expensive relative to Gist's toggled tracing.
+void EmitWorkLoop(IrBuilder& b, Reg bound, const std::string& label_prefix,
+                  GlobalId scratch = 0, bool memory_traffic = false);
+
+// EmitWorkLoop with a constant round count.
+void EmitBusyLoop(IrBuilder& b, int64_t iterations, const std::string& label_prefix);
+
+// Busy loop of `base + (input #input_index)` rounds, so workloads control how
+// long a thread dallies — the knob apps and corpus templates use to set
+// race-window win/lose probabilities per run.
+void EmitInputScaledLoop(IrBuilder& b, int64_t base, int64_t input_index,
+                         const std::string& label_prefix);
+
+// Like EmitInputScaledLoop, but each iteration also reads and writes the
+// `scratch` global. Memory-heavy workloads are what make software
+// record/replay catastrophically slower than hardware tracing (paper
+// Fig. 13's SQLite/Transmission bars).
+void EmitInputScaledMemoryLoop(IrBuilder& b, GlobalId scratch, int64_t base,
+                               int64_t input_index, const std::string& label_prefix);
+
+}  // namespace gist
+
+#endif  // GIST_SRC_IR_EMIT_H_

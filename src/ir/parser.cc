@@ -130,13 +130,19 @@ Result<bool> Parser::ParseInstruction(std::string_view line) {
   std::string_view rest = line;
   const size_t eq = line.find('=');
   // Careful: "r2 = eq r0, r1" has '=' only as assignment; mnemonics never
-  // contain '='.
-  if (eq != std::string_view::npos) {
-    Result<Reg> dst = ParseReg(line.substr(0, eq));
-    if (!dst.ok()) {
-      return dst.error();
+  // contain '='. But a '=' inside a quoted string (assert messages like
+  // "x != 2") is literal text — an assignment's '=' always precedes any '"'.
+  if (eq != std::string_view::npos && line.find('"') > eq) {
+    const std::string_view lhs = StripWhitespace(line.substr(0, eq));
+    if (lhs == "_") {
+      // "_ = call @f()": a void call's discarded destination.
+    } else {
+      Result<Reg> dst = ParseReg(lhs);
+      if (!dst.ok()) {
+        return dst.error();
+      }
+      instr.dst = *dst;
     }
-    instr.dst = *dst;
     rest = StripWhitespace(line.substr(eq + 1));
   }
 

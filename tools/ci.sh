@@ -11,10 +11,12 @@
 #            truncated/bit-flipped/garbage bytes, exactly the inputs where
 #            heap overreads and UB hide.
 #
-# Within every stage ctest runs label by label, fail-fast:
-#   unit -> obs -> fleet -> chaos -> cache
+# Within every stage ctest runs label by label, fail-fast (the LABELS array
+# below is the single source of the order):
+#   unit -> obs -> fleet -> chaos -> cache -> corpus
 # so a broken unit test stops the stage before the expensive diagnosis loops
-# and fault-injection sweeps run.
+# and fault-injection sweeps run. Each stage ends with a per-label timing
+# table so slow suites are visible at a glance.
 #
 # Usage: tools/ci.sh [stage] [jobs]
 #   stage  release | tsan | asan | all (default: all)
@@ -32,11 +34,26 @@ if command -v ccache >/dev/null 2>&1; then
   LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+# The staged test order. run_labels and the CMake label registry
+# (tests/CMakeLists.txt) must agree; a label listed here with no tests fails
+# the stage (ctest -L with no matches errors under --no-tests=error).
+LABELS=(unit obs fleet chaos cache corpus)
+
 run_labels() {
   local dir="$1"
-  for label in unit obs fleet chaos cache; do
+  local -a label_seconds=()
+  local label start
+  for label in "${LABELS[@]}"; do
     echo "=== [${dir#build-ci-}] ctest -L ${label} ==="
-    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -L "${label}")
+    start=${SECONDS}
+    (cd "${dir}" && ctest --output-on-failure --no-tests=error -j "${JOBS}" -L "${label}")
+    label_seconds+=("$((SECONDS - start))")
+  done
+  echo "=== [${dir#build-ci-}] label timing ==="
+  printf '  %-8s %8s\n' "label" "seconds"
+  local i
+  for i in "${!LABELS[@]}"; do
+    printf '  %-8s %8s\n' "${LABELS[$i]}" "${label_seconds[$i]}"
   done
 }
 
@@ -148,6 +165,18 @@ EOF
   ./build-ci-release/gist cache build-ci-release/cache_stats_warm.json \
     --cache-dir build-ci-release/cache
   ./build-ci-release/gist cache --cache-dir build-ci-release/cache --cache-purge >/dev/null
+  # Corpus accuracy gate (DESIGN.md §13): generate the fixed-seed quick
+  # corpus, diagnose every program end to end, and floor the aggregate rates
+  # against the committed BENCH_corpus.json. Strict: a missing or empty
+  # baseline fails the stage. Regenerate the baseline with:
+  #   ./build-ci-release/gist corpus score --dir build-ci-release/corpus \
+  #     --baseline BENCH_corpus.json --write-baseline BENCH_corpus.json
+  echo "=== [release] corpus accuracy gate (strict) ==="
+  rm -rf build-ci-release/corpus
+  ./build-ci-release/gist corpus gen --out build-ci-release/corpus \
+    --seed 2015 --count 49 >/dev/null
+  ./build-ci-release/gist corpus score --dir build-ci-release/corpus \
+    --jobs "${JOBS}" --baseline BENCH_corpus.json
 }
 
 stage_tsan() {

@@ -34,9 +34,21 @@
 //       Summarize an artifact-store stats export (--cache-stats-json) as a
 //       per-artifact hit-rate table, report what a --cache-dir holds on disk,
 //       and optionally purge it.
+//   gist corpus gen --out DIR [--seed N] [--count N] [--families a,b,c]
+//       Generate a seeded failure corpus: MiniIR programs from the seven bug
+//       templates, each paired with its gist.manifest.v1 ground truth.
+//   gist corpus run [--dir DIR | --seed N --count N] [--jobs N] [--tier T]
+//       [--chaos] [--score-json PATH]
+//       Run the full diagnosis pipeline over a corpus and grade every sketch
+//       against its manifest. With --dir, the corpus is regenerated from the
+//       index and the on-disk artifacts are byte-verified first.
+//   gist corpus score ... --baseline BENCH_corpus.json [--write-baseline P]
+//       Like run, then gate the accuracy metrics against a committed
+//       baseline (strict: a missing baseline or metric fails).
 //
 // Programs are MiniIR text files (see src/ir/parser.h for the grammar).
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +61,8 @@
 #include "src/apps/app.h"
 #include "src/cache/artifact_store.h"
 #include "src/coop/fleet.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/score.h"
 #include "src/core/gist.h"
 #include "src/ir/parser.h"
 #include "src/obs/flight_recorder.h"
@@ -94,6 +108,12 @@ int Usage() {
                "       gist profdiff <baseline.json> <current.json> [--top N] "
                "[--max-drift-permille P]\n"
                "       gist cache [stats.json] [--cache-dir DIR] [--cache-purge]\n"
+               "       gist corpus gen --out DIR [--seed N] [--count N] [--families a,b,c]\n"
+               "       gist corpus run [--dir DIR | --seed N --count N] [--jobs N]\n"
+               "           [--tier fast|ref|super] [--chaos] [--fleet-seed N]\n"
+               "           [--score-json PATH]\n"
+               "       gist corpus score <run flags> --baseline BENCH_corpus.json\n"
+               "           [--write-baseline PATH]\n"
                "common flags:\n"
                "  --log-level debug|info|warning|error   stderr verbosity (default info)\n"
                "  --tier fast|ref|super   monitored-run execution tier (default fast;\n"
@@ -789,6 +809,342 @@ int CmdCache(int argc, char** argv) {
   return 0;
 }
 
+// --- `gist corpus` ----------------------------------------------------------
+
+struct CorpusCliArgs {
+  std::string dir;  // gen: --out; run/score: --dir (optional)
+  uint64_t seed = 2015;
+  uint64_t count = kNumBugFamilies;
+  std::vector<BugFamily> families;
+  uint64_t jobs = 1;
+  std::string tier;
+  bool chaos = false;
+  uint64_t fleet_seed = 2015;
+  uint64_t runs_per_iteration = 400;
+  uint64_t max_iterations = 8;
+  std::string score_json;
+  std::string baseline;
+  std::string write_baseline;
+  std::string cache_dir;
+  uint64_t cache_mem_mb = 256;
+  bool use_cache = false;
+  bool render = false;  // print each program's final sketch after the table
+};
+
+// Parses everything after `gist corpus <sub>`; false on a malformed flag.
+bool ParseCorpusArgs(int argc, char** argv, CorpusCliArgs* args) {
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](uint64_t* out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    auto next_string = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--out" || arg == "--dir") {
+      if (!next_string(&args->dir)) {
+        return false;
+      }
+    } else if (arg == "--seed") {
+      if (!next_value(&args->seed)) {
+        return false;
+      }
+    } else if (arg == "--count") {
+      if (!next_value(&args->count)) {
+        return false;
+      }
+    } else if (arg == "--families") {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      for (std::string_view piece : SplitNonEmpty(argv[++i], ',')) {
+        BugFamily family;
+        if (!ParseBugFamily(std::string(piece), &family)) {
+          std::fprintf(stderr, "unknown bug family '%.*s'\n",
+                       static_cast<int>(piece.size()), piece.data());
+          return false;
+        }
+        args->families.push_back(family);
+      }
+    } else if (arg == "--jobs") {
+      if (!next_value(&args->jobs)) {
+        return false;
+      }
+    } else if (arg == "--tier") {
+      if (!next_string(&args->tier)) {
+        return false;
+      }
+    } else if (arg == "--chaos") {
+      args->chaos = true;
+    } else if (arg == "--render") {
+      args->render = true;
+    } else if (arg == "--fleet-seed") {
+      if (!next_value(&args->fleet_seed)) {
+        return false;
+      }
+    } else if (arg == "--runs-per-iteration") {
+      if (!next_value(&args->runs_per_iteration)) {
+        return false;
+      }
+    } else if (arg == "--max-iterations") {
+      if (!next_value(&args->max_iterations)) {
+        return false;
+      }
+    } else if (arg == "--score-json") {
+      if (!next_string(&args->score_json)) {
+        return false;
+      }
+    } else if (arg == "--baseline") {
+      if (!next_string(&args->baseline)) {
+        return false;
+      }
+    } else if (arg == "--write-baseline") {
+      if (!next_string(&args->write_baseline)) {
+        return false;
+      }
+    } else if (arg == "--cache-dir") {
+      if (!next_string(&args->cache_dir)) {
+        return false;
+      }
+      args->use_cache = true;
+    } else if (arg == "--cache-mem-mb") {
+      if (!next_value(&args->cache_mem_mb)) {
+        return false;
+      }
+      args->use_cache = true;
+    } else {
+      std::fprintf(stderr, "unknown corpus flag '%.*s'\n", static_cast<int>(arg.size()),
+                   arg.data());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdCorpusGen(const CorpusCliArgs& args) {
+  if (args.dir.empty()) {
+    std::fprintf(stderr, "error: corpus gen needs --out DIR\n");
+    return 2;
+  }
+  CorpusOptions options;
+  options.seed = args.seed;
+  options.count = static_cast<uint32_t>(args.count);
+  options.families = args.families;
+  const std::vector<GeneratedProgram> programs = GenerateCorpus(options);
+  std::string error;
+  if (!WriteCorpusDir(args.dir, programs, options, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const GeneratedProgram& program : programs) {
+    std::printf("  %-28s %-20s %5zu instrs\n", program.manifest.name.c_str(),
+                BugFamilyName(program.manifest.family),
+                static_cast<size_t>(program.module->num_instructions()));
+  }
+  std::printf("wrote %zu programs (seed %llu) to %s\n", programs.size(),
+              static_cast<unsigned long long>(args.seed), args.dir.c_str());
+  return 0;
+}
+
+// Reads `path` into `*bytes`; false when unreadable.
+bool ReadFileBytes(const std::string& path, std::string* bytes) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return false;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  *bytes = text.str();
+  return true;
+}
+
+// Regenerates the corpus `dir` holds and byte-verifies every on-disk
+// artifact against the regeneration. Generation is seed-pure, so any
+// mismatch means the directory was edited or corrupted — re-parsing the
+// `.gir` instead could silently renumber the manifest's instruction ids.
+bool VerifyCorpusDir(const std::string& dir, const std::vector<GeneratedProgram>& programs) {
+  bool ok = true;
+  for (const GeneratedProgram& program : programs) {
+    const std::string stem = dir + "/" + program.manifest.name;
+    std::string disk;
+    if (!ReadFileBytes(stem + ".gir", &disk) || disk != program.module->ToString()) {
+      std::fprintf(stderr, "error: %s.gir does not match its seed's regeneration\n",
+                   stem.c_str());
+      ok = false;
+    }
+    if (!ReadFileBytes(stem + ".manifest.json", &disk) || disk != program.manifest.ToJson()) {
+      std::fprintf(stderr, "error: %s.manifest.json does not match its seed's regeneration\n",
+                   stem.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void PrintCorpusScore(const CorpusScore& score) {
+  std::printf("%-28s %-20s %4s %5s %4s %8s %8s %8s %6s %6s\n", "program", "family", "fail",
+              "match", "root", "relev", "order", "overall", "edges", "recur");
+  for (const ProgramScore& p : score.programs) {
+    std::printf("%-28s %-20s %4s %5s %4s %8.2f %8.2f %8.2f %6.2f %6u\n", p.name.c_str(),
+                BugFamilyName(p.family), p.manifested ? "Y" : "-", p.failure_match ? "Y" : "-",
+                p.root_cause_found ? "Y" : "-", p.accuracy.relevance, p.accuracy.ordering,
+                p.accuracy.overall, p.edge_recall, p.recurrences);
+  }
+  const auto metrics = score.BaselineMetrics();
+  auto metric = [&](const char* key) {
+    const auto it = metrics.find(key);
+    return it == metrics.end() ? 0.0 : it->second;
+  };
+  std::printf(
+      "\n%zu programs: %.1f%% manifested, %.1f%% failure match, %.1f%% root cause, "
+      "mean overall %.2f\n",
+      score.programs.size(), 100.0 * metric("corpus_manifested_rate"),
+      100.0 * metric("corpus_failure_match_rate"), 100.0 * metric("corpus_root_cause_rate"),
+      metric("corpus_mean_overall"));
+  std::printf("accuracy buckets: >=90: %u   75-90: %u   50-75: %u   <50: %u\n", score.bucket_a90,
+              score.bucket_a75, score.bucket_a50, score.bucket_low);
+}
+
+// `run` prints the table; `score` (gate=true) additionally enforces the
+// committed baseline — strictly, so a missing baseline file is a failure.
+int CmdCorpusRun(const CorpusCliArgs& args, bool gate) {
+  CorpusOptions options;
+  options.seed = args.seed;
+  options.count = static_cast<uint32_t>(args.count);
+  options.families = args.families;
+  if (!args.dir.empty()) {
+    std::string error;
+    if (!LoadCorpusIndex(args.dir, &options, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const std::vector<GeneratedProgram> programs = GenerateCorpus(options);
+  if (!args.dir.empty() && !VerifyCorpusDir(args.dir, programs)) {
+    return 1;
+  }
+
+  CorpusScoreOptions score_options;
+  score_options.jobs = static_cast<uint32_t>(args.jobs);
+  if (!args.tier.empty() && !ParseExecTier(args.tier, &score_options.tier)) {
+    std::fprintf(stderr, "unknown tier '%s' (expected fast, ref, or super)\n",
+                 args.tier.c_str());
+    return 2;
+  }
+  if (args.chaos) {
+    score_options.faults = CorpusChaosFaults();
+  }
+  score_options.fleet_seed = args.fleet_seed;
+  score_options.runs_per_iteration = static_cast<uint32_t>(args.runs_per_iteration);
+  score_options.max_iterations = static_cast<uint32_t>(args.max_iterations);
+  std::unique_ptr<ArtifactStore> store;
+  if (args.use_cache) {
+    ArtifactStoreOptions store_options;
+    store_options.mem_budget_bytes = args.cache_mem_mb * 1024 * 1024;
+    store_options.disk_dir = args.cache_dir;
+    store = std::make_unique<ArtifactStore>(store_options);
+    score_options.store = store.get();
+  }
+
+  const CorpusScore score = ScoreCorpus(programs, score_options);
+  PrintCorpusScore(score);
+  if (args.render) {
+    for (size_t i = 0; i < score.programs.size(); ++i) {
+      const ProgramScore& p = score.programs[i];
+      const GeneratedProgram& program = programs[i];
+      std::printf("\n=== %s ===\n", p.name.c_str());
+      if (!p.manifested) {
+        std::printf("(the failure never manifested)\n");
+        continue;
+      }
+      for (InstrId id : program.manifest.root_cause) {
+        if (!p.sketch.Contains(id)) {
+          std::printf("missing root-cause statement [%u] %s\n", id,
+                      InstructionToString(program.module->instr(id)).c_str());
+        }
+      }
+      const std::vector<InstrId> sketch_ids = p.sketch.InstrSet();
+      const auto& ideal_ids = program.manifest.ideal.instrs;
+      auto in = [](const std::vector<InstrId>& set, InstrId id) {
+        return std::find(set.begin(), set.end(), id) != set.end();
+      };
+      for (InstrId id : sketch_ids) {
+        if (!in(ideal_ids, id)) {
+          std::printf("sketch-only [%u] %s\n", id,
+                      InstructionToString(program.module->instr(id)).c_str());
+        }
+      }
+      for (InstrId id : ideal_ids) {
+        if (!in(sketch_ids, id)) {
+          std::printf("ideal-only  [%u] %s\n", id,
+                      InstructionToString(program.module->instr(id)).c_str());
+        }
+      }
+      RenderOptions render;
+      render.ideal = &program.manifest.ideal;
+      std::printf("%s", RenderFailureSketch(*program.module, p.sketch, render).c_str());
+    }
+  }
+  if (!args.score_json.empty() && !WriteFileOrWarn(args.score_json, score.ReportJson())) {
+    return 1;
+  }
+  if (!args.write_baseline.empty() &&
+      !WriteFlatJson(args.write_baseline, score.BaselineMetrics())) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.write_baseline.c_str());
+    return 1;
+  }
+  if (!gate) {
+    return 0;
+  }
+  if (args.baseline.empty()) {
+    std::fprintf(stderr, "error: corpus score needs --baseline (or use `corpus run`)\n");
+    return 2;
+  }
+  const std::map<std::string, double> baseline = ReadFlatJson(args.baseline);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "corpus gate: baseline %s is missing or empty — commit one with "
+                 "--write-baseline\n",
+                 args.baseline.c_str());
+    return 1;
+  }
+  const BaselineCheck check = CheckAgainstBaseline(score, baseline);
+  for (const std::string& violation : check.violations) {
+    std::fprintf(stderr, "corpus gate: %s\n", violation.c_str());
+  }
+  std::printf("corpus gate: %s (%zu metrics vs %s)\n", check.ok ? "OK" : "REGRESSED",
+              score.BaselineMetrics().size(), args.baseline.c_str());
+  return check.ok ? 0 : 1;
+}
+
+int CmdCorpus(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string_view sub = argv[2];
+  CorpusCliArgs args;
+  if (!ParseCorpusArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (sub == "gen") {
+    return CmdCorpusGen(args);
+  }
+  if (sub == "run") {
+    return CmdCorpusRun(args, /*gate=*/false);
+  }
+  if (sub == "score") {
+    return CmdCorpusRun(args, /*gate=*/true);
+  }
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -802,6 +1158,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "cache") {
     return CmdCache(argc, argv);
+  }
+  if (command == "corpus") {
+    return CmdCorpus(argc, argv);
   }
   CliOptions options;
   if (!ParseArgs(argc, argv, 2, &options)) {
