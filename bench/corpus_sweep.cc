@@ -9,6 +9,9 @@
 //   --jobs N        fleet worker threads (0 = hardware), default 1
 //   --chaos         score under the fleet_chaos fault regime
 //   --emit-json[=P] merge corpus_* metrics into BENCH_corpus.json
+//   --metrics-json / --trace-json   the shared telemetry export surface
+//                   (src/apps/app_util.h): one flight recorder rides every
+//                   program's fleet, so the sweep exports like the CLI does
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/apps/app_util.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/score.h"
 #include "src/support/logging.h"
@@ -30,8 +34,18 @@ int Main(int argc, char** argv) {
   gen.count = 98;
   CorpusScoreOptions score_options;
   score_options.jobs = ParseJobsFlag(argc, argv);
+  TelemetryExportOptions exports;
   bool chaos = false;
   for (int i = 1; i < argc; ++i) {
+    switch (ParseTelemetryExportFlag(argc, argv, &i, &exports)) {
+      case TelemetryFlagParse::kConsumed:
+        continue;
+      case TelemetryFlagParse::kMissingValue:
+        std::fprintf(stderr, "error: %s needs a path\n", argv[i]);
+        return 2;
+      case TelemetryFlagParse::kNotTelemetry:
+        break;
+    }
     const std::string arg = argv[i];
     if (arg == "--count" && i + 1 < argc) {
       gen.count = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -43,6 +57,10 @@ int Main(int argc, char** argv) {
   }
   if (chaos) {
     score_options.faults = CorpusChaosFaults();
+  }
+  FlightRecorder recorder;
+  if (exports.wants_recorder()) {
+    score_options.recorder = &recorder;
   }
 
   std::printf("generating %u programs (seed %llu)...\n", gen.count,
@@ -64,6 +82,9 @@ int Main(int argc, char** argv) {
   if (!emit.empty()) {
     GIST_CHECK(UpdateBenchJson(emit, metrics)) << "cannot write " << emit;
     std::printf("merged %zu metrics into %s\n", metrics.size(), emit.c_str());
+  }
+  if (!ExportTelemetry(exports, score_options.recorder, nullptr, nullptr)) {
+    return 1;
   }
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "src/apps/app.h"
 #include "src/cfg/ticfg.h"
 #include "src/core/gist.h"
+#include "src/core/statistics.h"
+#include "src/obs/campaign.h"
 #include "src/pt/decoder.h"
 #include "src/pt/tracer.h"
 #include "src/support/rng.h"
@@ -208,6 +210,77 @@ void BM_VmWithClientRuntimeAttached(benchmark::State& state) {
 }
 BENCHMARK(BM_VmWithClientRuntimeAttached);
 
+// Synthetic predictor stream shaped like a real campaign: each run carries a
+// few dozen predictors drawn from a few hundred recurring candidates, the way
+// monitored runs keep revisiting the same slice statements. Shared by the
+// interactive benchmark and the JSON/perf-smoke measurement below.
+std::vector<std::vector<Predictor>> MakePredictorStream() {
+  Rng rng(11);
+  std::vector<std::vector<Predictor>> runs;
+  for (int run = 0; run < 512; ++run) {
+    std::vector<Predictor> predictors;
+    for (int j = 0; j < 32; ++j) {
+      Predictor p;
+      if (rng.NextChance(1, 3)) {
+        p.kind = PredictorKind::kValue;
+        p.a = static_cast<InstrId>(rng.NextBelow(128));
+        p.value = static_cast<Word>(rng.NextBelow(4));
+      } else {
+        p.kind = PredictorKind::kBranch;
+        p.a = static_cast<InstrId>(rng.NextBelow(256));
+        p.taken = rng.NextChance(1, 2);
+      }
+      predictors.push_back(p);
+    }
+    runs.push_back(std::move(predictors));
+  }
+  return runs;
+}
+
+void BM_StatsIncrementalUpdate(benchmark::State& state) {
+  // Per-run cost of the streaming aggregation (DESIGN.md §14): one
+  // BehaviorStats::RecordRun per landed run, identity dedup included.
+  const std::vector<std::vector<Predictor>> runs = MakePredictorStream();
+  uint64_t updates = 0;
+  for (auto _ : state) {
+    BehaviorStats stats;
+    uint64_t run_id = 0;
+    for (const std::vector<Predictor>& predictors : runs) {
+      ++run_id;
+      stats.RecordRun(run_id, predictors, (run_id % 5) == 0);
+    }
+    updates += runs.size();
+    benchmark::DoNotOptimize(stats.runs_recorded());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(updates));
+}
+BENCHMARK(BM_StatsIncrementalUpdate);
+
+// Nanoseconds per BehaviorStats::RecordRun on the synthetic stream, for the
+// JSON artifact and the CI perf smoke. The streaming path exists so the
+// coordinator can absorb every run as it lands (DESIGN.md §14), so its gate
+// is a cushioned ceiling against the committed baseline: a per-update cost
+// blow-up — say an accidental full rescan of the tally map per run — fails
+// while timer jitter on loaded CI boxes does not.
+double MeasureStatsIncrementalUpdateNs(double min_seconds = 0.5) {
+  const std::vector<std::vector<Predictor>> runs = MakePredictorStream();
+  uint64_t updates = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    BehaviorStats stats;
+    uint64_t run_id = 0;
+    for (const std::vector<Predictor>& predictors : runs) {
+      ++run_id;
+      stats.RecordRun(run_id, predictors, (run_id % 5) == 0);
+    }
+    benchmark::DoNotOptimize(stats.runs_recorded());
+    updates += runs.size();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return elapsed * 1e9 / static_cast<double>(updates);
+}
+
 // Measures raw interpreter throughput (the BM_VmInterpretationSharedDecode
 // configuration) outside the google-benchmark harness, for the JSON artifact
 // and the CI perf smoke: repeated runs until at least `min_seconds` of work.
@@ -306,19 +379,28 @@ struct InvariantCounters {
   uint64_t instructions_retired = 0;
   uint64_t pt_packets_decoded = 0;
   uint64_t watch_traps = 0;
+  // Size of the gist.campaign.v1 journal emitted by the same fleet. The
+  // journal is virtual-time clocked and a pure function of (module, options,
+  // seed), so its byte count must match the baseline exactly: drift means
+  // the observatory's schema or the campaign's convergence trajectory
+  // changed, not the machine's speed (DESIGN.md §14).
+  uint64_t campaign_journal_bytes = 0;
 };
 
 InvariantCounters MeasureInvariantCounters() {
   FlightRecorder recorder;
+  CampaignTracker campaign("apache-2");
   FleetOptions options = DefaultBenchFleetOptions();
   options.runs_per_iteration = 80;
   options.max_iterations = 4;
   options.recorder = &recorder;
+  options.campaign = &campaign;
   RunAppFleet("apache-2", options);
   InvariantCounters counters;
   counters.instructions_retired = recorder.metrics().counter("vm.instructions_retired");
   counters.pt_packets_decoded = recorder.metrics().counter("pt.decode.packets");
   counters.watch_traps = recorder.metrics().counter("hw.watch.traps");
+  counters.campaign_journal_bytes = campaign.JournalJson().size();
   return counters;
 }
 
@@ -352,6 +434,7 @@ int Main(int argc, char** argv) {
     double fused_fraction = 0.0;
     const double super_steps_per_sec = MeasureSuperStepsPerSecond(&fused_fraction);
     const double profiler_overhead = MeasureProfilerOverheadRatio();
+    const double stats_update_ns = MeasureStatsIncrementalUpdateNs();
     const WarmStartMeasurement warm = MeasureWarmStartSpeedup(/*jobs=*/1);
     const InvariantCounters counters = MeasureInvariantCounters();
     if (!UpdateBenchJson(
@@ -361,9 +444,11 @@ int Main(int argc, char** argv) {
              {"vm_super_fused_block_fraction", fused_fraction},
              {"vm_profiler_overhead_ratio", profiler_overhead},
              {"vm_warm_start_speedup", warm.speedup},
+             {"stats_incremental_update_ns", stats_update_ns},
              {"obs_instructions_retired", static_cast<double>(counters.instructions_retired)},
              {"obs_pt_packets_decoded", static_cast<double>(counters.pt_packets_decoded)},
-             {"obs_watch_traps", static_cast<double>(counters.watch_traps)}})) {
+             {"obs_watch_traps", static_cast<double>(counters.watch_traps)},
+             {"campaign_journal_bytes", static_cast<double>(counters.campaign_journal_bytes)}})) {
       std::fprintf(stderr, "cannot write %s\n", emit_path.c_str());
       return 1;
     }
@@ -372,13 +457,17 @@ int Main(int argc, char** argv) {
                 super_steps_per_sec, steps_per_sec > 0.0 ? super_steps_per_sec / steps_per_sec : 0.0,
                 fused_fraction, emit_path.c_str());
     std::printf("vm_profiler_overhead_ratio: %.3f -> %s\n", profiler_overhead, emit_path.c_str());
+    std::printf("stats_incremental_update_ns: %.1f -> %s\n", stats_update_ns, emit_path.c_str());
     std::printf("vm_warm_start_speedup: %.2f (uncached %.3fs, warm %.3fs, %llu warm hits) -> %s\n",
                 warm.speedup, warm.uncached_seconds, warm.warm_seconds,
                 static_cast<unsigned long long>(warm.warm_hits), emit_path.c_str());
-    std::printf("obs counters: retired=%llu pt_packets=%llu watch_traps=%llu -> %s\n",
+    std::printf("obs counters: retired=%llu pt_packets=%llu watch_traps=%llu "
+                "campaign_journal=%lluB -> %s\n",
                 static_cast<unsigned long long>(counters.instructions_retired),
                 static_cast<unsigned long long>(counters.pt_packets_decoded),
-                static_cast<unsigned long long>(counters.watch_traps), emit_path.c_str());
+                static_cast<unsigned long long>(counters.watch_traps),
+                static_cast<unsigned long long>(counters.campaign_journal_bytes),
+                emit_path.c_str());
     return 0;
   }
 
@@ -469,6 +558,36 @@ int Main(int argc, char** argv) {
       return 1;
     }
 
+    // Streaming-statistics gate (DESIGN.md §14): per-update cost of the
+    // incremental aggregation against a cushioned ceiling (2x the committed
+    // baseline). One-sided — only a cost blow-up fails; a faster box never
+    // flakes. A 2x cushion absorbs scheduler noise on a sub-microsecond
+    // measurement while an asymptotic regression (per-run work scaling with
+    // accumulated state) still overshoots by orders of magnitude.
+    const auto stats_it = baseline.find("stats_incremental_update_ns");
+    if (stats_it == baseline.end()) {
+      if (smoke_strict) {
+        std::fprintf(stderr,
+                     "perf smoke FAILED: no stats_incremental_update_ns baseline in %s "
+                     "(--perf-smoke-strict)\n",
+                     smoke_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "perf smoke: no stats_incremental_update_ns in %s; skipping gate\n",
+                   smoke_path.c_str());
+    } else {
+      const double stats_update_ns = MeasureStatsIncrementalUpdateNs();
+      const double stats_ceiling = stats_it->second * 2.0;
+      std::printf("perf smoke: stats incremental update %.1f ns vs %.1f baseline (ceiling %.1f)\n",
+                  stats_update_ns, stats_it->second, stats_ceiling);
+      if (stats_update_ns > stats_ceiling) {
+        std::fprintf(stderr,
+                     "perf smoke FAILED: stats incremental update %.1f ns exceeds ceiling %.1f\n",
+                     stats_update_ns, stats_ceiling);
+        return 1;
+      }
+    }
+
     // Warm-start gate: the artifact store must keep paying for itself. The
     // floor is cushioned (70% of baseline, never below 1.10x) so machine
     // noise cannot flake it while a cache that stopped hitting — e.g. a key
@@ -511,6 +630,7 @@ int Main(int argc, char** argv) {
         {"obs_instructions_retired", counters.instructions_retired},
         {"obs_pt_packets_decoded", counters.pt_packets_decoded},
         {"obs_watch_traps", counters.watch_traps},
+        {"campaign_journal_bytes", counters.campaign_journal_bytes},
     };
     bool counters_ok = true;
     for (const auto& [key, measured_count] : invariants) {

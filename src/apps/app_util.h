@@ -3,10 +3,137 @@
 // The loop-emission patterns themselves moved to src/ir/emit.h so the
 // synthesized failure corpus (src/corpus) can build on them without linking
 // the 11 hand-ported apps; this header remains as the apps' include point.
+//
+// It also hosts the one telemetry-export surface every driver shares
+// (DESIGN.md §14): `gist diagnose*`, `gist fix-app`, `gist corpus run/score`,
+// and the bench sweeps all accept the same --metrics-json / --trace-json /
+// --profile-json / --profile-collapsed / --campaign-json flags, parsed and
+// written through the helpers below instead of per-command copies.
 
 #ifndef GIST_SRC_APPS_APP_UTIL_H_
 #define GIST_SRC_APPS_APP_UTIL_H_
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
 #include "src/ir/emit.h"
+#include "src/obs/campaign.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/profiler.h"
+
+namespace gist {
+
+// Where each deterministic observability artifact should be written; empty
+// means "not requested". One instance per command invocation.
+struct TelemetryExportOptions {
+  std::string metrics_json;       // flight recorder's metrics snapshot
+  std::string trace_json;         // Chrome trace-event span stream
+  std::string profile_json;       // hot-path profile (gist.profile.v1)
+  std::string profile_collapsed;  // collapsed flamegraph stacks
+  std::string campaign_json;      // convergence journal (gist.campaign.v1)
+
+  bool wants_recorder() const { return !metrics_json.empty() || !trace_json.empty(); }
+  bool wants_profiler() const { return !profile_json.empty() || !profile_collapsed.empty(); }
+  bool wants_campaign() const { return !campaign_json.empty(); }
+};
+
+// Outcome of offering one argv token to the telemetry parser.
+enum class TelemetryFlagParse {
+  kNotTelemetry,  // not an export flag; the caller's parser should handle it
+  kConsumed,      // recognized, value consumed (*i advanced past it)
+  kMissingValue,  // recognized but the path argument is absent: usage error
+};
+
+// Offers argv[*i] to the shared export flags. On a match the path in
+// argv[*i + 1] is stored and *i is advanced over it.
+inline TelemetryFlagParse ParseTelemetryExportFlag(int argc, char** argv, int* i,
+                                                   TelemetryExportOptions* out) {
+  const std::string_view arg = argv[*i];
+  std::string* slot = nullptr;
+  if (arg == "--metrics-json") {
+    slot = &out->metrics_json;
+  } else if (arg == "--trace-json") {
+    slot = &out->trace_json;
+  } else if (arg == "--profile-json") {
+    slot = &out->profile_json;
+  } else if (arg == "--profile-collapsed") {
+    slot = &out->profile_collapsed;
+  } else if (arg == "--campaign-json") {
+    slot = &out->campaign_json;
+  } else {
+    return TelemetryFlagParse::kNotTelemetry;
+  }
+  if (*i + 1 >= argc) {
+    return TelemetryFlagParse::kMissingValue;
+  }
+  *slot = argv[++*i];
+  return TelemetryFlagParse::kConsumed;
+}
+
+// Writes `content` to `path`; false (with a message on stderr) on failure.
+inline bool WriteTelemetryFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << content;
+  return true;
+}
+
+// Writes every requested artifact from whichever sources the command wired
+// up. A requested artifact whose source is null is an error (the command
+// forgot to attach the recorder/profiler/tracker), reported like an
+// unwritable file. Returns false when anything could not be written.
+inline bool ExportTelemetry(const TelemetryExportOptions& options,
+                            const FlightRecorder* recorder, const HotPathProfiler* profiler,
+                            const CampaignTracker* campaign) {
+  bool ok = true;
+  if (!options.metrics_json.empty()) {
+    if (recorder == nullptr) {
+      std::fprintf(stderr, "error: --metrics-json needs a flight recorder\n");
+      ok = false;
+    } else {
+      ok = WriteTelemetryFile(options.metrics_json, recorder->MetricsJson()) && ok;
+    }
+  }
+  if (!options.trace_json.empty()) {
+    if (recorder == nullptr) {
+      std::fprintf(stderr, "error: --trace-json needs a flight recorder\n");
+      ok = false;
+    } else {
+      ok = WriteTelemetryFile(options.trace_json, recorder->TraceJson()) && ok;
+    }
+  }
+  if (!options.profile_json.empty()) {
+    if (profiler == nullptr) {
+      std::fprintf(stderr, "error: --profile-json needs a profiler\n");
+      ok = false;
+    } else {
+      ok = WriteTelemetryFile(options.profile_json, profiler->ProfileJson()) && ok;
+    }
+  }
+  if (!options.profile_collapsed.empty()) {
+    if (profiler == nullptr) {
+      std::fprintf(stderr, "error: --profile-collapsed needs a profiler\n");
+      ok = false;
+    } else {
+      ok = WriteTelemetryFile(options.profile_collapsed, profiler->ProfileCollapsed()) && ok;
+    }
+  }
+  if (!options.campaign_json.empty()) {
+    if (campaign == nullptr) {
+      std::fprintf(stderr, "error: --campaign-json needs a campaign tracker\n");
+      ok = false;
+    } else {
+      ok = WriteTelemetryFile(options.campaign_json, campaign->JournalJson()) && ok;
+    }
+  }
+  return ok;
+}
+
+}  // namespace gist
 
 #endif  // GIST_SRC_APPS_APP_UTIL_H_

@@ -5,6 +5,7 @@
 
 #include "src/coop/privacy.h"
 #include "src/coop/wire.h"
+#include "src/obs/campaign.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
 #include "src/support/logging.h"
@@ -95,6 +96,14 @@ void Fleet::FindFirstFailure(ThreadPool& pool, FleetResult* result, uint64_t* ne
     // stay independent of the worker count; speculated probes past the
     // winner vanish unrecorded.
     const uint32_t probes_consumed = winner == batch ? batch : winner + 1;
+    if (options_.campaign != nullptr) {
+      // The tracker's virtual clock follows the recorder's discipline but is
+      // independent of it: a campaign journal must not change because a
+      // recorder happened to be attached too.
+      for (uint32_t k = 0; k < probes_consumed; ++k) {
+        options_.campaign->AdvanceClock(probe_stats[k].steps);
+      }
+    }
     if (recorder != nullptr) {
       for (uint32_t k = 0; k < probes_consumed; ++k) {
         const uint64_t begin = recorder->now();
@@ -282,6 +291,9 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
         // its retired instructions and publishes its client-side telemetry,
         // here on the coordinator thread in run-index order.
         uint64_t span_begin = 0;
+        if (options_.campaign != nullptr) {
+          options_.campaign->AdvanceClock(run.result.stats.steps);
+        }
         if (recorder != nullptr) {
           span_begin = recorder->now();
           recorder->AdvanceClock(run.result.stats.steps);
@@ -483,6 +495,40 @@ FleetResult Fleet::Run(const RootCauseCheck& root_cause_check) {
     result.quarantined_runs += stats.quarantined_runs;
     result.retries += stats.retries;
     result.iterations.push_back(stats);
+    if (options_.campaign != nullptr) {
+      // One convergence sample per AsT iteration (DESIGN.md §14). Everything
+      // here is a pure function of the consumed prefix: iteration tallies,
+      // the server's campaign state, the latest sketch's statement sequence,
+      // and the streaming statistics' predictor ranking.
+      CampaignIterationSample sample;
+      sample.iteration = stats.iteration;
+      sample.sigma = stats.sigma;
+      sample.virtual_end = options_.campaign->now();
+      sample.failing_runs = stats.failing_runs;
+      sample.successful_runs = stats.successful_runs;
+      sample.lost_runs = stats.lost_runs;
+      sample.quarantined_runs = stats.quarantined_runs;
+      sample.retries = stats.retries;
+      sample.quorum_met = stats.quorum_met;
+      sample.root_cause_found = stats.root_cause_found;
+      sample.recurrences = server_.failure_recurrences();
+      sample.rotation_count = snapshot.rotation_count();
+      sample.watch_instrs = static_cast<uint32_t>(server_.plan().watch_instrs.size());
+      sample.watchpoint_slots = options_.gist.watchpoint_slots;
+      const GistCampaignState state = server_.CampaignState();
+      sample.slice_statements = state.slice_statements;
+      sample.window_statements = state.window_statements;
+      sample.slice_exhausted = state.slice_exhausted;
+      for (const SketchStatement& statement : result.sketch.statements) {
+        sample.sketch_statements.push_back(statement.instr);
+      }
+      const std::vector<ScoredPredictor> ranked = server_.behavior().stats().Ranked();
+      const size_t top = std::min(ranked.size(), CampaignTracker::kRankWindow);
+      for (size_t r = 0; r < top; ++r) {
+        sample.top_predictors.push_back(PredictorToString(ranked[r].predictor, module_));
+      }
+      options_.campaign->RecordIteration(std::move(sample));
+    }
     if (recorder != nullptr) {
       recorder->metrics().Add("fleet.iterations");
       recorder->AddSpan("iteration", "fleet", iteration_begin, recorder->now(),

@@ -39,6 +39,7 @@
 
 namespace gist {
 
+class CampaignTracker;
 class FlightRecorder;
 class HotPathProfiler;
 
@@ -105,6 +106,14 @@ struct FleetOptions {
   // attached it already. Null (the default) profiles nothing and keeps the
   // interpreter's profiling increments compiled out of the hot path.
   HotPathProfiler* profiler = nullptr;
+  // Optional campaign tracker (DESIGN.md §14). The fleet advances its
+  // virtual clock alongside the recorder's — consumed prefix only, on the
+  // coordinator — and records one CampaignIterationSample at the end of each
+  // AsT iteration (sketch statement sequence, top predictor ranking,
+  // rotation coverage, survivorship). The resulting gist.campaign.v1 journal
+  // is bit-identical for every `jobs`, execution tier, and cache state, like
+  // the recorder's exports. Null records nothing and costs nothing.
+  CampaignTracker* campaign = nullptr;
   // Per-run execution-tier override (DESIGN.md §12): when set, monitored run
   // `run_index` executes under tier_for_run(run_index) instead of
   // `gist.tier`. The callback must be a pure function of the run index so

@@ -39,6 +39,12 @@ class AstController {
   uint32_t sigma() const { return sigma_; }
   uint32_t iteration() const { return iteration_; }
 
+  // Status-surface accessors (DESIGN.md §14): how much of the slice exists
+  // and how much of it the current window tracks, without materializing the
+  // window's statement list.
+  size_t slice_size() const { return slice_->instrs.size(); }
+  size_t WindowSize() const { return std::min<size_t>(sigma_, slice_->instrs.size()); }
+
   // The slice portion currently monitored: the first min(σ, |slice|)
   // statements in backward-proximity order (failure first).
   std::vector<InstrId> Window() const {

@@ -1,10 +1,19 @@
 #include "src/core/gist.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/pt/decoder.h"
 
 namespace gist {
+namespace {
+
+bool StatsShadowFromEnv() {
+  const char* env = std::getenv("GIST_STATS_SHADOW");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
 
 GistServer::IngestSlots::IngestSlots(MetricsRegistry* metrics)
     : decode_packets(metrics->CounterSlot("pt.decode.packets")),
@@ -27,6 +36,8 @@ GistServer::GistServer(const Module& module, GistOptions options)
       module_hash_(options_.store != nullptr ? HashModule(module) : ContentHash{}),
       ticfg_(GetOrBuildTicfg(options_.store, module, module_hash_)),
       decoded_(GetOrDecodeModule(options_.store, module, module_hash_)),
+      behavior_(options_.beta),
+      stats_shadow_(options_.stats_shadow || StatsShadowFromEnv()),
       ingest_(&metrics_) {}
 
 void GistServer::ReportFailure(const FailureReport& report) {
@@ -36,6 +47,7 @@ void GistServer::ReportFailure(const FailureReport& report) {
   slice_ = *GetOrComputeSlice(options_.store, *ticfg_, module_hash_, report.failing_instr);
   ast_ = std::make_unique<AstController>(slice_, options_.initial_sigma, options_.ast_growth);
   traces_.clear();
+  behavior_.Reset();
   discovered_.clear();
   failure_recurrences_ = 0;
   metrics_.Add("server.failures_reported");
@@ -76,9 +88,11 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   // and sketch builds later hit the same keys.
   uint64_t upload_bytes = 0;
   bool quarantine = false;
+  std::vector<std::shared_ptr<const PtDecodeResult>> decoded;
+  decoded.reserve(trace.pt_buffers.size());
   for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
     upload_bytes += trace.pt_buffers[core].size();
-    const std::shared_ptr<const PtDecodeResult> decode = GetOrDecodePt(
+    std::shared_ptr<const PtDecodeResult> decode = GetOrDecodePt(
         options_.store, module_, module_hash_, static_cast<CoreId>(core), trace.pt_buffers[core]);
     *ingest_.decode_packets += decode->stats.packets;
     *ingest_.decode_bytes += decode->stats.bytes;
@@ -86,6 +100,8 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
     if (!decode->ok()) {
       quarantine = true;
       *ingest_.decode_errors[static_cast<size_t>(decode->error->fault)] += 1;
+    } else {
+      decoded.push_back(std::move(decode));
     }
   }
   if (quarantine) {
@@ -95,6 +111,16 @@ GistServer::TraceIngest GistServer::AddTrace(RunTrace trace) {
   }
   *ingest_.accepted += 1;
   ingest_.upload_bytes->Observe(upload_bytes);
+
+  // Streaming statistics (DESIGN.md §14): the accepted run's predictor set
+  // is extracted once right here — O(this run's events), reusing the decodes
+  // above and the same store key later sketch builds share — and folded into
+  // the running BehaviorStats keyed by run identity, so a retried upload of
+  // an already-counted run cannot double-count.
+  behavior_.RecordRun(
+      trace.run_id,
+      *GetOrExtractTracePredictors(module_, options_.store, module_hash_, decoded, trace),
+      trace.failed);
 
   if (trace.failed) {
     ++failure_recurrences_;
@@ -150,6 +176,8 @@ Result<FailureSketch> GistServer::BuildSketch() const {
   sketch_options.quarantined = quarantined_traces_;
   sketch_options.store = options_.store;
   sketch_options.module_hash = module_hash_;
+  sketch_options.behavior = &behavior_;
+  sketch_options.shadow_check = stats_shadow_;
   Result<FailureSketch> sketch =
       BuildFailureSketch(module_, plan_.window, traces_, sketch_options);
   metrics_.Add("stats.sketch_builds");
@@ -158,6 +186,22 @@ Result<FailureSketch> GistServer::BuildSketch() const {
                  static_cast<uint64_t>(sketch->predictors_evaluated));
   }
   return sketch;
+}
+
+GistCampaignState GistServer::CampaignState() const {
+  GIST_CHECK(has_target_);
+  GistCampaignState state;
+  state.iteration = ast_->iteration();
+  state.sigma = ast_->sigma();
+  state.slice_statements = static_cast<uint32_t>(ast_->slice_size());
+  state.window_statements = static_cast<uint32_t>(ast_->WindowSize());
+  state.slice_exhausted = ast_->ExhaustedSlice();
+  state.recurrences = failure_recurrences_;
+  state.quarantined = quarantined_traces_;
+  state.behavior_runs = behavior_.runs_recorded();
+  state.duplicate_uploads = behavior_.duplicates_ignored();
+  state.predictor_count = behavior_.stats().predictor_count();
+  return state;
 }
 
 void GistServer::AdvanceAst() {

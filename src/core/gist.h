@@ -61,6 +61,28 @@ struct GistOptions {
   // Superinstruction selection policy; `super.min_block_retired = 0` fuses
   // every fusable block (the deopt-stress configuration tests use).
   SuperInstrOptions super;
+  // Shadow mode for the streaming statistics (DESIGN.md §14): every sketch
+  // build additionally runs the batch recompute over the stored traces and
+  // CHECK-fails unless it fingerprints byte-identically to the incremental
+  // aggregation. OR-ed with the GIST_STATS_SHADOW=1 environment variable.
+  bool stats_shadow = false;
+};
+
+// Live per-failure campaign state (DESIGN.md §14): everything the status
+// surface renders about where a diagnosis stands, read off the server on the
+// coordinator thread. Plain data so it threads through fleets and CLIs
+// without touching server internals.
+struct GistCampaignState {
+  uint32_t iteration = 0;
+  uint32_t sigma = 0;
+  uint32_t slice_statements = 0;
+  uint32_t window_statements = 0;  // min(σ, slice) — the tracked portion
+  bool slice_exhausted = false;
+  uint32_t recurrences = 0;
+  uint64_t quarantined = 0;
+  uint64_t behavior_runs = 0;       // distinct runs feeding the streaming stats
+  uint64_t duplicate_uploads = 0;   // uploads dropped by run-identity dedup
+  uint64_t predictor_count = 0;     // distinct predictors currently tracked
 };
 
 class GistServer {
@@ -156,6 +178,14 @@ class GistServer {
   // Uploads quarantined by PT validation since the target was reported.
   uint64_t quarantined_traces() const { return quarantined_traces_; }
 
+  // Streaming behavior statistics over the accepted traces, updated at
+  // ingest (DESIGN.md §14): sketch builds rank from this aggregation, and
+  // the convergence tracker reads its predictor ranking per iteration.
+  const BehaviorStats& behavior() const { return behavior_; }
+
+  // Snapshot of the live campaign state for the status surface.
+  GistCampaignState CampaignState() const;
+
   Result<FailureSketch> BuildSketch() const;
 
   // Doubles σ and recomputes the plan. Traces already collected are kept:
@@ -207,6 +237,8 @@ class GistServer {
   InstrumentationPlan plan_;
   uint64_t plan_version_ = 0;
   std::vector<RunTrace> traces_;
+  BehaviorStats behavior_;
+  bool stats_shadow_ = false;
   std::vector<InstrId> discovered_;
   uint32_t failure_recurrences_ = 0;
   uint64_t quarantined_traces_ = 0;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/pt/decoder.h"
+#include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace gist {
@@ -77,23 +78,22 @@ ArtifactKey PredictorsKey(const ContentHash& module_hash, const RunTrace& trace)
   return ArtifactKey{ArtifactKind::kPredictors, hi, lo};
 }
 
-// Extracts one trace's predictor set through the store when available.
-std::shared_ptr<const std::vector<Predictor>> GetOrExtractPredictors(
-    const Module& module, const SketchOptions& options,
+}  // namespace
+
+std::shared_ptr<const std::vector<Predictor>> GetOrExtractTracePredictors(
+    const Module& module, ArtifactStore* store, const ContentHash& module_hash,
     const std::vector<std::shared_ptr<const PtDecodeResult>>& decoded, const RunTrace& trace) {
   auto build = [&] {
     return std::make_shared<const std::vector<Predictor>>(
         ExtractPredictorsViews(TraceViews(decoded), trace.watch_events));
   };
-  if (options.store == nullptr) {
+  if (store == nullptr) {
     return build();
   }
   const size_t approx_bytes = 128 + trace.watch_events.size() * 3 * sizeof(Predictor);
-  return options.store->GetOrBuildObject<std::vector<Predictor>>(
-      PredictorsKey(options.module_hash, trace), &module, approx_bytes, build);
+  return store->GetOrBuildObject<std::vector<Predictor>>(PredictorsKey(module_hash, trace),
+                                                         &module, approx_bytes, build);
 }
-
-}  // namespace
 
 Result<FailureSketch> BuildFailureSketch(const Module& module,
                                          const std::vector<InstrId>& window,
@@ -107,12 +107,21 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   // σ=2 trace outrank every wider-σ recurrence forever, hiding statements
   // the grown window now tracks. Coverage ties break toward the most
   // captured data flow, then toward the most recent run.
-  PredictorStats stats(options.beta);
+  // With a maintained BehaviorStats the ranking is already aggregated; only
+  // the failing traces (the 2–5 recurrences) need decoding here, for
+  // reference selection. The batch recompute still runs standalone — and in
+  // shadow mode, where it must fingerprint byte-identically to the
+  // incremental aggregation or the build CHECK-fails.
+  BehaviorStats batch(options.beta);
+  const bool need_batch = options.behavior == nullptr || options.shadow_check;
   const RunTrace* reference = nullptr;
   size_t reference_coverage = 0;
   std::vector<std::shared_ptr<const PtDecodeResult>> reference_decoded;
   uint64_t quarantined = options.quarantined;
   for (const RunTrace& trace : traces) {
+    if (!trace.failed && !need_batch) {
+      continue;  // already aggregated at ingest; nothing else to read from it
+    }
     std::vector<std::shared_ptr<const PtDecodeResult>> decoded;
     bool decodable = true;
     for (size_t core = 0; core < trace.pt_buffers.size(); ++core) {
@@ -134,7 +143,12 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
       ++quarantined;
       continue;
     }
-    stats.RecordRun(*GetOrExtractPredictors(module, options, decoded, trace), trace.failed);
+    if (need_batch) {
+      batch.RecordRun(trace.run_id,
+                      *GetOrExtractTracePredictors(module, options.store, options.module_hash,
+                                                   decoded, trace),
+                      trace.failed);
+    }
     if (trace.failed) {
       const std::unordered_set<InstrId> trace_executed =
           ExecutedInstrsViews(module, TraceViews(decoded));
@@ -158,6 +172,14 @@ Result<FailureSketch> BuildFailureSketch(const Module& module,
   if (reference == nullptr) {
     return Error("no failing run collected yet");
   }
+  if (options.behavior != nullptr && options.shadow_check) {
+    GIST_CHECK(batch.Fingerprint() == options.behavior->Fingerprint())
+        << "shadow mode: incremental BehaviorStats diverged from batch recompute\n--- batch:\n"
+        << batch.Fingerprint() << "--- incremental:\n"
+        << options.behavior->Fingerprint();
+  }
+  const PredictorStats& stats =
+      options.behavior != nullptr ? options.behavior->stats() : batch.stats();
 
   // --- Refinement -----------------------------------------------------------
   // (a) control flow: window statements that actually executed in the

@@ -21,6 +21,7 @@
 #ifndef GIST_SRC_CORE_SKETCH_H_
 #define GIST_SRC_CORE_SKETCH_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,7 +98,27 @@ struct SketchOptions {
   // to BuildFailureSketch; ignored when `store` is null.
   ArtifactStore* store = nullptr;
   ContentHash module_hash;
+  // Streaming statistics maintained by the trace-ingest path (DESIGN.md
+  // §14). When set, the sketch ranks from this aggregation instead of
+  // re-extracting every stored trace's predictors, and only the FAILING
+  // traces are decoded (for reference-run selection) — the caller guarantees
+  // every trace in `traces` already passed ingest validation, which
+  // GistServer does. Null keeps the historical batch recompute.
+  const BehaviorStats* behavior = nullptr;
+  // Shadow mode: with `behavior` set, ALSO run the batch recompute and
+  // CHECK-fail unless both aggregations fingerprint byte-identically. The
+  // incremental path's correctness gate; tests and GIST_STATS_SHADOW=1 turn
+  // it on.
+  bool shadow_check = false;
 };
+
+// Extracts one trace's deduplicated predictor set from its decoded PT
+// streams and watch log, through the artifact store when one is attached.
+// Pure function of (module, PT buffers, watch log); ingest and sketch builds
+// share the same store key, so whichever runs first pays the extraction.
+std::shared_ptr<const std::vector<Predictor>> GetOrExtractTracePredictors(
+    const Module& module, ArtifactStore* store, const ContentHash& module_hash,
+    const std::vector<std::shared_ptr<const PtDecodeResult>>& decoded, const RunTrace& trace);
 
 // Builds a sketch from the monitored runs. `window` is the slice portion AsT
 // currently tracks; `traces` are all collected run traces (at least one

@@ -1,6 +1,10 @@
 #include "src/core/statistics.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/support/str.h"
 
 namespace gist {
 
@@ -83,6 +87,40 @@ std::optional<ScoredPredictor> PredictorStats::BestConcurrency() const {
 
 std::optional<ScoredPredictor> PredictorStats::BestAtomicity() const {
   return BestMatching(&IsAtomicityPattern);
+}
+
+bool BehaviorStats::RecordRun(uint64_t run_id, const std::vector<Predictor>& predictors,
+                              bool failed) {
+  if (run_id != 0 && !seen_run_ids_.insert(run_id).second) {
+    ++duplicates_ignored_;
+    return false;
+  }
+  stats_.RecordRun(predictors, failed);
+  ++runs_recorded_;
+  return true;
+}
+
+void BehaviorStats::Reset() {
+  stats_ = PredictorStats(stats_.beta());
+  seen_run_ids_.clear();
+  runs_recorded_ = 0;
+  duplicates_ignored_ = 0;
+}
+
+std::string BehaviorStats::Fingerprint() const {
+  // "%.17g" round-trips every double exactly, so equal fingerprints mean
+  // equal scores to the last bit, not just equal-looking ones.
+  std::string out = StrFormat("runs failing=%u successful=%u\n", stats_.failing_runs(),
+                              stats_.successful_runs());
+  for (const ScoredPredictor& entry : stats_.Ranked()) {
+    const Predictor& p = entry.predictor;
+    out += StrFormat("p kind=%u a=%u b=%u c=%u value=%" PRId64
+                     " taken=%u failing=%u successful=%u precision=%.17g recall=%.17g f=%.17g\n",
+                     static_cast<unsigned>(p.kind), p.a, p.b, p.c,
+                     static_cast<int64_t>(p.value), p.taken ? 1u : 0u, entry.failing_with,
+                     entry.successful_with, entry.precision, entry.recall, entry.f_measure);
+  }
+  return out;
 }
 
 std::optional<ScoredPredictor> PredictorStats::BestSuccessOrderPair() const {

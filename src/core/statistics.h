@@ -13,6 +13,8 @@
 
 #include <map>
 #include <optional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "src/core/predictors.h"
@@ -47,6 +49,7 @@ class PredictorStats {
   // so callers can report attrition and enforce a survivor quorum.
   void RecordLostRuns(uint64_t count) { lost_runs_ += count; }
 
+  double beta() const { return beta_; }
   uint32_t failing_runs() const { return failing_runs_; }
   uint32_t successful_runs() const { return successful_runs_; }
   uint64_t lost_runs() const { return lost_runs_; }
@@ -87,6 +90,58 @@ class PredictorStats {
   uint32_t successful_runs_ = 0;
   uint64_t lost_runs_ = 0;
   std::map<Predictor, Counts> counts_;
+};
+
+// Streaming behavior statistics (DESIGN.md §14): one PredictorStats kept
+// up to date as each MonitoredRun lands on the coordinator, keyed on run
+// identity. The ingest path records every accepted run's predictor set once
+// — O(run events) per run — so sketch builds rank from the running
+// aggregation instead of re-walking every stored trace per recurrence.
+//
+// Run identity is RunTrace::run_id: a second upload carrying the same
+// nonzero id (a retried or duplicated ship of the same production run) is
+// ignored, so attrition retries can never double-count a survivor.
+// run_id 0 means "no identity" and always counts — standalone callers that
+// never assign ids keep the historical semantics.
+//
+// Determinism contract: the aggregate is a pure fold of (run_id, predictor
+// set, outcome) records and is independent of arrival order, so the
+// coordinator's run-index-order updates produce byte-identical results to a
+// batch recompute over the stored traces — Fingerprint() is the shadow
+// mode's byte-equality witness.
+class BehaviorStats {
+ public:
+  explicit BehaviorStats(double beta = kDefaultBeta) : stats_(beta) {}
+
+  // Records one run's deduplicated predictor set and outcome. Returns false
+  // — and changes nothing — when `run_id` is nonzero and already recorded.
+  bool RecordRun(uint64_t run_id, const std::vector<Predictor>& predictors, bool failed);
+
+  // Forwarded attrition accounting (see PredictorStats::RecordLostRuns).
+  void RecordLostRuns(uint64_t count) { stats_.RecordLostRuns(count); }
+
+  // Drops every record (new failure target, same server).
+  void Reset();
+
+  // The running aggregation; same ranking surface sketch construction uses.
+  const PredictorStats& stats() const { return stats_; }
+
+  uint64_t runs_recorded() const { return runs_recorded_; }
+  // Uploads ignored because their run identity was already counted.
+  uint64_t duplicates_ignored() const { return duplicates_ignored_; }
+
+  // Canonical serialization of the run tallies and every ranked predictor's
+  // counts and scores. Two BehaviorStats fed the same run set — in any order,
+  // incremental or batch — fingerprint identically, byte for byte. Lost-run
+  // counts are excluded: they are coordinator-side accounting a batch replay
+  // of stored traces cannot see.
+  std::string Fingerprint() const;
+
+ private:
+  PredictorStats stats_;
+  std::set<uint64_t> seen_run_ids_;
+  uint64_t runs_recorded_ = 0;
+  uint64_t duplicates_ignored_ = 0;
 };
 
 }  // namespace gist

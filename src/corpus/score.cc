@@ -63,6 +63,7 @@ ProgramScore ScoreProgram(const GeneratedProgram& program, const CorpusScoreOpti
   fleet_options.jobs = options.jobs;
   fleet_options.shared_pool = shared_pool;
   fleet_options.faults = options.faults;
+  fleet_options.recorder = options.recorder;
 
   Fleet fleet(
       *program.module,

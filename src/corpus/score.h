@@ -22,6 +22,7 @@
 namespace gist {
 
 class ArtifactStore;
+class FlightRecorder;
 class ThreadPool;
 
 struct CorpusScoreOptions {
@@ -39,6 +40,11 @@ struct CorpusScoreOptions {
   uint64_t fleet_seed = 2015;
   uint32_t runs_per_iteration = 400;
   uint32_t max_iterations = 8;
+  // Optional flight recorder shared by every program's fleet (DESIGN.md §9).
+  // ScoreCorpus scores programs sequentially in index order, so the combined
+  // metrics snapshot and span trace stay bit-identical for any --jobs — this
+  // is how `gist corpus run --metrics-json` observes a whole sweep.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct ProgramScore {

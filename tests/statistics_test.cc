@@ -132,5 +132,101 @@ TEST(PredictorStatsTest, RunCountsTracked) {
   EXPECT_EQ(stats.successful_runs(), 2u);
 }
 
+
+// --- BehaviorStats: streaming aggregation with run-identity dedup ----------
+
+TEST(BehaviorStatsTest, StreamsIntoPredictorStats) {
+  BehaviorStats behavior;
+  const Predictor predictor = ValuePredictor(4, 0);
+  EXPECT_TRUE(behavior.RecordRun(1, {predictor}, true));
+  EXPECT_TRUE(behavior.RecordRun(2, {predictor}, false));
+  EXPECT_EQ(behavior.runs_recorded(), 2u);
+  EXPECT_EQ(behavior.stats().failing_runs(), 1u);
+  EXPECT_EQ(behavior.stats().successful_runs(), 1u);
+}
+
+// The fault-injection retry regression (DESIGN.md paragraph 14): a run killed
+// mid-flight is retried and its upload can reach the server twice (wire
+// reordering re-delivers the survivor). The statistics must count each run
+// identity once, never double-counting its predictors.
+TEST(BehaviorStatsTest, DuplicateUploadCountsOnce) {
+  BehaviorStats behavior;
+  const Predictor predictor = ValuePredictor(7, 1);
+  EXPECT_TRUE(behavior.RecordRun(42, {predictor}, true));
+  EXPECT_FALSE(behavior.RecordRun(42, {predictor}, true));  // duplicate upload
+  EXPECT_FALSE(behavior.RecordRun(42, {predictor}, false));
+  EXPECT_EQ(behavior.runs_recorded(), 1u);
+  EXPECT_EQ(behavior.duplicates_ignored(), 2u);
+  EXPECT_EQ(behavior.stats().failing_runs(), 1u);
+  EXPECT_EQ(behavior.stats().successful_runs(), 0u);
+  ASSERT_EQ(behavior.stats().Ranked().size(), 1u);
+  EXPECT_EQ(behavior.stats().Ranked()[0].failing_with, 1u);
+}
+
+// A retried run re-executes under a NEW run id, so its survivor counts as a
+// fresh run even though the workload (and predictor set) repeats.
+TEST(BehaviorStatsTest, RetryUnderNewIdentityCounts) {
+  BehaviorStats behavior;
+  const Predictor predictor = ValuePredictor(7, 1);
+  EXPECT_TRUE(behavior.RecordRun(42, {predictor}, true));
+  EXPECT_TRUE(behavior.RecordRun(43, {predictor}, true));  // the retry
+  EXPECT_EQ(behavior.runs_recorded(), 2u);
+  EXPECT_EQ(behavior.duplicates_ignored(), 0u);
+  EXPECT_EQ(behavior.stats().failing_runs(), 2u);
+}
+
+// run_id 0 means "no identity" (legacy callers): every upload counts.
+TEST(BehaviorStatsTest, ZeroIdentityAlwaysCounts) {
+  BehaviorStats behavior;
+  EXPECT_TRUE(behavior.RecordRun(0, {}, true));
+  EXPECT_TRUE(behavior.RecordRun(0, {}, true));
+  EXPECT_TRUE(behavior.RecordRun(0, {}, false));
+  EXPECT_EQ(behavior.runs_recorded(), 3u);
+  EXPECT_EQ(behavior.duplicates_ignored(), 0u);
+}
+
+// Incremental streaming and a batch replay of the same (run, predictors,
+// outcome) sequence must fingerprint byte-identically — the invariant the
+// sketch builder's shadow mode enforces end to end.
+TEST(BehaviorStatsTest, FingerprintMatchesBatchRecompute) {
+  const Predictor branch = BranchPredictor(1, true);
+  const Predictor value = ValuePredictor(2, 0);
+  const Predictor pattern = PatternPredictor(PredictorKind::kWW, 3, 4);
+  BehaviorStats incremental;
+  incremental.RecordRun(1, {branch, value}, true);
+  incremental.RecordRun(2, {branch}, false);
+  incremental.RecordRun(2, {branch}, false);  // duplicate: must not skew
+  incremental.RecordRun(3, {pattern, value}, true);
+  incremental.RecordRun(4, {}, false);
+
+  BehaviorStats batch;
+  batch.RecordRun(1, {branch, value}, true);
+  batch.RecordRun(2, {branch}, false);
+  batch.RecordRun(3, {pattern, value}, true);
+  batch.RecordRun(4, {}, false);
+  EXPECT_EQ(incremental.Fingerprint(), batch.Fingerprint());
+  EXPECT_FALSE(incremental.Fingerprint().empty());
+}
+
+TEST(BehaviorStatsTest, FingerprintSensitiveToOutcome) {
+  const Predictor predictor = ValuePredictor(2, 0);
+  BehaviorStats a;
+  a.RecordRun(1, {predictor}, true);
+  BehaviorStats b;
+  b.RecordRun(1, {predictor}, false);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(BehaviorStatsTest, ResetClearsIdentityAndTallies) {
+  BehaviorStats behavior;
+  behavior.RecordRun(5, {ValuePredictor(1, 1)}, true);
+  behavior.Reset();
+  EXPECT_EQ(behavior.runs_recorded(), 0u);
+  EXPECT_EQ(behavior.stats().failing_runs(), 0u);
+  EXPECT_TRUE(behavior.stats().Ranked().empty());
+  // Identity space resets too: the same run id records again.
+  EXPECT_TRUE(behavior.RecordRun(5, {ValuePredictor(1, 1)}, true));
+}
+
 }  // namespace
 }  // namespace gist

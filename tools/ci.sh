@@ -165,6 +165,40 @@ EOF
   ./build-ci-release/gist cache build-ci-release/cache_stats_warm.json \
     --cache-dir build-ci-release/cache
   ./build-ci-release/gist cache --cache-dir build-ci-release/cache --cache-purge >/dev/null
+  # Campaign observatory gate (DESIGN.md §14): one diagnosis exporting the
+  # gist.campaign.v1 journal, schema-validated, then re-run at a different
+  # worker count and under the streaming-stats shadow check — the journal
+  # must be byte-identical (virtual-time clocked, coordinator-merged), and
+  # `gist status` must render it. GIST_STATS_SHADOW=1 makes the server
+  # recompute every sketch's statistics from scratch and CHECK-fail on any
+  # divergence from the incremental aggregation.
+  echo "=== [release] campaign observatory gate ==="
+  ./build-ci-release/gist diagnose-app sqlite --fleet-seed 3 --jobs 1 \
+    --campaign-json build-ci-release/campaign_j1.json >/dev/null
+  GIST_STATS_SHADOW=1 ./build-ci-release/gist diagnose-app sqlite --fleet-seed 3 --jobs 8 \
+    --campaign-json build-ci-release/campaign_j8.json >/dev/null
+  cmp build-ci-release/campaign_j1.json build-ci-release/campaign_j8.json
+  python3 - <<'EOF'
+import json
+with open("build-ci-release/campaign_j1.json") as f:
+    journal = json.load(f)
+assert journal["schema"] == "gist.campaign.v1", journal.get("schema")
+for key in ("title", "iterations", "status"):
+    assert key in journal, f"missing {key}"
+iterations = journal["iterations"]
+assert iterations, "no iterations recorded"
+previous_end = 0
+for it in iterations:
+    assert it["virtual_end"] >= previous_end, "virtual clock not monotone"
+    previous_end = it["virtual_end"]
+status = journal["status"]
+for key in ("trend", "eta_bucket", "iterations", "runs_consumed"):
+    assert key in status, f"missing status.{key}"
+assert status["iterations"] == len(iterations), "status/iteration count mismatch"
+print(f"campaign journal OK: {len(iterations)} iterations, "
+      f"trend={status['trend']}, eta={status['eta_bucket']}")
+EOF
+  ./build-ci-release/gist status build-ci-release/campaign_j1.json
   # Corpus accuracy gate (DESIGN.md §13): generate the fixed-seed quick
   # corpus, diagnose every program end to end, and floor the aggregate rates
   # against the committed BENCH_corpus.json. Strict: a missing or empty

@@ -34,6 +34,10 @@
 //       Summarize an artifact-store stats export (--cache-stats-json) as a
 //       per-artifact hit-rate table, report what a --cache-dir holds on disk,
 //       and optionally purge it.
+//   gist status <campaign.json>
+//       Render a --campaign-json export (gist.campaign.v1) as the live
+//       diagnosis dashboard: per-iteration convergence rows plus the current
+//       trend and ETA bucket.
 //   gist corpus gen --out DIR [--seed N] [--count N] [--families a,b,c]
 //       Generate a seeded failure corpus: MiniIR programs from the seven bug
 //       templates, each paired with its gist.manifest.v1 ground truth.
@@ -59,12 +63,14 @@
 #include <sstream>
 
 #include "src/apps/app.h"
+#include "src/apps/app_util.h"
 #include "src/cache/artifact_store.h"
 #include "src/coop/fleet.h"
 #include "src/corpus/corpus.h"
 #include "src/corpus/score.h"
 #include "src/core/gist.h"
 #include "src/ir/parser.h"
+#include "src/obs/campaign.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
 #include "src/pt/dump.h"
@@ -84,10 +90,7 @@ struct CliOptions {
   uint64_t fleet_seed = 1;
   uint64_t jobs = 1;
   std::vector<Word> inputs;
-  std::string metrics_json;  // write the flight recorder's metrics here
-  std::string trace_json;    // write the Chrome trace-event stream here
-  std::string profile_json;       // write the hot-path profile (gist.profile.v1)
-  std::string profile_collapsed;  // write collapsed stacks for flamegraph tools
+  TelemetryExportOptions exports;  // shared --*-json export surface (app_util.h)
   std::string log_level;     // debug|info|warning|error
   std::string tier;          // fast|ref|super execution tier (DESIGN.md §12)
   std::string cache_dir;          // on-disk artifact-store tier (DESIGN.md §11)
@@ -107,6 +110,7 @@ int Usage() {
                "       gist dump-app <name>\n"
                "       gist profdiff <baseline.json> <current.json> [--top N] "
                "[--max-drift-permille P]\n"
+               "       gist status <campaign.json>\n"
                "       gist cache [stats.json] [--cache-dir DIR] [--cache-purge]\n"
                "       gist corpus gen --out DIR [--seed N] [--count N] [--families a,b,c]\n"
                "       gist corpus run [--dir DIR | --seed N --count N] [--jobs N]\n"
@@ -120,14 +124,17 @@ int Usage() {
                "                          super fuses profile-hot blocks, ref is the\n"
                "                          always-dispatch oracle — results are\n"
                "                          byte-identical across tiers)\n"
-               "  --metrics-json <path>   write the flight recorder's deterministic\n"
-               "                          metrics snapshot (diagnose/diagnose-app/fix-app)\n"
+               "  --metrics-json <path>   write the deterministic metrics snapshot\n"
+               "                          (diagnose/diagnose-app/fix-app/corpus run|score)\n"
                "  --trace-json <path>     write the virtual-time span trace in Chrome\n"
-               "                          trace-event format (diagnose-app/fix-app)\n"
+               "                          trace-event format (diagnose-app/fix-app/corpus)\n"
                "  --profile-json <path>   write the deterministic hot-path profile\n"
                "                          (gist.profile.v1; diagnose-app/fix-app)\n"
                "  --profile-collapsed <path>  write collapsed flamegraph stacks\n"
                "                          (app;function;block count per line)\n"
+               "  --campaign-json <path>  write the sketch-convergence journal\n"
+               "                          (gist.campaign.v1; diagnose/diagnose-app/fix-app —\n"
+               "                          render it with `gist status`)\n"
                "  --cache-dir <dir>       persist slices and PT decodes across runs in a\n"
                "                          content-addressed on-disk store (warm starts)\n"
                "  --cache-mem-mb <N>      in-memory artifact budget in MiB (default 256)\n"
@@ -136,42 +143,6 @@ int Usage() {
                "  --cache-verify          rebuild every serialized cache hit and require\n"
                "                          byte equality (also via GIST_CACHE_VERIFY=1)\n");
   return 2;
-}
-
-// Writes `content` to `path`; false (with a message on stderr) on failure.
-bool WriteFileOrWarn(const std::string& path, const std::string& content) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return false;
-  }
-  file << content;
-  return true;
-}
-
-// Exports the recorder artifacts requested on the command line. Returns
-// false when a requested file could not be written.
-bool ExportRecorder(const FlightRecorder& recorder, const CliOptions& options) {
-  bool ok = true;
-  if (!options.metrics_json.empty()) {
-    ok = WriteFileOrWarn(options.metrics_json, recorder.MetricsJson()) && ok;
-  }
-  if (!options.trace_json.empty()) {
-    ok = WriteFileOrWarn(options.trace_json, recorder.TraceJson()) && ok;
-  }
-  return ok;
-}
-
-// Exports the hot-path profile artifacts requested on the command line.
-bool ExportProfiler(const HotPathProfiler& profiler, const CliOptions& options) {
-  bool ok = true;
-  if (!options.profile_json.empty()) {
-    ok = WriteFileOrWarn(options.profile_json, profiler.ProfileJson()) && ok;
-  }
-  if (!options.profile_collapsed.empty()) {
-    ok = WriteFileOrWarn(options.profile_collapsed, profiler.ProfileCollapsed()) && ok;
-  }
-  return ok;
 }
 
 // Applies --tier to the fleet's GistOptions; false (with a message) on an
@@ -206,7 +177,7 @@ bool ExportCacheStats(const ArtifactStore* store, const CliOptions& options) {
   if (store == nullptr || options.cache_stats_json.empty()) {
     return true;
   }
-  return WriteFileOrWarn(options.cache_stats_json, store->StatsJson());
+  return WriteTelemetryFile(options.cache_stats_json, store->StatsJson());
 }
 
 bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
@@ -219,6 +190,14 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
       *out = std::strtoull(argv[++i], nullptr, 10);
       return true;
     };
+    switch (ParseTelemetryExportFlag(argc, argv, &i, &options->exports)) {
+      case TelemetryFlagParse::kConsumed:
+        continue;
+      case TelemetryFlagParse::kMissingValue:
+        return false;
+      case TelemetryFlagParse::kNotTelemetry:
+        break;
+    }
     if (arg == "--seed") {
       if (!next_value(&options->seed)) {
         return false;
@@ -242,26 +221,6 @@ bool ParseArgs(int argc, char** argv, int first, CliOptions* options) {
       for (std::string_view piece : SplitNonEmpty(argv[++i], ',')) {
         options->inputs.push_back(std::strtoll(std::string(piece).c_str(), nullptr, 10));
       }
-    } else if (arg == "--metrics-json") {
-      if (i + 1 >= argc) {
-        return false;
-      }
-      options->metrics_json = argv[++i];
-    } else if (arg == "--trace-json") {
-      if (i + 1 >= argc) {
-        return false;
-      }
-      options->trace_json = argv[++i];
-    } else if (arg == "--profile-json") {
-      if (i + 1 >= argc) {
-        return false;
-      }
-      options->profile_json = argv[++i];
-    } else if (arg == "--profile-collapsed") {
-      if (i + 1 >= argc) {
-        return false;
-      }
-      options->profile_collapsed = argv[++i];
     } else if (arg == "--log-level") {
       if (i + 1 >= argc) {
         return false;
@@ -465,13 +424,59 @@ int CmdDiagnose(const CliOptions& options) {
   gist_options.store = store.get();
   GistServer server(**module, gist_options);
   server.ReportFailure(report);
+  CampaignTracker campaign(options.path);
 
   // Run the production fleet until the window stops growing, then print.
+  // Every monitored run gets a fresh run identity: the same seed re-executes
+  // under each AsT window, and the server's run-identity dedup must see those
+  // as distinct runs, not duplicate uploads.
+  uint64_t next_run_id = 1;
   for (;;) {
+    uint32_t failing = 0;
+    uint32_t successful = 0;
+    uint32_t quarantined = 0;
     for (uint64_t seed = options.seed; seed < options.seed + options.runs; ++seed) {
-      MonitoredRun run =
-          RunMonitored(**module, server.plan(), MakeWorkload(options, seed), gist_options, seed);
-      server.AddTrace(std::move(run.trace));
+      MonitoredRun run = RunMonitored(**module, server.plan(), MakeWorkload(options, seed),
+                                      gist_options, next_run_id++);
+      campaign.AdvanceClock(run.result.stats.steps);
+      const bool run_failed = run.trace.failed;
+      switch (server.AddTrace(std::move(run.trace))) {
+        case GistServer::TraceIngest::kAccepted:
+          ++(run_failed ? failing : successful);
+          break;
+        case GistServer::TraceIngest::kQuarantined:
+          ++quarantined;
+          break;
+        case GistServer::TraceIngest::kRejectedForeign:
+          break;
+      }
+    }
+    if (options.exports.wants_campaign()) {
+      const GistCampaignState state = server.CampaignState();
+      CampaignIterationSample sample;
+      sample.iteration = state.iteration;
+      sample.sigma = state.sigma;
+      sample.virtual_end = campaign.now();
+      sample.failing_runs = failing;
+      sample.successful_runs = successful;
+      sample.quarantined_runs = quarantined;
+      sample.recurrences = state.recurrences;
+      sample.watch_instrs = static_cast<uint32_t>(server.plan().watch_instrs.size());
+      sample.watchpoint_slots = gist_options.watchpoint_slots;
+      sample.slice_statements = state.slice_statements;
+      sample.window_statements = state.window_statements;
+      sample.slice_exhausted = state.slice_exhausted;
+      if (Result<FailureSketch> iteration_sketch = server.BuildSketch(); iteration_sketch.ok()) {
+        for (const SketchStatement& statement : iteration_sketch->statements) {
+          sample.sketch_statements.push_back(statement.instr);
+        }
+      }
+      const std::vector<ScoredPredictor>& ranked = server.behavior().stats().Ranked();
+      const size_t top = std::min<size_t>(ranked.size(), CampaignTracker::kRankWindow);
+      for (size_t r = 0; r < top; ++r) {
+        sample.top_predictors.push_back(PredictorToString(ranked[r].predictor, **module));
+      }
+      campaign.RecordIteration(std::move(sample));
     }
     if (server.ExhaustedSlice()) {
       break;
@@ -485,8 +490,15 @@ int CmdDiagnose(const CliOptions& options) {
     return 1;
   }
   std::printf("%s", RenderFailureSketch(**module, *sketch).c_str());
-  if (!options.metrics_json.empty() &&
-      !WriteFileOrWarn(options.metrics_json, server.metrics().ToJson())) {
+  // `diagnose` drives the server directly (no fleet, no flight recorder), so
+  // --metrics-json means the server's own registry here.
+  if (!options.exports.metrics_json.empty() &&
+      !WriteTelemetryFile(options.exports.metrics_json, server.metrics().ToJson())) {
+    return 1;
+  }
+  TelemetryExportOptions rest = options.exports;
+  rest.metrics_json.clear();
+  if (!ExportTelemetry(rest, nullptr, nullptr, &campaign)) {
     return 1;
   }
   if (!ExportCacheStats(store.get(), options)) {
@@ -512,6 +524,7 @@ int CmdDiagnoseApp(const CliOptions& options) {
   }
   FlightRecorder recorder;
   HotPathProfiler profiler;
+  CampaignTracker campaign(app->info().name);
   std::unique_ptr<ArtifactStore> store = MakeStore(options);
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
@@ -522,8 +535,11 @@ int CmdDiagnoseApp(const CliOptions& options) {
   if (!ApplyTier(options, &fleet_options)) {
     return 2;
   }
-  if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
+  if (options.exports.wants_profiler()) {
     fleet_options.profiler = &profiler;
+  }
+  if (options.exports.wants_campaign()) {
+    fleet_options.campaign = &campaign;
   }
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
@@ -536,7 +552,7 @@ int CmdDiagnoseApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options) ||
+  if (!ExportTelemetry(options.exports, &recorder, &profiler, &campaign) ||
       !ExportCacheStats(store.get(), options)) {
     return 1;
   }
@@ -574,6 +590,7 @@ int CmdFixApp(const CliOptions& options) {
   }
   FlightRecorder recorder;
   HotPathProfiler profiler;
+  CampaignTracker campaign(app->info().name);
   std::unique_ptr<ArtifactStore> store = MakeStore(options);
   FleetOptions fleet_options;
   fleet_options.fleet_seed = options.fleet_seed;
@@ -584,8 +601,11 @@ int CmdFixApp(const CliOptions& options) {
   if (!ApplyTier(options, &fleet_options)) {
     return 2;
   }
-  if (!options.profile_json.empty() || !options.profile_collapsed.empty()) {
+  if (options.exports.wants_profiler()) {
     fleet_options.profiler = &profiler;
+  }
+  if (options.exports.wants_campaign()) {
+    fleet_options.campaign = &campaign;
   }
   Fleet fleet(app->module(),
               [&](uint64_t ri, Rng& rng) { return app->MakeWorkload(ri, rng); }, fleet_options);
@@ -598,7 +618,7 @@ int CmdFixApp(const CliOptions& options) {
     }
     return true;
   });
-  if (!ExportRecorder(recorder, options) || !ExportProfiler(profiler, options) ||
+  if (!ExportTelemetry(options.exports, &recorder, &profiler, &campaign) ||
       !ExportCacheStats(store.get(), options)) {
     return 1;
   }
@@ -829,12 +849,21 @@ struct CorpusCliArgs {
   uint64_t cache_mem_mb = 256;
   bool use_cache = false;
   bool render = false;  // print each program's final sketch after the table
+  TelemetryExportOptions exports;  // --metrics-json / --trace-json for the sweep
 };
 
 // Parses everything after `gist corpus <sub>`; false on a malformed flag.
 bool ParseCorpusArgs(int argc, char** argv, CorpusCliArgs* args) {
   for (int i = 3; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    switch (ParseTelemetryExportFlag(argc, argv, &i, &args->exports)) {
+      case TelemetryFlagParse::kConsumed:
+        continue;
+      case TelemetryFlagParse::kMissingValue:
+        return false;
+      case TelemetryFlagParse::kNotTelemetry:
+        break;
+    }
     auto next_value = [&](uint64_t* out) {
       if (i + 1 >= argc) {
         return false;
@@ -1045,6 +1074,10 @@ int CmdCorpusRun(const CorpusCliArgs& args, bool gate) {
   score_options.fleet_seed = args.fleet_seed;
   score_options.runs_per_iteration = static_cast<uint32_t>(args.runs_per_iteration);
   score_options.max_iterations = static_cast<uint32_t>(args.max_iterations);
+  FlightRecorder recorder;
+  if (args.exports.wants_recorder()) {
+    score_options.recorder = &recorder;
+  }
   std::unique_ptr<ArtifactStore> store;
   if (args.use_cache) {
     ArtifactStoreOptions store_options;
@@ -1093,7 +1126,10 @@ int CmdCorpusRun(const CorpusCliArgs& args, bool gate) {
       std::printf("%s", RenderFailureSketch(*program.module, p.sketch, render).c_str());
     }
   }
-  if (!args.score_json.empty() && !WriteFileOrWarn(args.score_json, score.ReportJson())) {
+  if (!args.score_json.empty() && !WriteTelemetryFile(args.score_json, score.ReportJson())) {
+    return 1;
+  }
+  if (!ExportTelemetry(args.exports, score_options.recorder, nullptr, nullptr)) {
     return 1;
   }
   if (!args.write_baseline.empty() &&
@@ -1145,6 +1181,139 @@ int CmdCorpus(int argc, char** argv) {
   return Usage();
 }
 
+// Extracts `"key": "value"` from text[from, limit); false when absent.
+// Honors the journal's own escaping (predictor text quotes source lines), so
+// \" and \\ are unescaped and do not terminate the value.
+bool FindStringField(const std::string& text, const std::string& key, size_t from, size_t limit,
+                     std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t pos = text.find(needle, from);
+  if (pos == std::string::npos || pos >= limit) {
+    return false;
+  }
+  std::string value;
+  for (size_t i = pos + needle.size(); i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      const char next = text[++i];
+      value += next == 'n' ? '\n' : next == 't' ? '\t' : next;
+    } else if (c == '"') {
+      *out = std::move(value);
+      return true;
+    } else {
+      value += c;
+    }
+  }
+  return false;
+}
+
+// `gist status <campaign.json>` — render a gist.campaign.v1 journal as the
+// live diagnosis dashboard: one convergence row per AsT iteration plus the
+// trend / ETA summary the status block carries.
+int CmdStatus(int argc, char** argv) {
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    }
+    if (!path.empty()) {
+      return Usage();
+    }
+    path = std::string(arg);
+  }
+  if (path.empty()) {
+    return Usage();
+  }
+  std::string text;
+  if (!ReadFileBytes(path, &text)) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  if (text.find("\"schema\": \"gist.campaign.v1\"") == std::string::npos) {
+    std::fprintf(stderr, "error: %s is not a gist.campaign.v1 journal\n", path.c_str());
+    return 1;
+  }
+  std::string title = "failure";
+  FindStringField(text, "title", 0, text.size(), &title);
+  std::printf("campaign: %s\n", title.c_str());
+
+  const size_t status_pos = text.find("\"status\": {");
+  const size_t array_pos = text.find("\"iterations\": [");
+  const size_t array_end = status_pos == std::string::npos ? text.size() : status_pos;
+  std::printf("%5s %6s %6s %5s %5s %5s %5s %5s %6s %6s %6s  %s\n", "iter", "sigma", "runs",
+              "fail", "succ", "lost", "quar", "dist", "churn", "cover", "surv",
+              "top predictor");
+  size_t pos = array_pos == std::string::npos ? array_end : array_pos;
+  while (pos < array_end) {
+    const size_t open = text.find('{', pos);
+    if (open == std::string::npos || open >= array_end) {
+      break;
+    }
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    const std::string object = text.substr(open, close - open + 1);
+    std::map<std::string, uint64_t> row;
+    ParseFlatNumberJson(object, &row);
+    std::string top_predictor;
+    FindStringField(object, "top_predictor", 0, object.size(), &top_predictor);
+    auto value = [&](const char* key) {
+      const auto it = row.find(key);
+      return it == row.end() ? uint64_t{0} : it->second;
+    };
+    std::printf("%5llu %6llu %6llu %5llu %5llu %5llu %5llu %5llu %6llu %5llu‰ %5llu‰  %s\n",
+                static_cast<unsigned long long>(value("iteration")),
+                static_cast<unsigned long long>(value("sigma")),
+                static_cast<unsigned long long>(value("runs_consumed")),
+                static_cast<unsigned long long>(value("failing")),
+                static_cast<unsigned long long>(value("successful")),
+                static_cast<unsigned long long>(value("lost")),
+                static_cast<unsigned long long>(value("quarantined")),
+                static_cast<unsigned long long>(value("sketch_edit_distance")),
+                static_cast<unsigned long long>(value("predictor_rank_churn")),
+                static_cast<unsigned long long>(value("watch_coverage_permille")),
+                static_cast<unsigned long long>(value("survivor_permille")),
+                top_predictor.c_str());
+    pos = close + 1;
+  }
+
+  if (status_pos == std::string::npos) {
+    std::fprintf(stderr, "error: %s has no status block\n", path.c_str());
+    return 1;
+  }
+  const size_t status_close = text.find('}', status_pos);
+  const std::string status =
+      text.substr(status_pos, status_close == std::string::npos
+                                  ? std::string::npos
+                                  : status_close - status_pos + 1);
+  std::map<std::string, uint64_t> fields;
+  ParseFlatNumberJson(status, &fields);
+  std::string trend = "unknown";
+  std::string eta = "unknown";
+  FindStringField(status, "trend", 0, status.size(), &trend);
+  FindStringField(status, "eta_bucket", 0, status.size(), &eta);
+  auto value = [&](const char* key) {
+    const auto it = fields.find(key);
+    return it == fields.end() ? uint64_t{0} : it->second;
+  };
+  std::printf("\nstatus: %s (eta: %s)\n", trend.c_str(), eta.c_str());
+  std::printf("  %llu iterations, sigma %llu, %llu runs consumed, %llu recurrences, "
+              "root cause %s\n",
+              static_cast<unsigned long long>(value("iterations")),
+              static_cast<unsigned long long>(value("sigma")),
+              static_cast<unsigned long long>(value("runs_consumed")),
+              static_cast<unsigned long long>(value("recurrences")),
+              value("root_cause_found") != 0 ? "FOUND" : "not isolated");
+  std::printf("  window %llu of %llu slice statements (slice %s), virtual clock %llu\n",
+              static_cast<unsigned long long>(value("window_statements")),
+              static_cast<unsigned long long>(value("slice_statements")),
+              value("slice_exhausted") != 0 ? "exhausted" : "growing",
+              static_cast<unsigned long long>(value("virtual_now")));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -1152,6 +1321,9 @@ int Main(int argc, char** argv) {
   const std::string_view command = argv[1];
   if (command == "apps") {
     return CmdApps();
+  }
+  if (command == "status") {
+    return CmdStatus(argc, argv);
   }
   if (command == "profdiff") {
     return CmdProfDiff(argc, argv);
